@@ -1,0 +1,54 @@
+"""Ablation A2 -- cache timing margin of the Flush+Reload channel.
+
+The covert channel only works while the receiver can distinguish a hit from a
+miss: the decision threshold must sit between the two latencies.  This
+ablation sweeps the miss latency (with the threshold fixed) and the threshold
+(with the latencies fixed) to locate where the channel stops carrying
+information -- the receiver side of the paper's attack step 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exploits import run_spectre_v1
+from repro.uarch import UarchConfig
+
+
+@pytest.mark.experiment("A2")
+def test_channel_needs_hit_latency_below_the_threshold(benchmark):
+    def sweep_threshold():
+        outcomes = {}
+        for threshold in (2, 4, 10, 80, 150, 250):
+            config = UarchConfig(hit_threshold=threshold)
+            outcomes[threshold] = run_spectre_v1(config).success
+        return outcomes
+
+    outcomes = benchmark(sweep_threshold)
+    print("\nSpectre v1 leak vs receiver decision threshold (hit=4, miss=200 cycles):")
+    for threshold, leaked in outcomes.items():
+        print(f"  threshold={threshold:4d}: {'LEAKS' if leaked else 'no signal'}")
+    # Below the hit latency the receiver rejects everything; between hit and
+    # miss latency the channel works; above the miss latency every entry looks
+    # hot and the decoder can no longer single out the secret reliably, but the
+    # minimum-latency pick still lands on the only true hit.
+    assert not outcomes[2]
+    assert outcomes[10] and outcomes[80] and outcomes[150]
+
+
+@pytest.mark.experiment("A2")
+def test_channel_needs_a_latency_gap(benchmark):
+    def sweep_miss_latency():
+        outcomes = {}
+        for miss_latency in (4, 20, 60, 200, 400):
+            config = UarchConfig(cache_miss_latency=miss_latency, hit_threshold=50)
+            outcomes[miss_latency] = run_spectre_v1(config).success
+        return outcomes
+
+    outcomes = benchmark(sweep_miss_latency)
+    print("\nSpectre v1 leak vs cache miss latency (hit=4 cycles, threshold=50):")
+    for miss_latency, leaked in outcomes.items():
+        print(f"  miss={miss_latency:4d} cycles: {'LEAKS' if leaked else 'no signal'}")
+    # When misses are as fast as hits there is no timing channel at all.
+    assert not outcomes[4]
+    assert outcomes[200] and outcomes[400]

@@ -1,0 +1,44 @@
+"""Ablation A1 -- speculative window size.
+
+The paper defines the speculative window as the interval between issuing the
+first transient instruction and the resolution of the delayed authorization.
+The Spectre v1 gadget needs three transient instructions (Load S, the shift,
+and Load R) to complete inside the window, so the attack succeeds only when
+the window is large enough -- the crossover this ablation locates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exploits import run_meltdown, run_spectre_v1
+from repro.uarch import UarchConfig
+
+
+def leak_by_window(windows, runner):
+    return {window: runner(UarchConfig(speculative_window=window)).success for window in windows}
+
+
+@pytest.mark.experiment("A1")
+def test_spectre_v1_needs_a_window_of_at_least_three(benchmark):
+    outcomes = benchmark(lambda: leak_by_window(range(0, 9), run_spectre_v1))
+    print("\nSpectre v1 leak vs speculative window size:")
+    for window, leaked in outcomes.items():
+        print(f"  window={window}: {'LEAKS' if leaked else 'no leak'}")
+    assert not outcomes[0] and not outcomes[1] and not outcomes[2]
+    assert outcomes[3] and outcomes[8]
+    # The crossover sits exactly where the transient gadget fits.
+    crossover = min(window for window, leaked in outcomes.items() if leaked)
+    assert crossover == 3
+
+
+@pytest.mark.experiment("A1")
+def test_meltdown_crossover_is_one_instruction_earlier(benchmark):
+    """Meltdown's secret is forwarded by the faulting load itself, so only the
+    use (shift) and the send (probe load) must fit in the window: crossover 2."""
+    outcomes = benchmark(lambda: leak_by_window((0, 1, 2, 3, 16, 64), run_meltdown))
+    print("\nMeltdown leak vs speculative window size:")
+    for window, leaked in outcomes.items():
+        print(f"  window={window}: {'LEAKS' if leaked else 'no leak'}")
+    assert not outcomes[0] and not outcomes[1]
+    assert outcomes[2] and outcomes[3] and outcomes[64]

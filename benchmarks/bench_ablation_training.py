@@ -1,0 +1,51 @@
+"""Ablation A3 -- predictor mis-training (attack step 1b).
+
+The Spectre v1 attack graph has a setup vertex "Mistrain predictor"; without
+it the speculative path is not attacker-controlled.  On the simulator a
+branch with no predictor history does not speculate at all, so zero training
+rounds means no leak -- and flushing the predictor after training (defense
+strategy 4) has exactly the same effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exploits import run_spectre_v1, run_spectre_v2
+from repro.uarch import SimDefense, UarchConfig
+
+
+@pytest.mark.experiment("A3")
+def test_spectre_v1_requires_training(benchmark):
+    def sweep_training():
+        return {
+            rounds: run_spectre_v1(training_rounds=rounds).success
+            for rounds in (0, 1, 2, 4, 8)
+        }
+
+    outcomes = benchmark(sweep_training)
+    print("\nSpectre v1 leak vs branch-predictor training rounds:")
+    for rounds, leaked in outcomes.items():
+        print(f"  training rounds={rounds}: {'LEAKS' if leaked else 'no leak'}")
+    assert not outcomes[0]
+    assert outcomes[1] and outcomes[4] and outcomes[8]
+
+
+@pytest.mark.experiment("A3")
+def test_training_is_undone_by_predictor_flush(benchmark):
+    def run_pair():
+        trained = run_spectre_v1(training_rounds=4)
+        flushed = run_spectre_v1(
+            UarchConfig().with_defenses(SimDefense.FLUSH_PREDICTORS), training_rounds=4
+        )
+        poisoned_btb = run_spectre_v2()
+        flushed_btb = run_spectre_v2(UarchConfig().with_defenses(SimDefense.FLUSH_PREDICTORS))
+        return trained.success, flushed.success, poisoned_btb.success, flushed_btb.success
+
+    trained, flushed, poisoned_btb, flushed_btb = benchmark(run_pair)
+    print(
+        f"\ntrained={trained}, trained+flush={flushed}, "
+        f"poisoned BTB={poisoned_btb}, poisoned BTB+flush={flushed_btb}"
+    )
+    assert trained and not flushed
+    assert poisoned_btb and not flushed_btb

@@ -1,0 +1,51 @@
+"""E4 -- Figure 1: the Spectre v1/v2 attack graph and its races."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_graph, race_report
+from repro.attacks import Nodes, get
+from repro.core import has_race
+
+
+def build_and_analyze():
+    graph = get("spectre_v1").build_graph()
+    return graph, graph.find_vulnerabilities()
+
+
+@pytest.mark.experiment("E4")
+def test_figure1_graph_structure(benchmark):
+    graph, vulnerabilities = benchmark(build_and_analyze)
+    print("\n" + ascii_graph(graph))
+    # The speculative window of Figure 1.
+    assert set(graph.speculative_window) == {Nodes.LOAD_S, Nodes.COMPUTE_R, Nodes.LOAD_R}
+    # The races the paper identifies between the authorization (branch
+    # resolution) and the speculated operations.
+    assert has_race(graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+    assert has_race(graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_R)
+    assert {v.dependency.protected for v in vulnerabilities} == {
+        Nodes.LOAD_S,
+        Nodes.COMPUTE_R,
+        Nodes.LOAD_R,
+    }
+
+
+@pytest.mark.experiment("E4")
+def test_figure1_covers_spectre_v2_and_rsb_variants(benchmark):
+    def build_family():
+        return {key: get(key).build_graph() for key in
+                ("spectre_v1", "spectre_v1_1", "spectre_v1_2", "spectre_v2", "spectre_rsb")}
+
+    graphs = benchmark(build_family)
+    for key, graph in graphs.items():
+        assert not graph.is_meltdown_type, key
+        assert has_race(graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S), key
+    print("\n" + race_report(graphs["spectre_v2"]))
+
+
+@pytest.mark.experiment("E4")
+def test_figure1_race_analysis_cost(benchmark):
+    graph = get("spectre_v1").build_graph()
+    races = benchmark(graph.find_races)
+    assert any({Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S} == set(r.as_pair()) for r in races)

@@ -1,0 +1,62 @@
+"""E5 -- Figure 2 and Theorem 1: TSG orderings, races and the race <=> no-path theorem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    figure2_example,
+    find_races,
+    has_race,
+    verify_theorem1,
+    witness_orderings,
+)
+
+
+@pytest.mark.experiment("E5")
+def test_figure2_orderings_match_the_paper(benchmark):
+    graph = figure2_example()
+
+    def check_orderings():
+        return (
+            graph.is_valid_ordering(list("ABCDEFG")),
+            graph.is_valid_ordering(list("ACEBDFG")),
+            graph.is_valid_ordering(list("ABDECFG")),
+            graph.count_orderings(),
+        )
+
+    valid1, valid2, invalid, count = benchmark(check_orderings)
+    print(f"\nFigure 2: {count} valid orderings")
+    assert valid1 and valid2 and not invalid
+    assert count > 2
+
+
+@pytest.mark.experiment("E5")
+def test_figure2_race_between_d_and_e(benchmark):
+    graph = figure2_example()
+    races = benchmark(lambda: find_races(graph))
+    pairs = {frozenset(race.as_pair()) for race in races}
+    print(f"\nFigure 2 racing pairs: {sorted(tuple(sorted(p)) for p in pairs)}")
+    assert frozenset({"D", "E"}) in pairs
+    witnesses = witness_orderings(graph, "D", "E")
+    assert witnesses is not None
+
+
+@pytest.mark.experiment("E5")
+def test_theorem1_exhaustive_verification(benchmark):
+    """Race by ordering-enumeration <=> no directed path, on the Figure 2 TSG."""
+    graph = figure2_example()
+    check = benchmark(lambda: verify_theorem1(graph))
+    assert check.holds
+    assert check.pairs_checked == 21
+
+
+@pytest.mark.experiment("E5")
+def test_theorem1_edge_insertion_removes_race(benchmark):
+    def insert_and_check():
+        graph = figure2_example()
+        graph.add_edge("E", "D")
+        return has_race(graph, "D", "E"), verify_theorem1(graph).holds
+
+    race_after, theorem_holds = benchmark(insert_and_check)
+    assert not race_after and theorem_holds

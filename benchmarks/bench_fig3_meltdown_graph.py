@@ -1,0 +1,47 @@
+"""E6 -- Figure 3: the Meltdown attack graph with intra-instruction micro-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_graph
+from repro.attacks import Nodes, get
+from repro.core import ExecutionLevel, has_race
+
+
+@pytest.mark.experiment("E6")
+def test_figure3_meltdown_graph(benchmark):
+    graph = benchmark(lambda: get("meltdown").build_graph())
+    print("\n" + ascii_graph(graph))
+    # Authorization and access are micro-ops of the same load instruction.
+    assert graph.is_meltdown_type
+    assert graph.operation(Nodes.PERMISSION_CHECK).level is ExecutionLevel.MICROARCHITECTURAL
+    assert Nodes.read_from("memory") in graph
+    # The race: the data read and the covert send can complete before the
+    # permission check resolves.
+    assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.read_from("memory"))
+    assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.LOAD_R)
+
+
+@pytest.mark.experiment("E6")
+def test_figure3_vs_figure1_granularity(benchmark):
+    """Insight 6: Meltdown-type graphs need intra-instruction vertices, Spectre-type do not."""
+
+    def classify():
+        meltdown = get("meltdown").build_graph()
+        spectre = get("spectre_v1").build_graph()
+        return meltdown.is_meltdown_type, spectre.is_meltdown_type
+
+    meltdown_micro, spectre_micro = benchmark(classify)
+    assert meltdown_micro and not spectre_micro
+
+
+@pytest.mark.experiment("E6")
+def test_figure3_foreshadow_variants_share_the_graph_shape(benchmark):
+    def build():
+        return [get(key).build_graph() for key in ("foreshadow", "foreshadow_os", "foreshadow_vmm")]
+
+    graphs = benchmark(build)
+    for graph in graphs:
+        assert Nodes.read_from("cache") in graph
+        assert graph.is_vulnerable()

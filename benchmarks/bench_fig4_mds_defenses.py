@@ -1,0 +1,80 @@
+"""E7 -- Figure 4: the unified faulting-load graph, its five secret sources,
+the four defense placements, and the insufficient-defense analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import FAULTING_LOAD_SOURCES, Nodes, build_faulting_load_graph, get
+from repro.defenses import (
+    apply_clear_predictions,
+    apply_prevent_access,
+    apply_prevent_send,
+    apply_prevent_use,
+    attack_succeeds,
+    insufficient_defense_demo,
+    leaking_sources,
+)
+
+
+@pytest.mark.experiment("E7")
+def test_figure4_five_secret_sources(benchmark):
+    graph = benchmark(
+        lambda: build_faulting_load_graph(name="figure4", sources=FAULTING_LOAD_SOURCES)
+    )
+    assert len(graph.secret_access_nodes) == 5
+    sources = leaking_sources(graph)
+    print(f"\nFigure 4 leaking sources: {[s[0] for s in sources]}")
+    assert len(sources) == 5  # every source is an independent leak path
+
+
+@pytest.mark.experiment("E7")
+def test_figure4_mds_variants_map_to_their_buffers(benchmark):
+    def build():
+        return {key: get(key).build_graph() for key in ("ridl", "zombieload", "fallout", "taa", "cacheout")}
+
+    graphs = benchmark(build)
+    assert Nodes.read_from("store buffer") in graphs["fallout"]
+    assert Nodes.read_from("line fill buffer") in graphs["zombieload"]
+    assert Nodes.read_from("load port") in graphs["ridl"]
+    for graph in graphs.values():
+        assert graph.is_vulnerable()
+
+
+@pytest.mark.experiment("E7")
+def test_figure4_defense_placements(benchmark):
+    """The four red-dashed placements of Figure 4: strategies 1-3 defeat the
+    attack; clearing predictions does not apply to faulting loads."""
+    graph = build_faulting_load_graph(name="figure4", sources=FAULTING_LOAD_SOURCES)
+
+    def evaluate_placements():
+        return {
+            "prevent_access": attack_succeeds(apply_prevent_access(graph)),
+            "prevent_use": attack_succeeds(apply_prevent_use(graph)),
+            "prevent_send": attack_succeeds(apply_prevent_send(graph)),
+            "clear_predictions": attack_succeeds(apply_clear_predictions(graph)),
+        }
+
+    outcomes = benchmark(evaluate_placements)
+    print(f"\nFigure 4 defense placements (True = still leaks): {outcomes}")
+    assert not outcomes["prevent_access"]
+    assert not outcomes["prevent_use"]
+    assert not outcomes["prevent_send"]
+    assert outcomes["clear_predictions"]  # no mis-training to clear
+
+
+@pytest.mark.experiment("E7")
+def test_figure4_insufficient_defense(benchmark):
+    """Section V-B: a fence only on the memory path is insufficient when the
+    secret can also be read from the L1 cache."""
+    report = benchmark(insufficient_defense_demo)
+    print(
+        "\nInsufficient defense demo: baseline leaks={0}, memory-only fence leaks={1}, "
+        "all-source fence leaks={2}, prevent-use leaks={3}".format(
+            report.baseline_leaks,
+            report.fenced_memory_only_leaks,
+            report.fenced_all_sources_leaks,
+            report.prevent_use_leaks,
+        )
+    )
+    assert report.reproduces_paper

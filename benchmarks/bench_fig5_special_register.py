@@ -1,0 +1,37 @@
+"""E8 -- Figure 5: special-register triggered attacks (Spectre v3a, LazyFP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import Nodes, get
+from repro.core import has_race
+from repro.defenses import apply_prevent_use, attack_succeeds
+from repro.exploits import run_lazy_fp, run_spectre_v3a
+
+
+@pytest.mark.experiment("E8")
+def test_figure5_graphs(benchmark):
+    def build():
+        return get("spectre_v3a").build_graph(), get("lazy_fp").build_graph()
+
+    v3a, lazy_fp = benchmark(build)
+    assert Nodes.read_from("special register") in v3a
+    assert Nodes.read_from("FPU") in lazy_fp
+    for graph in (v3a, lazy_fp):
+        assert graph.is_meltdown_type
+        assert has_race(graph, Nodes.AUTH_RESOLVED, graph.secret_access_nodes[0])
+        assert not attack_succeeds(apply_prevent_use(graph))
+
+
+@pytest.mark.experiment("E8")
+def test_figure5_simulated_register_leaks(benchmark):
+    """Both special-register attacks actually leak on the simulator."""
+
+    def run_both():
+        return run_spectre_v3a(), run_lazy_fp()
+
+    v3a_result, lazy_result = benchmark(run_both)
+    print(f"\n{v3a_result}\n{lazy_result}")
+    assert v3a_result.success
+    assert lazy_result.success

@@ -1,0 +1,43 @@
+"""E10 -- Figure 7: Load Value Injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import LVI_SOURCES, Nodes, build_lvi_graph, get
+from repro.core import has_race
+from repro.defenses import (
+    apply_prevent_access,
+    apply_prevent_send,
+    apply_prevent_use,
+    attack_succeeds,
+)
+
+
+@pytest.mark.experiment("E10")
+def test_figure7_graph_structure(benchmark):
+    graph = benchmark(lambda: get("lvi").build_graph())
+    # The attacker's planted value M can be forwarded from any of the buffers...
+    for source in LVI_SOURCES:
+        assert Nodes.read_m_from(source) in graph
+        assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.read_m_from(source))
+    # ...diverting the victim's flow, which then loads and sends the secret.
+    assert graph.has_path(Nodes.PLANT_BUFFER, Nodes.DIVERT)
+    assert graph.has_path(Nodes.DIVERT, Nodes.LOAD_R)
+    assert graph.is_vulnerable()
+
+
+@pytest.mark.experiment("E10")
+def test_figure7_defenses(benchmark):
+    graph = build_lvi_graph()
+
+    def evaluate():
+        return (
+            attack_succeeds(apply_prevent_access(graph)),
+            attack_succeeds(apply_prevent_use(graph)),
+            attack_succeeds(apply_prevent_send(graph)),
+        )
+
+    access_leaks, use_leaks, send_leaks = benchmark(evaluate)
+    print(f"\nLVI after defenses 1/2/3 still leaks: {access_leaks}/{use_leaks}/{send_leaks}")
+    assert not access_leaks and not use_leaks and not send_leaks

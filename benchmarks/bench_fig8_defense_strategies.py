@@ -1,0 +1,83 @@
+"""E11 -- Figure 8: the four defense strategies against branch-triggered attacks,
+and the full defense x attack evaluation matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import Nodes, get, variants
+from repro.core import has_race
+from repro.defenses import (
+    ALL_DEFENSES,
+    DefenseStrategy,
+    apply_clear_predictions,
+    apply_prevent_access,
+    apply_prevent_send,
+    apply_prevent_use,
+    attack_succeeds,
+    evaluate_matrix,
+    setup_neutralized,
+)
+
+
+@pytest.mark.experiment("E11")
+def test_figure8_four_placements_on_spectre(benchmark):
+    graph = get("spectre_v1").build_graph()
+
+    def evaluate():
+        return {
+            1: attack_succeeds(apply_prevent_access(graph)),
+            2: attack_succeeds(apply_prevent_use(graph)),
+            3: attack_succeeds(apply_prevent_send(graph)),
+            4: not setup_neutralized(apply_clear_predictions(graph)),
+        }
+
+    still_leaks = benchmark(evaluate)
+    print(f"\nFigure 8 placements (True = still leaks): {still_leaks}")
+    assert not any(still_leaks.values())
+
+
+@pytest.mark.experiment("E11")
+def test_figure8_strategy2_and_3_are_security_performance_tradeoffs(benchmark):
+    """Strategies 2 and 3 leave the access race open (better performance) but
+    still stop the leak -- the paper's 'relaxed' security dependency."""
+    graph = get("spectre_v1").build_graph()
+
+    def evaluate():
+        use_defended = apply_prevent_use(graph)
+        send_defended = apply_prevent_send(graph)
+        return (
+            has_race(use_defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S),
+            attack_succeeds(use_defended),
+            has_race(send_defended, Nodes.BRANCH_RESOLUTION, Nodes.COMPUTE_R),
+            attack_succeeds(send_defended),
+        )
+
+    access_race_open, use_leaks, use_race_open, send_leaks = benchmark(evaluate)
+    assert access_race_open and not use_leaks
+    assert use_race_open and not send_leaks
+
+
+@pytest.mark.experiment("E11")
+def test_full_defense_matrix(benchmark):
+    """Every catalogued defense, evaluated against every catalogued attack."""
+    matrix = benchmark(lambda: evaluate_matrix(ALL_DEFENSES, variants()))
+    assert len(matrix) == len(ALL_DEFENSES) * 19
+    effective = [evaluation for evaluation in matrix if evaluation.effective]
+    print(
+        f"\nDefense matrix: {len(matrix)} evaluations, {len(effective)} effective "
+        f"(defense applies and removes the leak)"
+    )
+    # Every attack is defeated by at least one defense, and every defense
+    # defeats at least one attack it targets.
+    attacks_defended = {evaluation.attack_key for evaluation in effective}
+    defenses_useful = {evaluation.defense_key for evaluation in effective}
+    assert len(attacks_defended) == 19
+    assert len(defenses_useful) == len(ALL_DEFENSES)
+    # Spot checks the paper makes explicitly.
+    verdict = {(e.defense_key, e.attack_key): e.effective for e in matrix}
+    assert verdict[("lfence", "spectre_v1")]
+    assert verdict[("kpti", "meltdown")]
+    assert not verdict[("kpti", "foreshadow")]
+    assert not verdict[("ibpb", "meltdown")]
+    assert verdict[("stt", "lvi")]

@@ -1,0 +1,79 @@
+"""E12 -- Figure 9: the attack-graph construction tool on Listings 1 and 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphtool import analyze_program, patch_program
+from repro.isa import assemble
+
+LISTING1 = """
+.data
+probe_array:  address=0x1000000 size=1048576 shared
+victim_array: address=0x200000  size=16
+victim_size:  address=0x210000  size=8
+secret:       address=0x200048  size=1 protected
+.text
+    clflush [probe_array]
+    mov rdx, 0x48
+    cmp rdx, [victim_size]
+    ja done
+    mov rax, byte [victim_array + rdx]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+done:
+    hlt
+"""
+
+LISTING2 = """
+.data
+probe_array:   address=0x1000000  size=1048576 shared
+kernel_secret: address=0xffff0000 size=64 kernel protected
+.text
+    clflush [probe_array]
+    mov rax, byte [kernel_secret]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+    hlt
+"""
+
+
+@pytest.mark.experiment("E12")
+def test_figure9_listing1_analysis(benchmark):
+    program = assemble(LISTING1, name="listing1")
+    report = benchmark(lambda: analyze_program(program))
+    print("\n" + report.summary())
+    assert report.vulnerable
+    assert not report.is_meltdown_type  # left branch of Figure 9
+    assert report.access_findings and report.send_findings
+    assert all(finding.software_patchable for finding in report.findings)
+
+
+@pytest.mark.experiment("E12")
+def test_figure9_listing2_analysis(benchmark):
+    program = assemble(LISTING2, name="listing2")
+    report = benchmark(lambda: analyze_program(program))
+    print("\n" + report.summary())
+    assert report.vulnerable
+    assert report.is_meltdown_type  # right branch of Figure 9: micro-op modelling
+    assert all(not finding.software_patchable for finding in report.findings)
+
+
+@pytest.mark.experiment("E12")
+def test_figure9_patching_listing1(benchmark):
+    program = assemble(LISTING1, name="listing1")
+    result = benchmark(lambda: patch_program(program))
+    print("\n" + result.summary())
+    assert result.fences_inserted
+    assert result.report_before.vulnerable
+    assert not result.report_after.vulnerable
+
+
+@pytest.mark.experiment("E12")
+def test_figure9_safe_program_is_not_flagged(benchmark):
+    safe = assemble(
+        ".data\npublic: address=0x1000 size=8\n.text\nmov rax, [public]\nadd rax, 1\nhlt",
+        name="safe",
+    )
+    report = benchmark(lambda: analyze_program(safe))
+    assert not report.vulnerable

@@ -1,0 +1,51 @@
+"""E14 -- Listing 2 end to end: Meltdown on the simulator, with defense ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exploits import defense_ablation, run_foreshadow, run_meltdown, run_mds
+from repro.uarch import SimDefense, UarchConfig
+
+
+@pytest.mark.experiment("E14")
+def test_listing2_leaks_kernel_memory(benchmark):
+    result = benchmark(run_meltdown)
+    print(f"\n{result}")
+    assert result.success
+    assert result.stats.faults == 1
+    assert result.stats.faults_suppressed == 1
+
+
+@pytest.mark.experiment("E14")
+def test_listing2_defense_ablation(benchmark):
+    rows = benchmark(lambda: defense_ablation("meltdown"))
+    print("\nMeltdown defense ablation:")
+    for row in rows:
+        print(f"  {row.defense_name:45s} [{row.strategy_name:40s}] "
+              f"{'LEAKS' if row.leaked else 'defeated'}")
+    outcome = {row.defense: row.leaked for row in rows}
+    assert outcome[None] is True
+    assert outcome[SimDefense.KERNEL_ISOLATION] is False
+    assert outcome[SimDefense.PREVENT_SPECULATIVE_LOADS] is False
+    assert outcome[SimDefense.NO_SPECULATIVE_FORWARDING] is False
+    assert outcome[SimDefense.INVISIBLE_SPECULATION] is False
+    # Defenses that do not address Meltdown leave it leaking.
+    assert outcome[SimDefense.FLUSH_PREDICTORS] is True
+    assert outcome[SimDefense.NO_STORE_BYPASS] is True
+
+
+@pytest.mark.experiment("E14")
+def test_listing2_kpti_false_sense_of_security(benchmark):
+    """Section V-B: KPTI stops baseline Meltdown but neither Foreshadow (L1TF)
+    nor the MDS attacks, because the secret no longer comes from memory."""
+    config = UarchConfig().with_defenses(SimDefense.KERNEL_ISOLATION)
+
+    def run_triplet():
+        return run_meltdown(config), run_foreshadow(config), run_mds(config)
+
+    meltdown_result, foreshadow_result, mds_result = benchmark(run_triplet)
+    print(f"\nUnder KPTI: {meltdown_result}; {foreshadow_result}; {mds_result}")
+    assert not meltdown_result.success
+    assert foreshadow_result.success
+    assert mds_result.success

@@ -1,0 +1,100 @@
+"""E15 -- Section II-C: the cache covert channel taxonomy and channel fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels import (
+    CacheCollisionChannel,
+    CacheTimingSurface,
+    EvictTimeChannel,
+    FlushReloadChannel,
+    PrimeProbeChannel,
+    taxonomy_rows,
+)
+from repro.uarch import SetAssociativeCache
+
+
+def make_cache() -> SetAssociativeCache:
+    return SetAssociativeCache(sets=64, ways=8, line_size=64, hit_latency=4, miss_latency=200)
+
+
+@pytest.mark.experiment("E15")
+def test_taxonomy(benchmark):
+    rows = benchmark(taxonomy_rows)
+    print("\nSection II-C channel taxonomy:")
+    for row in rows:
+        print(f"  {row[0]:15s} signal={row[1]:4s} granularity={row[2]:9s} shared-memory={row[3]}")
+    assert len(rows) == 4
+
+
+@pytest.mark.experiment("E15")
+def test_flush_reload_transmits_every_byte(benchmark):
+    """Hit + access based channel: the paper's default covert channel."""
+
+    def transmit_all():
+        cache = make_cache()
+        channel = FlushReloadChannel(CacheTimingSurface(cache), 0x100_0000, entries=256)
+        return sum(1 for value in range(0, 256, 16) if channel.transmit(value).value == value)
+
+    correct = benchmark(transmit_all)
+    assert correct == 16
+
+
+@pytest.mark.experiment("E15")
+def test_flush_reload_timing_separation(benchmark):
+    """Hits and misses are separated by a wide timing margin."""
+
+    def measure():
+        cache = make_cache()
+        channel = FlushReloadChannel(CacheTimingSurface(cache), 0x100_0000, entries=64)
+        channel.prepare()
+        channel.send(17)
+        latencies = channel.measure()
+        return latencies[17], max(latencies)
+
+    hit_latency, miss_latency = benchmark(measure)
+    print(f"\nFlush+Reload: hit={hit_latency} cycles, miss={miss_latency} cycles")
+    assert hit_latency < miss_latency / 10
+
+
+@pytest.mark.experiment("E15")
+def test_prime_probe_transmits_set_indices(benchmark):
+    """Miss + access based channel: no shared memory required."""
+
+    def transmit_all():
+        cache = make_cache()
+        channel = PrimeProbeChannel(cache)
+        return sum(1 for value in range(0, 64, 8) if channel.transmit(value).value == value)
+
+    correct = benchmark(transmit_all)
+    assert correct == 8
+
+
+@pytest.mark.experiment("E15")
+def test_evict_time_and_collision_channels(benchmark):
+    """Operation-based channels: Evict+Time (miss) and cache collision (hit)."""
+
+    def run_both():
+        cache = make_cache()
+        victim_address = 0x5000
+        evict_channel = EvictTimeChannel(
+            cache, lambda: cache.access(victim_address, partition=0).latency
+        )
+        evict_hit = evict_channel.receive().value == cache.set_index(victim_address)
+
+        cache2 = make_cache()
+        secret = 21
+        table = 0x9000
+        collision_channel = CacheCollisionChannel(
+            cache2,
+            lambda: cache2.access(table + secret * 64, partition=0).latency,
+            table_base=table,
+            entries=64,
+            stride=64,
+        )
+        collision_hit = collision_channel.receive().value == secret
+        return evict_hit, collision_hit
+
+    evict_hit, collision_hit = benchmark(run_both)
+    assert evict_hit and collision_hit

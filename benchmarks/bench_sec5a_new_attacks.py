@@ -1,0 +1,57 @@
+"""E16 -- Section V-A: finding new attacks by combining the three attack dimensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+    enumerate_attack_space,
+    novel_combinations,
+    published_combinations,
+)
+
+
+@pytest.mark.experiment("E16")
+def test_attack_space_enumeration(benchmark):
+    space = benchmark(lambda: list(enumerate_attack_space()))
+    expected = len(SecretSource) * len(DelayMechanism) * len(CovertChannelKind)
+    print(
+        f"\nAttack space: {len(space)} combinations "
+        f"({len(SecretSource)} sources x {len(DelayMechanism)} delays x "
+        f"{len(CovertChannelKind)} channels)"
+    )
+    assert len(space) == expected
+
+
+@pytest.mark.experiment("E16")
+def test_novel_combinations_dominate_the_space(benchmark):
+    novel = benchmark(novel_combinations)
+    published = published_combinations()
+    print(
+        f"\nPublished combinations: {len(published)}; unexplored candidate attacks: {len(novel)}"
+    )
+    assert len(published) < 25
+    assert len(novel) > 500  # the space of new attacks is vast -- the paper's point
+
+
+@pytest.mark.experiment("E16")
+def test_sampled_new_attacks_yield_vulnerable_graphs(benchmark):
+    """Every new combination produces an attack graph with a missing security
+    dependency -- i.e. a real candidate attack."""
+    sample = novel_combinations(
+        sources=[SecretSource.STORE_BUFFER, SecretSource.FPU_REGISTERS, SecretSource.L1_CACHE],
+        delays=[DelayMechanism.CONDITIONAL_BRANCH, DelayMechanism.TSX_ABORT],
+        channels=[CovertChannelKind.PRIME_PROBE, CovertChannelKind.FUNCTIONAL_UNIT],
+    )
+
+    def build_all():
+        return [attack.build_graph() for attack in sample]
+
+    graphs = benchmark(build_all)
+    assert graphs
+    assert all(graph.is_vulnerable() for graph in graphs)
+    for attack in sample[:4]:
+        print("\n" + attack.describe())

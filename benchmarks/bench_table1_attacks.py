@@ -1,0 +1,38 @@
+"""E1 -- Table I: speculative attacks, their CVEs and impacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import table1
+from repro.attacks import registry
+
+
+@pytest.mark.experiment("E1")
+def test_table1_regeneration(benchmark):
+    rows = benchmark(registry.table1_rows)
+    assert len(rows) == 13
+    names = [row[0] for row in rows]
+    assert names[0] == "Spectre v1"
+    assert "Meltdown (Spectre v3)" in names
+    assert "Spoiler" in names
+    cves = {row[0]: row[1] for row in rows}
+    assert cves["Spectre v1"] == "CVE-2017-5753"
+    assert cves["Meltdown (Spectre v3)"] == "CVE-2017-5754"
+    assert cves["Foreshadow (L1 Terminal Fault)"] == "CVE-2018-3615"
+
+
+@pytest.mark.experiment("E1")
+def test_table1_rendering(benchmark):
+    text = benchmark(table1)
+    print("\n" + text)
+    assert len(text.splitlines()) == 15  # header + separator + 13 rows
+    assert "Boundary check bypass" in text
+    assert "Virtual-to-physical" in text
+
+
+@pytest.mark.experiment("E1")
+def test_table1_attack_graphs_all_build(benchmark):
+    graphs = benchmark(registry.build_all_graphs)
+    assert len(graphs) == 19
+    assert all(graph.is_vulnerable() for graph in graphs.values())

@@ -1,0 +1,42 @@
+"""E2 -- Table II: industrial defenses and the strategy each falls under."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import defense_strategy_table, table2
+from repro.defenses import (
+    ALL_DEFENSES,
+    INDUSTRY_DEFENSES,
+    DefenseStrategy,
+    table2_rows,
+)
+
+
+@pytest.mark.experiment("E2")
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2_rows)
+    assert len(rows) == len(INDUSTRY_DEFENSES) == 15
+    by_name = {row[2]: row for row in rows}
+    assert by_name["LFence"][0] == "Spectre"
+    assert "Meltdown" in by_name["Kernel Page Table Isolation (KPTI)"][0]
+    assert "Spectre RSB" in by_name["RSB stuffing"][0]
+    assert "Spectre v4" in by_name["Speculative Store Bypass Safe (SSBS)"][0]
+
+
+@pytest.mark.experiment("E2")
+def test_table2_rendering(benchmark):
+    text = benchmark(table2)
+    print("\n" + text)
+    assert "Indirect Branch Prediction Barrier" in text
+    assert "Coarse address masking" in text
+
+
+@pytest.mark.experiment("E2")
+def test_every_defense_falls_under_one_of_the_four_strategies(benchmark):
+    """The paper's claim (insight 3), for industry and academia together."""
+    text = benchmark(defense_strategy_table)
+    print("\n" + text)
+    strategies = {defense.strategy for defense in ALL_DEFENSES}
+    assert strategies == set(DefenseStrategy)
+    assert len(ALL_DEFENSES) == 29

@@ -1,0 +1,47 @@
+"""E3 -- Table III: authorization and illegal-access nodes of every variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import table3
+from repro.attacks import ALL_VARIANTS, registry
+
+
+@pytest.mark.experiment("E3")
+def test_table3_regeneration(benchmark):
+    rows = benchmark(registry.table3_rows)
+    assert len(rows) == 18
+    by_name = {row[0]: (row[1], row[2]) for row in rows}
+    assert by_name["Spectre v1"] == (
+        "Boundary-check branch resolution",
+        "Read out-of-bounds memory",
+    )
+    assert by_name["Spectre v2"][1] == "Execute code not intended to be executed"
+    assert by_name["Meltdown (Spectre v3)"] == ("Kernel privilege check", "Read from kernel memory")
+    assert by_name["Lazy FP"] == ("FPU owner check", "Read stale FPU state")
+    assert by_name["RIDL"][1] == "Forward data from fill buffer and load port"
+    assert by_name["Cacheout"][0] == "TSX Asynchronous Abort Completion"
+
+
+@pytest.mark.experiment("E3")
+def test_table3_rendering(benchmark):
+    text = benchmark(table3)
+    print("\n" + text)
+    assert "Store-load address dependency resolution" in text
+    assert "Page permission check" in text
+
+
+@pytest.mark.experiment("E3")
+def test_every_variant_graph_has_authorization_and_access_vertices(benchmark):
+    def check():
+        results = {}
+        for key, variant in ALL_VARIANTS.items():
+            graph = variant.build_graph()
+            results[key] = (graph.authorization_nodes, graph.secret_access_nodes)
+        return results
+
+    results = benchmark(check)
+    for key, (authorizations, accesses) in results.items():
+        assert authorizations, key
+        assert accesses, key

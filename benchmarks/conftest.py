@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's tables, figures or
+listings (see DESIGN.md's experiment index E1-E16 and EXPERIMENTS.md for the
+recorded outcomes).  Benchmarks both *assert* the qualitative result the
+paper reports (who wins, which defense works, which race exists) and measure
+how long the corresponding analysis takes with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): mark a benchmark with its experiment id (E1-E16)"
+    )

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The Section V-C tool: construct attack graphs from code, find and patch races.
+
+Feeds the paper's Listing 1 (Spectre v1) and Listing 2 (Meltdown) -- written
+in the library's tiny assembly dialect -- through the Figure 9 flow:
+
+* decide whether the program needs architecture-level or micro-architecture
+  level modelling,
+* build the attack graph from the program's existing dependencies,
+* report every missing security dependency (race), and
+* patch the software-patchable ones by inserting an ``lfence``.
+"""
+
+from repro.analysis import ascii_graph
+from repro.graphtool import analyze_program, patch_program
+from repro.isa import assemble
+
+LISTING1 = """
+; Listing 1 -- Spectre v1: bounds check bypass with a Flush+Reload channel
+.data
+probe_array:  address=0x1000000 size=1048576 shared
+victim_array: address=0x200000  size=16
+victim_size:  address=0x210000  size=8
+secret:       address=0x200048  size=1 protected
+.text
+    clflush [probe_array]              ; establish the covert channel
+    mov rdx, 0x48                      ; attacker-controlled index (out of bounds)
+    cmp rdx, [victim_size]             ; authorization: array bounds check
+    ja done
+    mov rax, byte [victim_array + rdx] ; illegal access (Load S)
+    shl rax, 12                        ; use the secret
+    mov rbx, [probe_array + rax]       ; send: secret-indexed cache fill
+done:
+    hlt
+"""
+
+LISTING2 = """
+; Listing 2 -- Meltdown: read kernel memory from user mode
+.data
+probe_array:   address=0x1000000  size=1048576 shared
+kernel_secret: address=0xffff0000 size=64 kernel protected
+.text
+    clflush [probe_array]
+    mov rax, byte [kernel_secret]      ; authorization and access in one instruction
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+    hlt
+"""
+
+
+def analyze(name: str, text: str) -> None:
+    print("=" * 72)
+    print(f"Analyzing {name}")
+    print("=" * 72)
+    program = assemble(text, name=name)
+    print(program.listing())
+
+    report = analyze_program(program)
+    print()
+    print(report.summary())
+    print()
+    print(ascii_graph(report.build.graph))
+
+    patch = patch_program(program)
+    print()
+    print(patch.summary())
+    if patch.fences_inserted:
+        print("\nPatched program:")
+        print(patch.patched.listing())
+    print()
+
+
+def main() -> None:
+    analyze("listing1-spectre-v1", LISTING1)
+    analyze("listing2-meltdown", LISTING2)
+    print("Note: Listing 2's races are between micro-ops of one load instruction,")
+    print("so no software fence can be placed between them -- the tool reports them")
+    print("as requiring a hardware defense (or unmapping, as KPTI does).")
+
+
+if __name__ == "__main__":
+    main()

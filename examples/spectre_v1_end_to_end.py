@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Spectre v1 end to end on the microarchitectural simulator (Listing 1).
+
+Runs the full six-step attack of Section III on the simulated out-of-order
+core: mis-train the bounds-check branch, flush the probe array and the bound,
+let the victim speculate out of bounds, and recover the secret byte through
+the Flush+Reload covert channel.  Then repeats the attack under each
+simulator defense to show which defense strategies stop it.
+"""
+
+from repro.exploits import defense_ablation, run_spectre_v1
+from repro.uarch import DEFENSE_STRATEGY, SimDefense
+
+
+def main() -> None:
+    secret = 0x42
+    print("=" * 72)
+    print("Spectre v1 (Listing 1) on the speculative out-of-order simulator")
+    print("=" * 72)
+
+    result = run_spectre_v1(secret=secret)
+    print(f"planted secret byte:    {result.secret:#04x}")
+    print(f"recovered via channel:  "
+          f"{result.recovered:#04x}" if result.recovered is not None else "nothing")
+    print(f"attack successful:      {result.success}")
+    print(f"speculative windows:    {result.stats.speculative_windows}")
+    print(f"transient instructions: {result.stats.transient_instructions}")
+    print(f"pipeline squashes:      {result.stats.squashes}")
+
+    hot = [value for value, latency in enumerate(result.latencies) if latency < 80]
+    print(f"probe entries that hit in the cache: {[hex(v) for v in hot]}")
+
+    print("\nDefense ablation (the paper's four strategies, implemented in hardware):")
+    print(f"{'defense':48s} {'paper strategy':42s} outcome")
+    print("-" * 100)
+    for row in defense_ablation("spectre_v1", secret=secret):
+        outcome = "still LEAKS" if row.leaked else "defeated"
+        print(f"{row.defense_name:48s} {row.strategy_name:42s} {outcome}")
+
+    print("\nTakeaway: any single security dependency -- before the access (fences,")
+    print("masking), before the use (NDA/ConTExT), or before the send (InvisiSpec,")
+    print("CleanupSpec, DAWG) -- stops the leak; so does clearing the predictor.")
+    print("Defenses aimed elsewhere (KPTI, SSBB) do not help against Spectre v1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro -- attack-graph models for speculative execution attacks.
+
+A reproduction of *"New Models for Understanding and Reasoning about
+Speculative Execution Attacks"* (He, Hu, Lee -- HPCA 2021) as a Python
+library:
+
+* :mod:`repro.core` -- Topological Sort Graphs, race conditions (Theorem 1),
+  security dependencies, and typed attack graphs.
+* :mod:`repro.attacks` -- attack graphs for every published variant
+  (Tables I and III; Figures 1, 3-7) and the Section V-A attack-space
+  generator.
+* :mod:`repro.defenses` -- the four defense strategies, the industry and
+  academic defense catalog (Table II), and defense evaluation.
+* :mod:`repro.isa` / :mod:`repro.graphtool` -- a tiny assembly-like ISA and
+  the Section V-C tool that constructs attack graphs from programs, finds
+  missing security dependencies, and patches them.
+* :mod:`repro.uarch` / :mod:`repro.channels` / :mod:`repro.exploits` -- an
+  out-of-order speculative pipeline simulator, cache covert channels, and
+  end-to-end Spectre/Meltdown exploits that actually leak (and are actually
+  stopped by the modelled defenses).
+* :mod:`repro.analysis` -- regeneration of the paper's tables and graph
+  rendering.
+"""
+
+from . import analysis, attacks, channels, core, defenses, exploits, graphtool, isa, uarch
+from .core import (
+    AttackGraph,
+    AttackStep,
+    Dependency,
+    DependencyKind,
+    Operation,
+    OperationType,
+    ProtectionPoint,
+    Race,
+    SecurityDependency,
+    TopologicalSortGraph,
+    find_races,
+    has_race,
+    missing_security_dependencies,
+    verify_theorem1,
+)
+from .defenses import DefenseStrategy, attack_succeeds, evaluate_defense
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackGraph",
+    "AttackStep",
+    "Dependency",
+    "DependencyKind",
+    "DefenseStrategy",
+    "Operation",
+    "OperationType",
+    "ProtectionPoint",
+    "Race",
+    "SecurityDependency",
+    "TopologicalSortGraph",
+    "analysis",
+    "attacks",
+    "attack_succeeds",
+    "channels",
+    "core",
+    "defenses",
+    "evaluate_defense",
+    "exploits",
+    "graphtool",
+    "isa",
+    "uarch",
+    "find_races",
+    "has_race",
+    "missing_security_dependencies",
+    "verify_theorem1",
+    "__version__",
+]

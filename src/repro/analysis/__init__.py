@@ -1,0 +1,27 @@
+"""Reporting: regenerate the paper's tables and render attack graphs."""
+
+from .render import ascii_graph, dot_graph, race_report
+from .report import attack_section, defense_matrix_section, full_report
+from .tables import (
+    classification_table,
+    defense_strategy_table,
+    format_table,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ascii_graph",
+    "attack_section",
+    "classification_table",
+    "defense_matrix_section",
+    "defense_strategy_table",
+    "dot_graph",
+    "format_table",
+    "full_report",
+    "race_report",
+    "table1",
+    "table2",
+    "table3",
+]

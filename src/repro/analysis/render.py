@@ -1,0 +1,55 @@
+"""Rendering of attack graphs: ASCII summaries and Graphviz DOT."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.attack_graph import AttackGraph
+from ..core.nodes import OperationType
+
+_TYPE_MARKERS = {
+    OperationType.SETUP: "[setup]",
+    OperationType.AUTHORIZATION: "[authorization]",
+    OperationType.RESOLUTION: "[authorization resolved]",
+    OperationType.SECRET_ACCESS: "[secret access]",
+    OperationType.USE: "[use]",
+    OperationType.SEND: "[send]",
+    OperationType.RECEIVE: "[receive]",
+    OperationType.SQUASH_OR_COMMIT: "[squash/commit]",
+    OperationType.OTHER: "",
+}
+
+
+def ascii_graph(graph: AttackGraph) -> str:
+    """A topologically ordered ASCII rendering of an attack graph."""
+    order = graph.topological_order()
+    position = {name: index for index, name in enumerate(order)}
+    lines: List[str] = [f"Attack graph: {graph.name}"]
+    for name in order:
+        operation = graph.operation(name)
+        marker = _TYPE_MARKERS.get(operation.op_type, "")
+        spec = " (speculative)" if operation.speculative else ""
+        lines.append(f"  {position[name]:2d}. {name} {marker}{spec}".rstrip())
+        for dep in graph.edges:
+            if dep.target == name:
+                lines.append(f"        <- {dep.source}  [{dep.kind.value}]")
+    return "\n".join(lines)
+
+
+def dot_graph(graph: AttackGraph) -> str:
+    """Graphviz DOT rendering (delegates to the TSG exporter)."""
+    return graph.to_dot()
+
+
+def race_report(graph: AttackGraph) -> str:
+    """A report of all races and missing security dependencies in a graph."""
+    lines = [f"Race report for {graph.name}"]
+    races = graph.find_races()
+    lines.append(f"  total racing pairs: {len(races)}")
+    vulnerabilities = graph.find_vulnerabilities()
+    if vulnerabilities:
+        lines.append("  missing security dependencies:")
+        lines.extend(f"    - {vulnerability.dependency}" for vulnerability in vulnerabilities)
+    else:
+        lines.append("  no missing security dependencies (attack defeated)")
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Full-report generation: one Markdown document covering the whole model.
+
+:func:`full_report` regenerates the paper's tables, summarises every attack
+graph (its authorization / access / send nodes and missing security
+dependencies), and records the defense-evaluation matrix.  It is what the
+``repro report`` CLI command prints, and it gives downstream users a single
+artifact to diff when they extend the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..attacks import ALL_VARIANTS, AttackVariant, variants
+from ..defenses import ALL_DEFENSES, Defense, evaluate_matrix
+from .tables import defense_strategy_table, format_table, table1, table2, table3
+
+
+def attack_section(variant: AttackVariant) -> str:
+    """A Markdown section describing one attack variant and its graph."""
+    graph = variant.build_graph()
+    vulnerabilities = graph.find_vulnerabilities()
+    lines = [
+        f"### {variant.name}",
+        "",
+        f"* key: `{variant.key}`",
+        f"* CVE: {variant.cve or 'N/A'}",
+        f"* impact: {variant.impact}",
+        f"* category: {variant.category.value}"
+        + (" (intra-instruction micro-ops)" if variant.is_meltdown_type else ""),
+        f"* authorization: {variant.authorization}",
+        f"* illegal access: {variant.illegal_access}",
+        f"* secret source: {variant.secret_source.value}",
+        f"* speculation trigger: {variant.delay_mechanism.value}",
+        f"* graph: {len(graph)} vertices, {len(graph.edges)} edges, "
+        f"{len(graph.speculative_window)} in the speculative window",
+        "* missing security dependencies:",
+    ]
+    lines.extend(f"  * {vulnerability.dependency}" for vulnerability in vulnerabilities)
+    return "\n".join(lines)
+
+
+def defense_matrix_section(
+    defenses: Optional[Sequence[Defense]] = None,
+    attacks: Optional[Sequence[AttackVariant]] = None,
+) -> str:
+    """A Markdown table of the defense x attack evaluation."""
+    chosen_defenses = list(defenses) if defenses is not None else list(ALL_DEFENSES)
+    chosen_attacks = list(attacks) if attacks is not None else variants()
+    matrix = evaluate_matrix(chosen_defenses, chosen_attacks)
+    verdict = {(e.defense_key, e.attack_key): e for e in matrix}
+    headers = ["Defense"] + [attack.key for attack in chosen_attacks]
+    rows: List[List[str]] = []
+    for defense in chosen_defenses:
+        row = [defense.name]
+        for attack in chosen_attacks:
+            evaluation = verdict[(defense.key, attack.key)]
+            if not evaluation.applicable:
+                row.append("-")
+            elif evaluation.effective:
+                row.append("defeats")
+            else:
+                row.append("leaks")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def full_report(include_matrix: bool = True) -> str:
+    """The complete Markdown report."""
+    sections = [
+        "# Speculative execution attack-graph model — full report",
+        "",
+        "## Table I — speculative attacks and their variants",
+        "",
+        "```",
+        table1(),
+        "```",
+        "",
+        "## Table II — industrial defenses",
+        "",
+        "```",
+        table2(),
+        "```",
+        "",
+        "## Table III — authorization and illegal-access nodes",
+        "",
+        "```",
+        table3(),
+        "```",
+        "",
+        "## Defense strategy mapping (industry + academia)",
+        "",
+        "```",
+        defense_strategy_table(),
+        "```",
+        "",
+        "## Attack graphs",
+        "",
+    ]
+    for variant in ALL_VARIANTS.values():
+        sections.append(attack_section(variant))
+        sections.append("")
+    if include_matrix:
+        sections.extend(
+            [
+                "## Defense x attack evaluation",
+                "",
+                "```",
+                defense_matrix_section(),
+                "```",
+                "",
+            ]
+        )
+    return "\n".join(sections)

@@ -1,0 +1,78 @@
+"""Regeneration of the paper's tables from the attack and defense catalogs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..attacks import registry
+from ..defenses import ALL_DEFENSES, INDUSTRY_DEFENSES, DefenseStrategy
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    widths = [len(str(headers[i])) for i in range(columns)]
+    for row in rows:
+        for i in range(columns):
+            widths[i] = max(widths[i], len(str(row[i])))
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(str(row[i]).ljust(widths[i]) for i in range(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_row(headers), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def table1() -> str:
+    """Table I: speculative attacks and their variants (attack, CVE, impact)."""
+    return format_table(
+        ("Attack", "CVE", "Impact"),
+        registry.table1_rows(),
+    )
+
+
+def table2() -> str:
+    """Table II: industrial defenses against speculative attacks."""
+    rows = [
+        (defense.table2_category, _strategy_label(defense.strategy), defense.name)
+        for defense in INDUSTRY_DEFENSES
+    ]
+    return format_table(("Attack", "Defense strategy", "Defense"), rows)
+
+
+def table3() -> str:
+    """Table III: authorization and illegal-access nodes of every attack variant."""
+    return format_table(
+        ("Attack", "Authorization", "Illegal Access"),
+        registry.table3_rows(),
+    )
+
+
+def _strategy_label(strategy: DefenseStrategy) -> str:
+    return f"S{strategy.figure8_number}: {strategy.value}"
+
+
+def defense_strategy_table() -> str:
+    """All catalogued defenses (industry + academia) with their strategy mapping.
+
+    Reproduces the paper's claim that every proposed defense falls under one
+    of the four strategies (Section V-B / insight 3).
+    """
+    rows: List[Tuple[str, str, str]] = [
+        (defense.name, defense.origin.value, _strategy_label(defense.strategy))
+        for defense in ALL_DEFENSES
+    ]
+    return format_table(("Defense", "Origin", "Strategy"), rows)
+
+
+def classification_table() -> str:
+    """Spectre-type vs Meltdown-type classification of every variant (insight 6)."""
+    rows = [
+        (
+            variant.name,
+            variant.category.value,
+            "intra-instruction micro-ops" if variant.is_meltdown_type else "inter-instruction",
+        )
+        for variant in registry.variants()
+    ]
+    return format_table(("Attack", "Category", "Graph granularity"), rows)

@@ -1,0 +1,65 @@
+"""Catalog of speculative execution attacks modelled as attack graphs."""
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import (
+    FAULTING_LOAD_SOURCES,
+    LVI_SOURCES,
+    Nodes,
+    build_branch_speculation_graph,
+    build_faulting_load_graph,
+    build_lvi_graph,
+    build_special_register_graph,
+    build_store_bypass_graph,
+)
+from .generator import (
+    SynthesizedAttack,
+    enumerate_attack_space,
+    novel_combinations,
+    published_combinations,
+)
+from .registry import (
+    ALL_VARIANTS,
+    build_all_graphs,
+    get,
+    keys,
+    meltdown_type,
+    spectre_type,
+    table1_rows,
+    table3_rows,
+    variants,
+)
+
+__all__ = [
+    "ALL_VARIANTS",
+    "AttackCategory",
+    "AttackVariant",
+    "CovertChannelKind",
+    "DelayMechanism",
+    "FAULTING_LOAD_SOURCES",
+    "LVI_SOURCES",
+    "Nodes",
+    "SecretSource",
+    "SynthesizedAttack",
+    "build_all_graphs",
+    "build_branch_speculation_graph",
+    "build_faulting_load_graph",
+    "build_lvi_graph",
+    "build_special_register_graph",
+    "build_store_bypass_graph",
+    "enumerate_attack_space",
+    "get",
+    "keys",
+    "meltdown_type",
+    "novel_combinations",
+    "published_combinations",
+    "spectre_type",
+    "table1_rows",
+    "table3_rows",
+    "variants",
+]

@@ -1,0 +1,124 @@
+"""Attack variant metadata and classification.
+
+Every published speculative execution attack is described by an
+:class:`AttackVariant`: its CVE and impact (Table I), its authorization and
+illegal-access operations (Table III), its classification along the paper's
+three attack dimensions (Section V-A: secret source, delay mechanism, covert
+channel), and a builder that produces its attack graph (Figures 1, 3-7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..core.attack_graph import AttackGraph
+
+
+class AttackCategory(enum.Enum):
+    """Spectre-type vs Meltdown-type (insight 6 of Section VI).
+
+    Spectre-type attacks separate authorization and access into different
+    instructions, so an instruction-level (inter-instruction) graph suffices.
+    Meltdown-type attacks perform authorization and access inside the *same*
+    instruction, so the graph must include intra-instruction micro-ops.
+    """
+
+    SPECTRE_TYPE = "spectre-type"
+    MELTDOWN_TYPE = "meltdown-type"
+
+
+class SecretSource(enum.Enum):
+    """Where the transiently accessed secret comes from (Section V-A, dim. 1)."""
+
+    MAIN_MEMORY = "main memory"
+    L1_CACHE = "L1 data cache"
+    LOAD_PORT = "load port"
+    LINE_FILL_BUFFER = "line fill buffer"
+    STORE_BUFFER = "store buffer"
+    STALE_MEMORY = "stale data in memory"
+    SPECIAL_REGISTER = "system/special register"
+    FPU_REGISTERS = "FPU register state"
+    OUT_OF_BOUNDS_MEMORY = "out-of-bounds user memory"
+    READ_ONLY_MEMORY = "read-only memory"
+    WRONG_CODE = "unintended code execution"
+    ADDRESS_MAPPING = "virtual-to-physical address mapping"
+
+
+class DelayMechanism(enum.Enum):
+    """Hardware feature whose delay opens the speculation window (dim. 2)."""
+
+    CONDITIONAL_BRANCH = "conditional branch resolution"
+    INDIRECT_BRANCH = "indirect branch target resolution"
+    RETURN_ADDRESS = "return address resolution"
+    PAGE_PERMISSION_CHECK = "page permission check"
+    KERNEL_PRIVILEGE_CHECK = "kernel privilege check"
+    MSR_PRIVILEGE_CHECK = "RDMSR privilege check"
+    ADDRESS_DISAMBIGUATION = "store-load address disambiguation"
+    FPU_OWNER_CHECK = "FPU owner check"
+    LOAD_FAULT_CHECK = "load fault check"
+    TSX_ABORT = "TSX asynchronous abort completion"
+    PAGE_READONLY_CHECK = "page read-only bit check"
+    PHYSICAL_ADDRESS_CONFLICT = "speculative load hazard resolution"
+
+
+class CovertChannelKind(enum.Enum):
+    """Covert channel used to exfiltrate the secret (dim. 3)."""
+
+    FLUSH_RELOAD = "Flush+Reload cache channel"
+    PRIME_PROBE = "Prime+Probe cache channel"
+    EVICT_TIME = "Evict+Time cache channel"
+    CACHE_COLLISION = "cache-collision channel"
+    MEMORY_BUS = "memory bus contention channel"
+    FUNCTIONAL_UNIT = "functional unit contention channel"
+    BTB = "branch target buffer channel"
+
+
+@dataclass(frozen=True)
+class AttackVariant:
+    """One published speculative execution attack variant."""
+
+    key: str
+    name: str
+    cve: Optional[str]
+    impact: str
+    authorization: str
+    illegal_access: str
+    category: AttackCategory
+    secret_source: SecretSource
+    delay_mechanism: DelayMechanism
+    channel: CovertChannelKind = CovertChannelKind.FLUSH_RELOAD
+    aliases: Tuple[str, ...] = ()
+    year: int = 2018
+    reference: str = ""
+    graph_builder: Optional[Callable[[], AttackGraph]] = field(
+        default=None, compare=False, hash=False
+    )
+    #: ``True`` for the 13 first-published attacks of Table I.
+    in_table1: bool = True
+
+    def build_graph(self) -> AttackGraph:
+        """Construct this variant's attack graph."""
+        if self.graph_builder is None:
+            raise NotImplementedError(f"no graph builder registered for {self.key}")
+        graph = self.graph_builder()
+        graph.description = graph.description or self.name
+        return graph
+
+    @property
+    def is_meltdown_type(self) -> bool:
+        return self.category is AttackCategory.MELTDOWN_TYPE
+
+    @property
+    def table1_row(self) -> Tuple[str, str, str]:
+        """(attack, CVE, impact) -- one row of Table I."""
+        return (self.name, self.cve or "N/A", self.impact)
+
+    @property
+    def table3_row(self) -> Tuple[str, str, str]:
+        """(attack, authorization, illegal access) -- one row of Table III."""
+        return (self.name, self.authorization, self.illegal_access)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} ({self.cve or 'no CVE'})"

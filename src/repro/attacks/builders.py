@@ -1,0 +1,470 @@
+"""Attack-graph builders for the paper's figures.
+
+Each builder constructs the attack graph of one figure:
+
+* :func:`build_branch_speculation_graph` -- Figure 1 (Spectre v1/v1.1/v1.2/v2/RSB),
+* :func:`build_faulting_load_graph` -- Figures 3 and 4 (Meltdown, Foreshadow,
+  RIDL, ZombieLoad, Fallout, TAA, CacheOut), with one secret-access vertex per
+  micro-architectural secret source,
+* :func:`build_special_register_graph` -- Figure 5 (Spectre v3a, LazyFP),
+* :func:`build_store_bypass_graph` -- Figure 6 (Spectre v4),
+* :func:`build_lvi_graph` -- Figure 7 (Load Value Injection).
+
+Vertex names follow the figures so that reports, defenses and tests can refer
+to them (:class:`Nodes`).  All builders produce graphs with the race between
+the authorization-resolution vertex and the speculative access / use / send
+vertices -- the missing security dependencies the paper identifies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.attack_graph import AttackGraph
+from ..core.edges import DependencyKind
+from ..core.nodes import AttackStep, ExecutionLevel, OperationType
+
+
+class Nodes:
+    """Canonical vertex names used across the attack graphs."""
+
+    FLUSH = "Flush Array_A"
+    MISTRAIN = "Mistrain predictor"
+    PLANT_BUFFER = "Place malicious value M in hardware buffers"
+    BRANCH = "Conditional/Indirect branch instruction"
+    BRANCH_RESOLUTION = "Branch resolution"
+    LOAD_INSTRUCTION = "Load instruction"
+    REGISTER_ACCESS = "Register access instruction"
+    STORE = "Store S"
+    PERMISSION_CHECK = "Load permission check"
+    DISAMBIGUATION = "Memory address disambiguation"
+    AUTH_RESOLVED = "Authorization resolved"
+    SQUASH = "Squash or commit"
+    LOAD_S = "Load S"
+    READ_S = "Read S"
+    COMPUTE_R = "Compute load address R"
+    LOAD_R = "Load R to cache"
+    DIVERT = "Victim's control or data flow diverted by M"
+    RELOAD = "Reload Array_A"
+    MEASURE = "Measure time"
+
+    @staticmethod
+    def read_from(source: str) -> str:
+        """Vertex name for reading the secret from a given micro-architectural source."""
+        return f"Read S from {source}"
+
+    @staticmethod
+    def read_m_from(source: str) -> str:
+        """Vertex name for reading the injected value M from a given source (LVI)."""
+        return f"Read M from {source}"
+
+
+def _add_receiver_side(graph: AttackGraph, *, after_send: str, after_window: str) -> None:
+    """Add the covert-channel receiver vertices (steps 1a and 5) shared by all graphs."""
+    graph.add_step(
+        Nodes.RELOAD,
+        OperationType.RECEIVE,
+        AttackStep.RECEIVE,
+        description="Receiver reloads every entry of Array_A",
+        after=[Nodes.FLUSH, after_send, after_window],
+    )
+    graph.add_step(
+        Nodes.MEASURE,
+        OperationType.RECEIVE,
+        AttackStep.RECEIVE,
+        description="Receiver measures access times and picks the fast (hit) entry",
+        after=[Nodes.RELOAD],
+        kind=DependencyKind.DATA,
+    )
+
+
+def _add_sender_send_chain(
+    graph: AttackGraph, *, secret_nodes: Sequence[str], speculative: bool = True
+) -> None:
+    """Add the Use (Compute R) and Send (Load R) vertices fed by the secret accesses."""
+    graph.add_step(
+        Nodes.COMPUTE_R,
+        OperationType.USE,
+        AttackStep.USE_AND_SEND,
+        speculative=speculative,
+        description="Transform the secret into the probe address R = Array_A + S*4K",
+    )
+    for secret in secret_nodes:
+        graph.add_edge(secret, Nodes.COMPUTE_R, kind=DependencyKind.DATA)
+    graph.add_step(
+        Nodes.LOAD_R,
+        OperationType.SEND,
+        AttackStep.USE_AND_SEND,
+        speculative=speculative,
+        description="Fetch Array_A[S*4K]: cache-line state change encodes the secret",
+        after=[Nodes.COMPUTE_R],
+        kind=DependencyKind.ADDRESS,
+    )
+
+
+def build_branch_speculation_graph(
+    name: str = "spectre-v1",
+    *,
+    branch_label: str = "bounds-check conditional branch",
+    access_label: str = "read out-of-bounds memory",
+    mistrain: bool = True,
+) -> AttackGraph:
+    """Figure 1: attacks triggered by a (conditional or indirect) branch.
+
+    Authorization is the *branch resolution*; the speculative window holds the
+    illegal access ``Load S``, the use ``Compute load address R`` and the send
+    ``Load R to cache``, all of which race with the resolution.
+    """
+    graph = AttackGraph(name=name, description=f"Figure 1 graph for {name}")
+    graph.add_step(
+        Nodes.FLUSH,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Receiver flushes the shared probe array (Flush+Reload setup)",
+    )
+    setup_for_branch = []
+    if mistrain:
+        graph.add_step(
+            Nodes.MISTRAIN,
+            OperationType.SETUP,
+            AttackStep.SETUP,
+            description="Attacker mis-trains the branch predictor / BTB / RSB",
+        )
+        setup_for_branch.append(Nodes.MISTRAIN)
+    graph.add_step(
+        Nodes.BRANCH,
+        OperationType.AUTHORIZATION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description=f"Delayed authorization: {branch_label}",
+        after=setup_for_branch,
+        kind=DependencyKind.PROGRAM_ORDER,
+    )
+    graph.add_step(
+        Nodes.BRANCH_RESOLUTION,
+        OperationType.RESOLUTION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Branch resolution: authorization completes (correct flow known)",
+        after=[Nodes.BRANCH],
+        kind=DependencyKind.DATA,
+    )
+    graph.add_step(
+        Nodes.LOAD_S,
+        OperationType.SECRET_ACCESS,
+        AttackStep.SECRET_ACCESS,
+        speculative=True,
+        description=f"Illegal access: {access_label}",
+        after=[Nodes.BRANCH],
+        kind=DependencyKind.CONTROL,
+    )
+    _add_sender_send_chain(graph, secret_nodes=[Nodes.LOAD_S])
+    graph.add_step(
+        Nodes.SQUASH,
+        OperationType.SQUASH_OR_COMMIT,
+        None,
+        description="Mis-speculation squashes architectural state; cache state survives",
+        after=[Nodes.BRANCH_RESOLUTION],
+    )
+    _add_receiver_side(graph, after_send=Nodes.LOAD_R, after_window=Nodes.SQUASH)
+    return graph
+
+
+#: Secret sources of Figure 4 and the vertex name each one maps to.
+FAULTING_LOAD_SOURCES = (
+    "memory",
+    "cache",
+    "load port",
+    "line fill buffer",
+    "store buffer",
+)
+
+
+def build_faulting_load_graph(
+    name: str = "meltdown",
+    *,
+    sources: Iterable[str] = ("memory",),
+    permission_check_label: str = "kernel privilege check",
+    access_label: str = "read from kernel memory",
+) -> AttackGraph:
+    """Figures 3 and 4: attacks triggered by a faulting load instruction.
+
+    Authorization and access live inside the *same* load instruction, so the
+    graph contains intra-instruction micro-op vertices: the permission/fault
+    check, the authorization resolution, and one ``Read S from <source>``
+    vertex per micro-architectural secret source (memory, cache, load port,
+    line fill buffer, store buffer).
+    """
+    graph = AttackGraph(name=name, description=f"Figure 3/4 graph for {name}")
+    graph.add_step(
+        Nodes.FLUSH,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Receiver flushes the shared probe array (Flush+Reload setup)",
+    )
+    graph.add_step(
+        Nodes.LOAD_INSTRUCTION,
+        OperationType.OTHER,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="The faulting load instruction (authorization and access in one)",
+    )
+    graph.add_step(
+        Nodes.PERMISSION_CHECK,
+        OperationType.AUTHORIZATION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description=f"Delayed authorization micro-op: {permission_check_label}",
+        after=[Nodes.LOAD_INSTRUCTION],
+        kind=DependencyKind.MICROARCH,
+    )
+    graph.add_step(
+        Nodes.AUTH_RESOLVED,
+        OperationType.RESOLUTION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description="Authorization resolved (permission check completes)",
+        after=[Nodes.PERMISSION_CHECK],
+        kind=DependencyKind.MICROARCH,
+    )
+    secret_nodes = []
+    for source in sources:
+        node = Nodes.read_from(source)
+        graph.add_step(
+            node,
+            OperationType.SECRET_ACCESS,
+            AttackStep.SECRET_ACCESS,
+            speculative=True,
+            level=ExecutionLevel.MICROARCHITECTURAL,
+            description=f"Illegal access: {access_label} ({source})",
+            after=[Nodes.LOAD_INSTRUCTION],
+            kind=DependencyKind.MICROARCH,
+        )
+        secret_nodes.append(node)
+    _add_sender_send_chain(graph, secret_nodes=secret_nodes)
+    graph.add_step(
+        Nodes.SQUASH,
+        OperationType.SQUASH_OR_COMMIT,
+        None,
+        description="Load exception raised: pipeline squashed; cache state survives",
+        after=[Nodes.AUTH_RESOLVED],
+    )
+    _add_receiver_side(graph, after_send=Nodes.LOAD_R, after_window=Nodes.SQUASH)
+    return graph
+
+
+def build_special_register_graph(
+    name: str = "spectre-v3a",
+    *,
+    source: str = "special register",
+    permission_check_label: str = "RDMSR privilege check",
+) -> AttackGraph:
+    """Figure 5: attacks whose secret source is a special register or the FPU state."""
+    graph = AttackGraph(name=name, description=f"Figure 5 graph for {name}")
+    graph.add_step(
+        Nodes.FLUSH,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Receiver flushes the shared probe array (Flush+Reload setup)",
+    )
+    graph.add_step(
+        Nodes.REGISTER_ACCESS,
+        OperationType.OTHER,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="The register-access instruction (authorization and access in one)",
+    )
+    graph.add_step(
+        Nodes.PERMISSION_CHECK,
+        OperationType.AUTHORIZATION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description=f"Delayed authorization micro-op: {permission_check_label}",
+        after=[Nodes.REGISTER_ACCESS],
+        kind=DependencyKind.MICROARCH,
+    )
+    graph.add_step(
+        Nodes.AUTH_RESOLVED,
+        OperationType.RESOLUTION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description="Authorization resolved (permission / owner check completes)",
+        after=[Nodes.PERMISSION_CHECK],
+        kind=DependencyKind.MICROARCH,
+    )
+    read_node = Nodes.read_from(source)
+    graph.add_step(
+        read_node,
+        OperationType.SECRET_ACCESS,
+        AttackStep.SECRET_ACCESS,
+        speculative=True,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description=f"Illegal access: read stale/privileged state from the {source}",
+        after=[Nodes.REGISTER_ACCESS],
+        kind=DependencyKind.MICROARCH,
+    )
+    _add_sender_send_chain(graph, secret_nodes=[read_node])
+    graph.add_step(
+        Nodes.SQUASH,
+        OperationType.SQUASH_OR_COMMIT,
+        None,
+        description="(Illegal access) squash; cache state survives",
+        after=[Nodes.AUTH_RESOLVED],
+    )
+    _add_receiver_side(graph, after_send=Nodes.LOAD_R, after_window=Nodes.SQUASH)
+    return graph
+
+
+def build_store_bypass_graph(name: str = "spectre-v4") -> AttackGraph:
+    """Figure 6: the memory-disambiguation (store-to-load bypass) attack.
+
+    The authorization is address disambiguation: the load must not read stale
+    data until the hardware knows its address differs from every older store
+    still sitting in the store buffer.
+    """
+    graph = AttackGraph(name=name, description="Figure 6 graph for Spectre v4")
+    graph.add_step(
+        Nodes.FLUSH,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Receiver flushes the shared probe array (Flush+Reload setup)",
+    )
+    graph.add_step(
+        Nodes.STORE,
+        OperationType.OTHER,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Older store whose address is not yet known (sits in store buffer)",
+    )
+    graph.add_step(
+        Nodes.LOAD_INSTRUCTION,
+        OperationType.OTHER,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Younger load to (possibly) the same address",
+        after=[Nodes.STORE],
+        kind=DependencyKind.PROGRAM_ORDER,
+    )
+    graph.add_step(
+        Nodes.DISAMBIGUATION,
+        OperationType.AUTHORIZATION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Delayed authorization: store-load address disambiguation",
+        after=[Nodes.STORE, Nodes.LOAD_INSTRUCTION],
+        kind=DependencyKind.MICROARCH,
+    )
+    graph.add_step(
+        Nodes.AUTH_RESOLVED,
+        OperationType.RESOLUTION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Authorization resolved: the load's true source is known",
+        after=[Nodes.DISAMBIGUATION],
+        kind=DependencyKind.MICROARCH,
+    )
+    graph.add_step(
+        Nodes.READ_S,
+        OperationType.SECRET_ACCESS,
+        AttackStep.SECRET_ACCESS,
+        speculative=True,
+        description="Illegal access: the load speculatively reads stale data S",
+        after=[Nodes.LOAD_INSTRUCTION],
+        kind=DependencyKind.MICROARCH,
+    )
+    _add_sender_send_chain(graph, secret_nodes=[Nodes.READ_S])
+    graph.add_step(
+        Nodes.SQUASH,
+        OperationType.SQUASH_OR_COMMIT,
+        None,
+        description="(Illegal access) squash on disambiguation mis-prediction",
+        after=[Nodes.AUTH_RESOLVED],
+    )
+    _add_receiver_side(graph, after_send=Nodes.LOAD_R, after_window=Nodes.SQUASH)
+    return graph
+
+
+#: Buffers an LVI attacker can poison (Figure 7).
+LVI_SOURCES = ("cache", "load port", "line fill buffer", "store buffer")
+
+
+def build_lvi_graph(name: str = "lvi", *, sources: Iterable[str] = LVI_SOURCES) -> AttackGraph:
+    """Figure 7: Load Value Injection.
+
+    The attacker plants a malicious value M in a micro-architectural buffer;
+    the victim's faulting load transiently forwards M, diverting the victim's
+    own control or data flow, which then leaks the victim's secret S.
+    """
+    graph = AttackGraph(name=name, description="Figure 7 graph for Load Value Injection")
+    graph.add_step(
+        Nodes.FLUSH,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Receiver flushes the shared probe array (Flush+Reload setup)",
+    )
+    graph.add_step(
+        Nodes.PLANT_BUFFER,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Attacker plants malicious value M in micro-architectural buffers",
+    )
+    graph.add_step(
+        Nodes.LOAD_INSTRUCTION,
+        OperationType.OTHER,
+        AttackStep.DELAYED_AUTHORIZATION,
+        description="Victim's faulting load instruction",
+        after=[Nodes.PLANT_BUFFER],
+        kind=DependencyKind.PROGRAM_ORDER,
+    )
+    graph.add_step(
+        Nodes.PERMISSION_CHECK,
+        OperationType.AUTHORIZATION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description="Delayed authorization micro-op: load fault check",
+        after=[Nodes.LOAD_INSTRUCTION],
+        kind=DependencyKind.MICROARCH,
+    )
+    graph.add_step(
+        Nodes.AUTH_RESOLVED,
+        OperationType.RESOLUTION,
+        AttackStep.DELAYED_AUTHORIZATION,
+        level=ExecutionLevel.MICROARCHITECTURAL,
+        description="Authorization resolved (fault detected)",
+        after=[Nodes.PERMISSION_CHECK],
+        kind=DependencyKind.MICROARCH,
+    )
+    injection_nodes = []
+    for source in sources:
+        node = Nodes.read_m_from(source)
+        graph.add_step(
+            node,
+            OperationType.SECRET_ACCESS,
+            AttackStep.SECRET_ACCESS,
+            speculative=True,
+            level=ExecutionLevel.MICROARCHITECTURAL,
+            description=f"Illegal access: forward malicious value M from the {source}",
+            after=[Nodes.LOAD_INSTRUCTION],
+            kind=DependencyKind.MICROARCH,
+        )
+        injection_nodes.append(node)
+    graph.add_step(
+        Nodes.DIVERT,
+        OperationType.USE,
+        AttackStep.USE_AND_SEND,
+        speculative=True,
+        description="Victim's control or data flow diverted by the injected value M",
+    )
+    for node in injection_nodes:
+        graph.add_edge(node, Nodes.DIVERT, kind=DependencyKind.DATA)
+    graph.add_step(
+        Nodes.LOAD_S,
+        OperationType.SECRET_ACCESS,
+        AttackStep.SECRET_ACCESS,
+        speculative=True,
+        description="Diverted victim code loads its own secret S",
+        after=[Nodes.DIVERT],
+        kind=DependencyKind.CONTROL,
+    )
+    _add_sender_send_chain(graph, secret_nodes=[Nodes.LOAD_S])
+    graph.add_step(
+        Nodes.SQUASH,
+        OperationType.SQUASH_OR_COMMIT,
+        None,
+        description="(Illegal access) squash; cache state survives",
+        after=[Nodes.AUTH_RESOLVED],
+    )
+    _add_receiver_side(graph, after_send=Nodes.LOAD_R, after_window=Nodes.SQUASH)
+    return graph

@@ -1,0 +1,34 @@
+"""Load Value Injection (Figure 7)."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import build_lvi_graph
+
+LVI = AttackVariant(
+    key="lvi",
+    name="LVI",
+    cve="CVE-2020-0551",
+    impact="Hijack transient execution by injecting attacker data into victim loads",
+    authorization="Load fault check",
+    illegal_access=(
+        "Forward data from micro-architectural buffers "
+        "(L1D cache, load port, store buffer and line fill buffer)"
+    ),
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.LINE_FILL_BUFFER,
+    delay_mechanism=DelayMechanism.LOAD_FAULT_CHECK,
+    year=2020,
+    reference="Van Bulck et al., IEEE S&P 2020",
+    in_table1=False,
+    graph_builder=partial(build_lvi_graph, name="lvi"),
+)
+
+LVI_VARIANTS = (LVI,)

@@ -1,0 +1,87 @@
+"""Micro-architectural Data Sampling (MDS) attack variants (Figure 4).
+
+RIDL, ZombieLoad and Fallout all exploit a faulting load that aggressively
+forwards stale data from micro-architectural buffers.  They differ only in
+which buffer the secret comes from: load port and line fill buffer (RIDL),
+line fill buffer (ZombieLoad), store buffer (Fallout).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import build_faulting_load_graph
+
+RIDL = AttackVariant(
+    key="ridl",
+    name="RIDL",
+    cve="CVE-2018-12130",
+    impact="Rogue in-flight data load across privilege boundaries",
+    authorization="Load fault check",
+    illegal_access="Forward data from fill buffer and load port",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.LINE_FILL_BUFFER,
+    delay_mechanism=DelayMechanism.LOAD_FAULT_CHECK,
+    year=2019,
+    reference="Van Schaik et al., IEEE S&P 2019",
+    in_table1=False,
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="ridl",
+        sources=("load port", "line fill buffer"),
+        permission_check_label="load fault check",
+        access_label="forward in-flight data",
+    ),
+)
+
+ZOMBIELOAD = AttackVariant(
+    key="zombieload",
+    name="ZombieLoad",
+    cve="CVE-2018-12130",
+    impact="Cross-privilege-boundary data sampling",
+    authorization="Load fault check",
+    illegal_access="Forward data from fill buffer",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.LINE_FILL_BUFFER,
+    delay_mechanism=DelayMechanism.LOAD_FAULT_CHECK,
+    year=2019,
+    reference="Schwarz et al., CCS 2019",
+    in_table1=False,
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="zombieload",
+        sources=("line fill buffer",),
+        permission_check_label="load fault check",
+        access_label="forward stale fill-buffer data",
+    ),
+)
+
+FALLOUT = AttackVariant(
+    key="fallout",
+    name="Fallout",
+    cve="CVE-2018-12126",
+    impact="Leak data from store buffer on Meltdown-resistant CPUs",
+    authorization="Load fault check",
+    illegal_access="Forward data from store buffer",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.STORE_BUFFER,
+    delay_mechanism=DelayMechanism.LOAD_FAULT_CHECK,
+    year=2019,
+    reference="Canella et al., CCS 2019",
+    in_table1=False,
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="fallout",
+        sources=("store buffer",),
+        permission_check_label="load fault check",
+        access_label="forward stale store-buffer data",
+    ),
+)
+
+MDS_VARIANTS = (RIDL, ZOMBIELOAD, FALLOUT)

@@ -1,0 +1,104 @@
+"""Meltdown-type attack variants triggered by a faulting memory load.
+
+Covers Meltdown itself and the Foreshadow / L1-Terminal-Fault family, which
+all use the Figure 3/4 graph with different secret sources and different
+permission checks that are bypassed transiently.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import build_faulting_load_graph
+
+MELTDOWN = AttackVariant(
+    key="meltdown",
+    name="Meltdown (Spectre v3)",
+    cve="CVE-2017-5754",
+    impact="Kernel content leakage to unprivileged attacker",
+    authorization="Kernel privilege check",
+    illegal_access="Read from kernel memory",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.MAIN_MEMORY,
+    delay_mechanism=DelayMechanism.KERNEL_PRIVILEGE_CHECK,
+    year=2018,
+    reference="Lipp et al., USENIX Security 2018",
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="meltdown",
+        sources=("memory",),
+        permission_check_label="kernel privilege (supervisor bit) check",
+        access_label="read kernel memory",
+    ),
+)
+
+FORESHADOW = AttackVariant(
+    key="foreshadow",
+    name="Foreshadow (L1 Terminal Fault)",
+    cve="CVE-2018-3615",
+    impact="SGX enclave memory leakage",
+    authorization="Page permission check",
+    illegal_access="Read enclave data in L1 cache from outside enclave",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.L1_CACHE,
+    delay_mechanism=DelayMechanism.PAGE_PERMISSION_CHECK,
+    year=2018,
+    reference="Van Bulck et al., USENIX Security 2018",
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="foreshadow",
+        sources=("cache",),
+        permission_check_label="page present/reserved bit check (terminal fault)",
+        access_label="read SGX enclave data from the L1 data cache",
+    ),
+)
+
+FORESHADOW_OS = AttackVariant(
+    key="foreshadow_os",
+    name="Foreshadow-OS",
+    cve="CVE-2018-3620",
+    impact="OS memory leakage",
+    authorization="Page permission check",
+    illegal_access="Read kernel data in cache",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.L1_CACHE,
+    delay_mechanism=DelayMechanism.PAGE_PERMISSION_CHECK,
+    year=2018,
+    reference="Weisse et al., 2018",
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="foreshadow-os",
+        sources=("cache",),
+        permission_check_label="page present bit check (terminal fault)",
+        access_label="read OS kernel data from the L1 data cache",
+    ),
+)
+
+FORESHADOW_VMM = AttackVariant(
+    key="foreshadow_vmm",
+    name="Foreshadow-VMM",
+    cve="CVE-2018-3646",
+    impact="VMM memory leakage",
+    authorization="Page permission check",
+    illegal_access="Read VMM data in cache",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.L1_CACHE,
+    delay_mechanism=DelayMechanism.PAGE_PERMISSION_CHECK,
+    year=2018,
+    reference="Weisse et al., 2018",
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="foreshadow-vmm",
+        sources=("cache",),
+        permission_check_label="extended page table (EPT) permission check",
+        access_label="read hypervisor data from the L1 data cache",
+    ),
+)
+
+MELTDOWN_VARIANTS = (MELTDOWN, FORESHADOW, FORESHADOW_OS, FORESHADOW_VMM)

@@ -1,0 +1,107 @@
+"""Registry of all modelled attack variants (Tables I and III).
+
+The registry is the single source of truth from which the reporting layer
+regenerates Table I (the 13 first-published attacks, their CVEs and impacts)
+and Table III (the authorization node and illegal-access node of every
+variant, including the newer MDS / LVI / TSX attacks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import AttackCategory, AttackVariant
+from .lvi import LVI_VARIANTS
+from .mds import MDS_VARIANTS
+from .meltdown import MELTDOWN_VARIANTS
+from .special_register import SPECIAL_REGISTER_VARIANTS
+from .spectre import SPECTRE_VARIANTS
+from .tsx import TSX_VARIANTS
+
+#: Every variant, in the order of the paper's Table III (with Spoiler, which
+#: only appears in Table I, appended at the end).
+_TABLE_ORDER: Tuple[str, ...] = (
+    "spectre_v1",
+    "spectre_v1_1",
+    "spectre_v1_2",
+    "spectre_v2",
+    "meltdown",
+    "spectre_v3a",
+    "spectre_v4",
+    "spectre_rsb",
+    "foreshadow",
+    "foreshadow_os",
+    "foreshadow_vmm",
+    "lazy_fp",
+    "ridl",
+    "zombieload",
+    "fallout",
+    "lvi",
+    "taa",
+    "cacheout",
+    "spoiler",
+)
+
+_ALL: Tuple[AttackVariant, ...] = (
+    SPECTRE_VARIANTS
+    + MELTDOWN_VARIANTS
+    + SPECIAL_REGISTER_VARIANTS
+    + MDS_VARIANTS
+    + LVI_VARIANTS
+    + TSX_VARIANTS
+)
+
+ALL_VARIANTS: Dict[str, AttackVariant] = {
+    key: next(variant for variant in _ALL if variant.key == key) for key in _TABLE_ORDER
+}
+
+
+def variants(category: Optional[AttackCategory] = None) -> List[AttackVariant]:
+    """All registered variants, optionally filtered by category."""
+    result = list(ALL_VARIANTS.values())
+    if category is not None:
+        result = [variant for variant in result if variant.category is category]
+    return result
+
+
+def get(key: str) -> AttackVariant:
+    """Look up a variant by key (e.g. ``"spectre_v1"``)."""
+    try:
+        return ALL_VARIANTS[key]
+    except KeyError as exc:
+        known = ", ".join(sorted(ALL_VARIANTS))
+        raise KeyError(f"unknown attack variant {key!r}; known variants: {known}") from exc
+
+
+def keys() -> List[str]:
+    """All registered variant keys in table order."""
+    return list(ALL_VARIANTS)
+
+
+def spectre_type() -> List[AttackVariant]:
+    """Variants whose authorization and access are in different instructions."""
+    return variants(AttackCategory.SPECTRE_TYPE)
+
+
+def meltdown_type() -> List[AttackVariant]:
+    """Variants whose authorization and access are in the same instruction."""
+    return variants(AttackCategory.MELTDOWN_TYPE)
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """(attack, CVE, impact) rows of Table I -- the 13 first-published attacks."""
+    return [variant.table1_row for variant in ALL_VARIANTS.values() if variant.in_table1]
+
+
+def table3_rows() -> List[Tuple[str, str, str]]:
+    """(attack, authorization, illegal access) rows of Table III."""
+    return [
+        variant.table3_row
+        for variant in ALL_VARIANTS.values()
+        if variant.key != "spoiler"
+    ]
+
+
+def build_all_graphs() -> Dict[str, "object"]:
+    """Build the attack graph of every registered variant, keyed by variant key."""
+    return {key: variant.build_graph() for key, variant in ALL_VARIANTS.items()}

@@ -1,0 +1,55 @@
+"""Special-register attack variants (Figure 5): Spectre v3a and LazyFP."""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import build_special_register_graph
+
+SPECTRE_V3A = AttackVariant(
+    key="spectre_v3a",
+    name="Meltdown variant1 (Spectre v3a)",
+    cve="CVE-2018-3640",
+    impact="System register value leakage to unprivileged attacker",
+    authorization="RDMSR instruction privilege check",
+    illegal_access="Read system register",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.SPECIAL_REGISTER,
+    delay_mechanism=DelayMechanism.MSR_PRIVILEGE_CHECK,
+    year=2018,
+    reference="CVE-2018-3640",
+    graph_builder=partial(
+        build_special_register_graph,
+        name="spectre-v3a",
+        source="special register",
+        permission_check_label="RDMSR supervisor privilege check",
+    ),
+)
+
+LAZY_FP = AttackVariant(
+    key="lazy_fp",
+    name="Lazy FP",
+    cve="CVE-2018-3665",
+    impact="Leak of FPU state",
+    authorization="FPU owner check",
+    illegal_access="Read stale FPU state",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.FPU_REGISTERS,
+    delay_mechanism=DelayMechanism.FPU_OWNER_CHECK,
+    year=2018,
+    reference="Stecklina and Prescher, 2018",
+    graph_builder=partial(
+        build_special_register_graph,
+        name="lazy-fp",
+        source="FPU",
+        permission_check_label="lazy FPU context ownership check",
+    ),
+)
+
+SPECIAL_REGISTER_VARIANTS = (SPECTRE_V3A, LAZY_FP)

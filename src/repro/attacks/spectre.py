@@ -1,0 +1,171 @@
+"""Spectre-type attack variants (inter-instruction authorization).
+
+Covers Spectre v1, v1.1, v1.2, v2, Spectre-RSB (all modelled by the Figure 1
+graph) and Spectre v4 / Spectre-STL (modelled by the Figure 6 graph), plus
+Spoiler which leaks address-mapping information through speculative load
+hazards.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import (
+    build_branch_speculation_graph,
+    build_store_bypass_graph,
+)
+
+SPECTRE_V1 = AttackVariant(
+    key="spectre_v1",
+    name="Spectre v1",
+    cve="CVE-2017-5753",
+    impact="Boundary check bypass",
+    authorization="Boundary-check branch resolution",
+    illegal_access="Read out-of-bounds memory",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.OUT_OF_BOUNDS_MEMORY,
+    delay_mechanism=DelayMechanism.CONDITIONAL_BRANCH,
+    year=2018,
+    reference="Kocher et al., IEEE S&P 2019",
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spectre-v1",
+        branch_label="array bounds check (conditional branch)",
+        access_label="read out-of-bounds memory",
+    ),
+)
+
+SPECTRE_V1_1 = AttackVariant(
+    key="spectre_v1_1",
+    name="Spectre v1.1",
+    cve="CVE-2018-3693",
+    impact="Speculative buffer overflow",
+    authorization="Boundary-check branch resolution",
+    illegal_access="Write out-of-bounds memory",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.OUT_OF_BOUNDS_MEMORY,
+    delay_mechanism=DelayMechanism.CONDITIONAL_BRANCH,
+    year=2018,
+    reference="Kiriansky and Waldspurger, 2018",
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spectre-v1.1",
+        branch_label="array bounds check (conditional branch)",
+        access_label="write out-of-bounds memory (speculative buffer overflow)",
+    ),
+)
+
+SPECTRE_V1_2 = AttackVariant(
+    key="spectre_v1_2",
+    name="Spectre v1.2",
+    cve=None,
+    impact="Overwrite read-only memory",
+    authorization="Page read-only bit check",
+    illegal_access="Write read-only memory",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.READ_ONLY_MEMORY,
+    delay_mechanism=DelayMechanism.PAGE_READONLY_CHECK,
+    year=2018,
+    reference="Kiriansky and Waldspurger, 2018",
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spectre-v1.2",
+        branch_label="page read-only permission check",
+        access_label="write to read-only memory",
+    ),
+)
+
+SPECTRE_V2 = AttackVariant(
+    key="spectre_v2",
+    name="Spectre v2",
+    cve="CVE-2017-5715",
+    impact="Branch target injection",
+    authorization="Indirect branch target resolution",
+    illegal_access="Execute code not intended to be executed",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.WRONG_CODE,
+    delay_mechanism=DelayMechanism.INDIRECT_BRANCH,
+    year=2018,
+    reference="Kocher et al., IEEE S&P 2019",
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spectre-v2",
+        branch_label="indirect branch target computation",
+        access_label="execute an attacker-chosen gadget that reads the secret",
+    ),
+)
+
+SPECTRE_RSB = AttackVariant(
+    key="spectre_rsb",
+    name="Spectre RSB",
+    cve="CVE-2018-15572",
+    impact="Return mis-predict, execute wrong code",
+    authorization="Return target resolution",
+    illegal_access="Execute code not intended to be executed",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.WRONG_CODE,
+    delay_mechanism=DelayMechanism.RETURN_ADDRESS,
+    year=2018,
+    reference="Koruyeh et al., WOOT 2018",
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spectre-rsb",
+        branch_label="return address resolution (return stack buffer)",
+        access_label="execute an attacker-chosen gadget that reads the secret",
+    ),
+)
+
+SPECTRE_V4 = AttackVariant(
+    key="spectre_v4",
+    name="Spectre v4",
+    cve="CVE-2018-3639",
+    impact="Speculative store bypass, read stale data in memory",
+    authorization="Store-load address dependency resolution",
+    illegal_access="Read stale data",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.STALE_MEMORY,
+    delay_mechanism=DelayMechanism.ADDRESS_DISAMBIGUATION,
+    year=2018,
+    reference="Microsoft/Project Zero, 2018",
+    graph_builder=partial(build_store_bypass_graph, name="spectre-v4"),
+)
+
+SPOILER = AttackVariant(
+    key="spoiler",
+    name="Spoiler",
+    cve="CVE-2019-0162",
+    impact="Virtual-to-physical address mapping leakage",
+    authorization="Physical address conflict resolution for speculative loads",
+    illegal_access="Observe timing of speculative load hazards (address mapping)",
+    category=AttackCategory.SPECTRE_TYPE,
+    secret_source=SecretSource.ADDRESS_MAPPING,
+    delay_mechanism=DelayMechanism.PHYSICAL_ADDRESS_CONFLICT,
+    channel=CovertChannelKind.MEMORY_BUS,
+    year=2019,
+    reference="Islam et al., USENIX Security 2019",
+    in_table1=True,
+    graph_builder=partial(
+        build_branch_speculation_graph,
+        name="spoiler",
+        branch_label="speculative load hazard (physical address conflict) resolution",
+        access_label="observe dependency-resolution timing revealing page mappings",
+        mistrain=False,
+    ),
+)
+
+SPECTRE_VARIANTS = (
+    SPECTRE_V1,
+    SPECTRE_V1_1,
+    SPECTRE_V1_2,
+    SPECTRE_V2,
+    SPECTRE_V4,
+    SPECTRE_RSB,
+    SPOILER,
+)

@@ -1,0 +1,66 @@
+"""TSX-based transient attack variants: TAA and CacheOut.
+
+TSX transactions are another source of transient instructions: an aborted
+transaction squashes its instructions, but micro-architectural state changes
+survive.  The authorization node is the completion of the TSX asynchronous
+abort; the illegal access forwards data from the L1D cache, store/load
+buffers (TAA) or the line fill buffer (CacheOut).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from .base import (
+    AttackCategory,
+    AttackVariant,
+    DelayMechanism,
+    SecretSource,
+)
+from .builders import build_faulting_load_graph
+
+TAA = AttackVariant(
+    key="taa",
+    name="TAA",
+    cve="CVE-2019-11135",
+    impact="TSX asynchronous abort leaks in-flight data",
+    authorization="TSX Asynchronous Abort Completion",
+    illegal_access="Load data from L1D cache, store or load buffers",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.LINE_FILL_BUFFER,
+    delay_mechanism=DelayMechanism.TSX_ABORT,
+    year=2019,
+    reference="Canella et al., CCS 2019 (Fallout paper)",
+    in_table1=False,
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="taa",
+        sources=("cache", "store buffer", "load port"),
+        permission_check_label="TSX asynchronous abort completion",
+        access_label="load in-flight data inside an aborting transaction",
+    ),
+)
+
+CACHEOUT = AttackVariant(
+    key="cacheout",
+    name="Cacheout",
+    cve="CVE-2020-0549",
+    impact="Leak data on Intel CPUs via cache evictions into the fill buffer",
+    authorization="TSX Asynchronous Abort Completion",
+    illegal_access="Forward data from fill buffer",
+    category=AttackCategory.MELTDOWN_TYPE,
+    secret_source=SecretSource.LINE_FILL_BUFFER,
+    delay_mechanism=DelayMechanism.TSX_ABORT,
+    year=2020,
+    reference="van Schaik et al., 2020",
+    in_table1=False,
+    graph_builder=partial(
+        build_faulting_load_graph,
+        name="cacheout",
+        sources=("line fill buffer",),
+        permission_check_label="TSX asynchronous abort completion",
+        access_label="forward evicted data from the line fill buffer",
+    ),
+)
+
+TSX_VARIANTS = (TAA, CACHEOUT)

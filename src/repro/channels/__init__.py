@@ -1,0 +1,33 @@
+"""Cache timing covert channels (Section II-C)."""
+
+from .base import CacheTimingSurface, ChannelObservation, CovertChannel, TimingSurface
+from .collision import CacheCollisionChannel
+from .evict_time import EvictTimeChannel, EvictTimeMeasurement
+from .flush_reload import FlushReloadChannel
+from .prime_probe import PrimeProbeChannel
+from .taxonomy import (
+    CHANNEL_TAXONOMY,
+    ChannelClass,
+    Granularity,
+    Signal,
+    classify,
+    taxonomy_rows,
+)
+
+__all__ = [
+    "CHANNEL_TAXONOMY",
+    "CacheCollisionChannel",
+    "CacheTimingSurface",
+    "ChannelClass",
+    "ChannelObservation",
+    "CovertChannel",
+    "EvictTimeChannel",
+    "EvictTimeMeasurement",
+    "FlushReloadChannel",
+    "Granularity",
+    "PrimeProbeChannel",
+    "Signal",
+    "TimingSurface",
+    "classify",
+    "taxonomy_rows",
+]

@@ -1,0 +1,80 @@
+"""The Evict+Time channel (miss and operation based).
+
+The attacker measures the execution time of a whole victim operation twice:
+once with the cache undisturbed and once after evicting a chosen cache set.
+If the victim uses a line in the evicted set, the second run is slower --
+revealing, one set at a time, which lines the victim touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..uarch.cache import SetAssociativeCache
+from .base import ChannelObservation
+
+
+@dataclass
+class EvictTimeMeasurement:
+    """Timing of one victim run with and without the eviction."""
+
+    set_index: int
+    baseline_cycles: int
+    evicted_cycles: int
+
+    @property
+    def victim_uses_set(self) -> bool:
+        return self.evicted_cycles > self.baseline_cycles
+
+
+class EvictTimeChannel:
+    """Evict+Time against a victim operation running on a shared cache.
+
+    The victim operation is a callable returning the number of cycles it
+    took (the exploit harness and the tests provide one that accesses the
+    cache through :class:`SetAssociativeCache`).
+    """
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        victim_operation: Callable[[], int],
+        *,
+        eviction_base: int = 0xC000_0000,
+    ) -> None:
+        self.cache = cache
+        self.victim_operation = victim_operation
+        self.eviction_base = eviction_base
+
+    def _evict_set(self, set_index: int) -> None:
+        """Fill every way of one set with attacker data, evicting the victim."""
+        stride = self.cache.sets * self.cache.line_size
+        for way in range(self.cache.ways):
+            address = self.eviction_base + way * stride + set_index * self.cache.line_size
+            self.cache.access(address, partition=0)
+
+    def measure_set(self, set_index: int, warmups: int = 1) -> EvictTimeMeasurement:
+        """Measure the victim with and without evicting ``set_index``."""
+        for _ in range(max(warmups, 1)):
+            self.victim_operation()
+        baseline = self.victim_operation()
+        self._evict_set(set_index)
+        evicted = self.victim_operation()
+        return EvictTimeMeasurement(
+            set_index=set_index, baseline_cycles=baseline, evicted_cycles=evicted
+        )
+
+    def scan(self, sets: Optional[int] = None) -> List[EvictTimeMeasurement]:
+        """Measure every set; the sets the victim uses show a slowdown."""
+        count = sets if sets is not None else self.cache.sets
+        return [self.measure_set(set_index) for set_index in range(count)]
+
+    def receive(self) -> ChannelObservation:
+        """Return the set with the largest slowdown (the victim's hottest set)."""
+        measurements = self.scan()
+        slowdowns = [m.evicted_cycles - m.baseline_cycles for m in measurements]
+        best = max(range(len(measurements)), key=lambda index: slowdowns[index])
+        if slowdowns[best] <= 0:
+            return ChannelObservation(value=None, latencies=slowdowns)
+        return ChannelObservation(value=best, latencies=slowdowns)

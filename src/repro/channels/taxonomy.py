@@ -1,0 +1,102 @@
+"""The cache timing channel taxonomy of Section II-C.
+
+Cache timing channels are classified along two axes: whether the receiver's
+signal is a *hit* or a *miss*, and whether the timing is measured on a single
+*access* or on a whole *operation*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class Signal(enum.Enum):
+    HIT = "hit"
+    MISS = "miss"
+
+
+class Granularity(enum.Enum):
+    ACCESS = "access"
+    OPERATION = "operation"
+
+
+@dataclass(frozen=True)
+class ChannelClass:
+    """One cell of the Section II-C taxonomy."""
+
+    name: str
+    signal: Signal
+    granularity: Granularity
+    example: str
+    needs_shared_memory: bool
+    description: str
+
+
+CHANNEL_TAXONOMY: Tuple[ChannelClass, ...] = (
+    ChannelClass(
+        name="Flush+Reload",
+        signal=Signal.HIT,
+        granularity=Granularity.ACCESS,
+        example="repro.channels.flush_reload.FlushReloadChannel",
+        needs_shared_memory=True,
+        description=(
+            "Flush a shared line; a later fast (hit) reload means the sender touched it."
+        ),
+    ),
+    ChannelClass(
+        name="Prime+Probe",
+        signal=Signal.MISS,
+        granularity=Granularity.ACCESS,
+        example="repro.channels.prime_probe.PrimeProbeChannel",
+        needs_shared_memory=False,
+        description=(
+            "Fill a set with attacker lines; a later slow (miss) probe means the sender "
+            "evicted one of them."
+        ),
+    ),
+    ChannelClass(
+        name="Cache collision",
+        signal=Signal.HIT,
+        granularity=Granularity.OPERATION,
+        example="repro.channels.collision.CacheCollisionChannel",
+        needs_shared_memory=False,
+        description=(
+            "A whole victim operation runs faster when its secret-dependent access hits a "
+            "line the attacker pre-loaded."
+        ),
+    ),
+    ChannelClass(
+        name="Evict+Time",
+        signal=Signal.MISS,
+        granularity=Granularity.OPERATION,
+        example="repro.channels.evict_time.EvictTimeChannel",
+        needs_shared_memory=False,
+        description=(
+            "A whole victim operation runs slower when the attacker evicted a set the "
+            "victim uses."
+        ),
+    ),
+)
+
+
+def classify(signal: Signal, granularity: Granularity) -> ChannelClass:
+    """The taxonomy cell for a (signal, granularity) pair."""
+    for channel_class in CHANNEL_TAXONOMY:
+        if channel_class.signal is signal and channel_class.granularity is granularity:
+            return channel_class
+    raise LookupError(f"no channel class for {signal}, {granularity}")  # pragma: no cover
+
+
+def taxonomy_rows() -> List[Tuple[str, str, str, str]]:
+    """(channel, signal, granularity, shared memory?) rows for reports."""
+    return [
+        (
+            channel_class.name,
+            channel_class.signal.value,
+            channel_class.granularity.value,
+            "yes" if channel_class.needs_shared_memory else "no",
+        )
+        for channel_class in CHANNEL_TAXONOMY
+    ]

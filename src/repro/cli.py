@@ -1,0 +1,222 @@
+"""Command-line interface for the attack-graph model library.
+
+Subcommands::
+
+    repro tables                      # regenerate Tables I, II, III
+    repro attacks                     # list the attack catalog
+    repro attack spectre_v1           # describe one attack graph
+    repro defenses                    # list the defense catalog
+    repro evaluate lfence spectre_v1  # does a defense defeat an attack?
+    repro analyze victim.s            # run the Figure 9 tool on a program
+    repro patch victim.s              # analyze + insert fences
+    repro exploit spectre_v1          # run an exploit on the simulator
+    repro ablation meltdown           # defense ablation on the simulator
+    repro report                      # full Markdown report
+
+The CLI is intentionally a thin veneer over the library API so that every
+command can also be reproduced programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import analysis
+from .analysis.report import full_report
+from .attacks import ALL_VARIANTS, get as get_attack
+from .defenses import ALL_DEFENSES, evaluate_defense, get as get_defense
+from .exploits import EXPLOITS, defense_ablation
+from .graphtool import analyze_program, patch_program
+from .isa import assemble
+from .uarch import SimDefense, UarchConfig
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    print("Table I -- speculative attacks and their variants")
+    print(analysis.table1())
+    print("\nTable II -- industrial defenses")
+    print(analysis.table2())
+    print("\nTable III -- authorization and illegal-access nodes")
+    print(analysis.table3())
+    return 0
+
+
+def _cmd_attacks(_: argparse.Namespace) -> int:
+    rows = [
+        (variant.key, variant.name, variant.cve or "N/A", variant.category.value)
+        for variant in ALL_VARIANTS.values()
+    ]
+    print(analysis.format_table(("key", "attack", "CVE", "category"), rows))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    variant = get_attack(args.key)
+    graph = variant.build_graph()
+    print(graph.describe())
+    if args.dot:
+        print()
+        print(analysis.dot_graph(graph))
+    else:
+        print()
+        print(analysis.ascii_graph(graph))
+    return 0
+
+
+def _cmd_defenses(_: argparse.Namespace) -> int:
+    print(analysis.defense_strategy_table())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    defense = get_defense(args.defense)
+    variant = get_attack(args.attack)
+    evaluation = evaluate_defense(defense, variant)
+    print(f"defense:   {defense.name} [{defense.strategy.value}]")
+    print(f"attack:    {variant.name}")
+    print(f"applicable: {evaluation.applicable}")
+    print(f"leaks before: {evaluation.leaked_before}, leaks after: {evaluation.leaked_after}")
+    print(f"verdict:   {'defeats the attack' if evaluation.effective else 'does NOT defeat the attack'}")
+    if evaluation.notes:
+        print(f"notes:     {evaluation.notes}")
+    return 0 if evaluation.effective else 1
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return assemble(handle.read(), name=path)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    report = analyze_program(_load_program(args.program))
+    print(report.summary())
+    return 1 if report.vulnerable else 0
+
+
+def _cmd_patch(args: argparse.Namespace) -> int:
+    result = patch_program(_load_program(args.program))
+    print(result.summary())
+    print()
+    print(result.patched.listing())
+    return 0
+
+
+def _parse_defenses(names: Optional[Sequence[str]]) -> Optional[List[SimDefense]]:
+    if not names:
+        return None
+    selected = []
+    for name in names:
+        try:
+            selected.append(SimDefense[name.upper()])
+        except KeyError:
+            known = ", ".join(defense.name.lower() for defense in SimDefense)
+            raise SystemExit(f"unknown simulator defense {name!r}; known: {known}")
+    return selected
+
+
+def _cmd_exploit(args: argparse.Namespace) -> int:
+    if args.name not in EXPLOITS:
+        raise SystemExit(f"unknown exploit {args.name!r}; known: {', '.join(sorted(EXPLOITS))}")
+    config = UarchConfig()
+    defenses = _parse_defenses(args.defense)
+    if defenses:
+        config = config.with_defenses(*defenses)
+    result = EXPLOITS[args.name](config, args.secret)
+    print(result)
+    print(f"speculative windows: {result.stats.speculative_windows}, "
+          f"transient instructions: {result.stats.transient_instructions}, "
+          f"squashes: {result.stats.squashes}, faults: {result.stats.faults}")
+    return 0 if not result.success else 1
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    rows = defense_ablation(args.name, secret=args.secret)
+    table_rows = [
+        (row.defense_name, row.strategy_name, "LEAKS" if row.leaked else "defeated")
+        for row in rows
+    ]
+    print(analysis.format_table(("defense", "strategy", "outcome"), table_rows))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = full_report(include_matrix=not args.no_matrix)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Attack-graph models for speculative execution attacks (HPCA 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("tables", help="regenerate Tables I, II and III").set_defaults(
+        handler=_cmd_tables
+    )
+    subparsers.add_parser("attacks", help="list the attack catalog").set_defaults(
+        handler=_cmd_attacks
+    )
+
+    attack_parser = subparsers.add_parser("attack", help="describe one attack graph")
+    attack_parser.add_argument("key", help="attack key, e.g. spectre_v1")
+    attack_parser.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    attack_parser.set_defaults(handler=_cmd_attack)
+
+    subparsers.add_parser("defenses", help="list the defense catalog").set_defaults(
+        handler=_cmd_defenses
+    )
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a defense against an attack")
+    evaluate_parser.add_argument("defense", help="defense key, e.g. lfence")
+    evaluate_parser.add_argument("attack", help="attack key, e.g. spectre_v1")
+    evaluate_parser.set_defaults(handler=_cmd_evaluate)
+
+    analyze_parser = subparsers.add_parser("analyze", help="run the Figure 9 tool on a program")
+    analyze_parser.add_argument("program", help="path to an assembly file")
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    patch_parser = subparsers.add_parser("patch", help="analyze a program and insert fences")
+    patch_parser.add_argument("program", help="path to an assembly file")
+    patch_parser.set_defaults(handler=_cmd_patch)
+
+    exploit_parser = subparsers.add_parser("exploit", help="run an exploit on the simulator")
+    exploit_parser.add_argument("name", help=f"one of: {', '.join(sorted(EXPLOITS))}")
+    exploit_parser.add_argument("--secret", type=lambda v: int(v, 0), default=0x5A)
+    exploit_parser.add_argument(
+        "--defense",
+        action="append",
+        help="simulator defense to enable (may be repeated), e.g. kernel_isolation",
+    )
+    exploit_parser.set_defaults(handler=_cmd_exploit)
+
+    ablation_parser = subparsers.add_parser("ablation", help="defense ablation for one exploit")
+    ablation_parser.add_argument("name", help=f"one of: {', '.join(sorted(EXPLOITS))}")
+    ablation_parser.add_argument("--secret", type=lambda v: int(v, 0), default=0x5A)
+    ablation_parser.set_defaults(handler=_cmd_ablation)
+
+    report_parser = subparsers.add_parser("report", help="emit the full Markdown report")
+    report_parser.add_argument("--output", "-o", help="write the report to a file")
+    report_parser.add_argument("--no-matrix", action="store_true",
+                               help="skip the defense x attack matrix (faster)")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console entry point
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core attack-graph model: TSGs, races, security dependencies, attack graphs."""
+
+from .attack_graph import AttackGraph, Vulnerability
+from .edges import Dependency, DependencyKind, HARDWARE_ENFORCED_KINDS
+from .nodes import (
+    AttackPart,
+    AttackStep,
+    ExecutionLevel,
+    Operation,
+    OperationType,
+)
+from .race import (
+    Race,
+    TheoremCheck,
+    figure2_example,
+    find_races,
+    has_race,
+    has_race_by_enumeration,
+    race_free,
+    verify_theorem1,
+    witness_orderings,
+)
+from .security_dependency import (
+    ProtectionPoint,
+    SecurityDependency,
+    enforce,
+    is_vulnerable,
+    missing_security_dependencies,
+)
+from .tsg import CycleError, TopologicalSortGraph
+
+__all__ = [
+    "AttackGraph",
+    "AttackPart",
+    "AttackStep",
+    "CycleError",
+    "Dependency",
+    "DependencyKind",
+    "ExecutionLevel",
+    "HARDWARE_ENFORCED_KINDS",
+    "Operation",
+    "OperationType",
+    "ProtectionPoint",
+    "Race",
+    "SecurityDependency",
+    "TheoremCheck",
+    "TopologicalSortGraph",
+    "Vulnerability",
+    "enforce",
+    "figure2_example",
+    "find_races",
+    "has_race",
+    "has_race_by_enumeration",
+    "is_vulnerable",
+    "missing_security_dependencies",
+    "race_free",
+    "verify_theorem1",
+    "witness_orderings",
+]

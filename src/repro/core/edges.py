@@ -1,0 +1,73 @@
+"""Dependency (edge) kinds for attack graphs.
+
+An edge ``u -> v`` of a Topological Sort Graph means *u happens before v*.
+The paper distinguishes the classic dependencies that hardware already
+honours (data and control dependencies, address dependencies, explicit
+fences) from the new **security dependency** that must additionally be
+honoured to prevent speculative execution attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class DependencyKind(enum.Enum):
+    """Why one operation must happen before another."""
+
+    #: Read-after-write style value dependency between operations.
+    DATA = "data"
+    #: Control-flow dependency (an operation is control-dependent on a branch).
+    CONTROL = "control"
+    #: Address dependency (the address of an access depends on another value).
+    ADDRESS = "address"
+    #: Program order / structural ordering that the hardware preserves
+    #: (e.g. in-order retirement, an explicit ordering in the attack recipe).
+    PROGRAM_ORDER = "program_order"
+    #: Ordering introduced by an explicit serializing instruction (LFENCE...).
+    FENCE = "fence"
+    #: The paper's new dependency: authorization must complete before a
+    #: protected access / use / send operation (Definition 2).
+    SECURITY = "security"
+    #: Micro-architectural structural dependency inside one instruction
+    #: (e.g. address translation before the data array read).
+    MICROARCH = "microarch"
+
+
+#: Dependency kinds that commodity hardware already enforces.  A security
+#: dependency is *not* among them -- that is the point of the paper.
+HARDWARE_ENFORCED_KINDS = frozenset(
+    {
+        DependencyKind.DATA,
+        DependencyKind.CONTROL,
+        DependencyKind.ADDRESS,
+        DependencyKind.PROGRAM_ORDER,
+        DependencyKind.FENCE,
+        DependencyKind.MICROARCH,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A directed, labelled edge ``source -> target`` of an attack graph."""
+
+    source: str
+    target: str
+    kind: DependencyKind = DependencyKind.PROGRAM_ORDER
+    label: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(f"Self-dependency on {self.source!r} is not allowed")
+
+    @property
+    def is_security(self) -> bool:
+        """``True`` when this edge is a security dependency."""
+        return self.kind is DependencyKind.SECURITY
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.source} -[{self.kind.value}]-> {self.target}"

@@ -1,0 +1,339 @@
+"""Topological Sort Graph (TSG) -- the paper's attack-graph substrate.
+
+Section IV-B defines an attack graph as a Topological Sort Graph: a directed
+acyclic graph whose vertices are operations and whose directed edges are
+orderings ("u happens before v").  A *valid ordering* is a permutation of all
+vertices consistent with every edge, i.e. a topological order.
+
+This module provides the graph data structure plus the ordering machinery
+needed to state and check the paper's Theorem 1 (see :mod:`repro.core.race`):
+validity checking, enumeration of all valid orderings, reachability, and
+ordering construction biased towards putting a chosen vertex early or late.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .edges import Dependency, DependencyKind
+from .nodes import Operation, OperationType
+
+
+class CycleError(ValueError):
+    """Raised when adding an edge would create a cycle in the TSG."""
+
+
+class TopologicalSortGraph:
+    """A directed acyclic graph of :class:`~repro.core.nodes.Operation` vertices.
+
+    Vertices are addressed by their unique ``name``.  Edges are
+    :class:`~repro.core.edges.Dependency` records.  The graph rejects any edge
+    insertion that would create a cycle, so it is a DAG by construction.
+    """
+
+    def __init__(self, name: str = "tsg") -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+        self._edges: Dict[Tuple[str, str], Dependency] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operation(self, operation: Operation) -> Operation:
+        """Add a vertex.  Re-adding the same name with a different record fails."""
+        existing = self._ops.get(operation.name)
+        if existing is not None:
+            if existing != operation:
+                raise ValueError(
+                    f"Vertex {operation.name!r} already exists with a different definition"
+                )
+            return existing
+        self._ops[operation.name] = operation
+        self._succ[operation.name] = set()
+        self._pred[operation.name] = set()
+        return operation
+
+    def add_vertex(self, name: str, **kwargs) -> Operation:
+        """Convenience wrapper: create and add an :class:`Operation`."""
+        return self.add_operation(Operation(name=name, **kwargs))
+
+    def add_dependency(self, dependency: Dependency) -> Dependency:
+        """Add an edge, verifying both endpoints exist and no cycle is created."""
+        for endpoint in (dependency.source, dependency.target):
+            if endpoint not in self._ops:
+                raise KeyError(f"Unknown vertex {endpoint!r}")
+        key = (dependency.source, dependency.target)
+        if key in self._edges:
+            return self._edges[key]
+        if self.has_path(dependency.target, dependency.source):
+            raise CycleError(
+                f"Edge {dependency.source} -> {dependency.target} would create a cycle"
+            )
+        self._edges[key] = dependency
+        self._succ[dependency.source].add(dependency.target)
+        self._pred[dependency.target].add(dependency.source)
+        return dependency
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        kind: DependencyKind = DependencyKind.PROGRAM_ORDER,
+        label: str = "",
+    ) -> Dependency:
+        """Convenience wrapper: create and add a :class:`Dependency`."""
+        return self.add_dependency(Dependency(source, target, kind=kind, label=label))
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove an edge if present."""
+        key = (source, target)
+        if key in self._edges:
+            del self._edges[key]
+            self._succ[source].discard(target)
+            self._pred[target].discard(source)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def operation(self, name: str) -> Operation:
+        """Return the operation stored at vertex ``name``."""
+        return self._ops[name]
+
+    @property
+    def vertices(self) -> List[str]:
+        """All vertex names, in insertion order."""
+        return list(self._ops)
+
+    @property
+    def operations(self) -> List[Operation]:
+        """All operations, in insertion order."""
+        return list(self._ops.values())
+
+    @property
+    def edges(self) -> List[Dependency]:
+        """All edges, in insertion order."""
+        return list(self._edges.values())
+
+    def edge(self, source: str, target: str) -> Optional[Dependency]:
+        """Return the edge ``source -> target`` or ``None``."""
+        return self._edges.get((source, target))
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self._edges
+
+    def successors(self, name: str) -> Set[str]:
+        return set(self._succ[name])
+
+    def predecessors(self, name: str) -> Set[str]:
+        return set(self._pred[name])
+
+    def operations_of_type(self, op_type: OperationType) -> List[Operation]:
+        """All operations with the given :class:`OperationType`."""
+        return [op for op in self._ops.values() if op.op_type is op_type]
+
+    def in_degree(self, name: str) -> int:
+        return len(self._pred[name])
+
+    def out_degree(self, name: str) -> int:
+        return len(self._succ[name])
+
+    # ------------------------------------------------------------------
+    # Reachability and orderings
+    # ------------------------------------------------------------------
+    def has_path(self, source: str, target: str) -> bool:
+        """``True`` iff there is a directed path from ``source`` to ``target``.
+
+        A vertex is considered to reach itself by the empty path.
+        """
+        if source not in self._ops or target not in self._ops:
+            raise KeyError(f"Unknown vertex in path query: {source!r} or {target!r}")
+        if source == target:
+            return True
+        seen = {source}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self._succ[node]:
+                if nxt == target:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def descendants(self, source: str) -> Set[str]:
+        """All vertices reachable from ``source`` (excluding ``source``)."""
+        seen: Set[str] = set()
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self._succ[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def ancestors(self, target: str) -> Set[str]:
+        """All vertices from which ``target`` is reachable (excluding itself)."""
+        seen: Set[str] = set()
+        frontier = deque([target])
+        while frontier:
+            node = frontier.popleft()
+            for prv in self._pred[node]:
+                if prv not in seen:
+                    seen.add(prv)
+                    frontier.append(prv)
+        return seen
+
+    def is_valid_ordering(self, ordering: Sequence[str]) -> bool:
+        """Check whether ``ordering`` is a valid ordering of the TSG.
+
+        A valid ordering contains every vertex exactly once and respects
+        every edge: for each edge (u, v), u appears before v.
+        """
+        if len(ordering) != len(self._ops) or set(ordering) != set(self._ops):
+            return False
+        position = {name: i for i, name in enumerate(ordering)}
+        return all(position[dep.source] < position[dep.target] for dep in self._edges.values())
+
+    def topological_order(self, prefer_late: Optional[str] = None) -> List[str]:
+        """Return one valid ordering (Kahn's algorithm).
+
+        When ``prefer_late`` names a vertex, that vertex is scheduled as late
+        as possible (its selection is deferred whenever another ready vertex
+        exists).  This is used to construct witness orderings for races.
+        """
+        indegree = {name: len(preds) for name, preds in self._pred.items()}
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: List[str] = []
+        while ready:
+            pick = None
+            if prefer_late is not None and len(ready) > 1:
+                for candidate in ready:
+                    if candidate != prefer_late:
+                        pick = candidate
+                        break
+            if pick is None:
+                pick = ready[0]
+            ready.remove(pick)
+            order.append(pick)
+            for nxt in sorted(self._succ[pick]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(self._ops):
+            raise CycleError("Graph contains a cycle")  # pragma: no cover - unreachable
+        return order
+
+    def all_orderings(self, limit: Optional[int] = None) -> Iterator[List[str]]:
+        """Enumerate valid orderings (all topological sorts).
+
+        The number of topological sorts is exponential in general; callers
+        should pass ``limit`` or only use this on small graphs (the paper's
+        attack graphs have 10-20 vertices).
+        """
+        indegree = {name: len(preds) for name, preds in self._pred.items()}
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        emitted = 0
+
+        def backtrack(prefix: List[str], ready_now: List[str]) -> Iterator[List[str]]:
+            nonlocal emitted
+            if limit is not None and emitted >= limit:
+                return
+            if len(prefix) == len(self._ops):
+                emitted += 1
+                yield list(prefix)
+                return
+            for index, node in enumerate(list(ready_now)):
+                next_ready = ready_now[:index] + ready_now[index + 1 :]
+                released = []
+                for nxt in sorted(self._succ[node]):
+                    indegree[nxt] -= 1
+                    if indegree[nxt] == 0:
+                        released.append(nxt)
+                prefix.append(node)
+                yield from backtrack(prefix, sorted(next_ready + released))
+                prefix.pop()
+                for nxt in self._succ[node]:
+                    indegree[nxt] += 1
+                if limit is not None and emitted >= limit:
+                    return
+
+        yield from backtrack([], ready)
+
+    def count_orderings(self, limit: int = 100000) -> int:
+        """Count valid orderings, stopping at ``limit``."""
+        count = 0
+        for _ in self.all_orderings(limit=limit):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "TopologicalSortGraph":
+        """Return a structural copy of the graph."""
+        clone = type(self)(name=name or self.name)
+        clone._ops = dict(self._ops)
+        clone._succ = {k: set(v) for k, v in self._succ.items()}
+        clone._pred = {k: set(v) for k, v in self._pred.items()}
+        clone._edges = dict(self._edges)
+        return clone
+
+    def subgraph(self, names: Iterable[str], name: str = "subgraph") -> "TopologicalSortGraph":
+        """Return the induced subgraph on ``names``."""
+        keep = set(names)
+        sub = TopologicalSortGraph(name=name)
+        for vertex in self.vertices:
+            if vertex in keep:
+                sub.add_operation(self._ops[vertex])
+        for dep in self._edges.values():
+            if dep.source in keep and dep.target in keep:
+                sub.add_dependency(dep)
+        return sub
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (vertex/edge data attached)."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for op in self._ops.values():
+            graph.add_node(op.name, operation=op)
+        for dep in self._edges.values():
+            graph.add_edge(dep.source, dep.target, dependency=dep, kind=dep.kind.value)
+        return graph
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz DOT format."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for op in self._ops.values():
+            shape = {
+                OperationType.AUTHORIZATION: "diamond",
+                OperationType.SECRET_ACCESS: "box",
+                OperationType.SEND: "box",
+                OperationType.RECEIVE: "ellipse",
+            }.get(op.op_type, "ellipse")
+            style = ', style="dashed"' if op.speculative else ""
+            lines.append(f'  "{op.name}" [shape={shape}{style}];')
+        for dep in self._edges.values():
+            style = ' [style="bold", color="red"]' if dep.is_security else (
+                f' [label="{dep.kind.value}"]'
+            )
+            lines.append(f'  "{dep.source}" -> "{dep.target}"{style};')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r}: "
+            f"{len(self._ops)} vertices, {len(self._edges)} edges>"
+        )

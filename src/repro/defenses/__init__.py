@@ -1,0 +1,67 @@
+"""Defense strategies and the catalog of industry / academic defenses."""
+
+from .academia import ACADEMIA_DEFENSES
+from .base import Defense, DefenseOrigin, DefenseStrategy
+from .evaluation import (
+    DefenseEvaluation,
+    InsufficientDefenseReport,
+    attack_succeeds,
+    evaluate_defense,
+    evaluate_matrix,
+    insufficient_defense_demo,
+    leaking_sources,
+    setup_neutralized,
+    source_projections,
+)
+from .industry import INDUSTRY_DEFENSES
+from .strategies import (
+    FLUSH_PREDICTOR_NODE,
+    apply_clear_predictions,
+    apply_prevent_access,
+    apply_prevent_send,
+    apply_prevent_use,
+    apply_strategy,
+)
+
+ALL_DEFENSES = INDUSTRY_DEFENSES + ACADEMIA_DEFENSES
+
+
+def get(key: str) -> Defense:
+    """Look up a defense by key."""
+    for defense in ALL_DEFENSES:
+        if defense.key == key:
+            return defense
+    known = ", ".join(sorted(d.key for d in ALL_DEFENSES))
+    raise KeyError(f"unknown defense {key!r}; known defenses: {known}")
+
+
+def table2_rows():
+    """(category, strategy, defense) rows regenerating Table II (industry defenses)."""
+    return [defense.table2_row for defense in INDUSTRY_DEFENSES]
+
+
+__all__ = [
+    "ACADEMIA_DEFENSES",
+    "ALL_DEFENSES",
+    "Defense",
+    "DefenseEvaluation",
+    "DefenseOrigin",
+    "DefenseStrategy",
+    "FLUSH_PREDICTOR_NODE",
+    "INDUSTRY_DEFENSES",
+    "InsufficientDefenseReport",
+    "apply_clear_predictions",
+    "apply_prevent_access",
+    "apply_prevent_send",
+    "apply_prevent_use",
+    "apply_strategy",
+    "attack_succeeds",
+    "evaluate_defense",
+    "evaluate_matrix",
+    "get",
+    "insufficient_defense_demo",
+    "leaking_sources",
+    "setup_neutralized",
+    "source_projections",
+    "table2_rows",
+]

@@ -1,0 +1,177 @@
+"""Academic defenses discussed in Section V-B, mapped onto the defense strategies."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Defense, DefenseOrigin, DefenseStrategy
+
+CONTEXT_SENSITIVE_FENCING = Defense(
+    key="context_sensitive_fencing",
+    name="Context-sensitive fencing",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description=(
+        "Hardware inserts fences at the micro-operation level between a conditional "
+        "branch and a subsequent load, preventing the speculative access."
+    ),
+    reference="Taram, Venkat, Tullsen -- ASPLOS 2019",
+)
+
+SECURE_AUTOMATIC_BOUNDS_CHECKING = Defense(
+    key="sabc",
+    name="Secure Automatic Bounds Checking (SABC)",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description=(
+        "Insert arithmetic instructions with data dependencies between the bounds-check "
+        "branch and the out-of-bounds access, serializing them."
+    ),
+    reference="Ojogbo, Thottethodi, Vijaykumar -- CGO 2020",
+)
+
+SPECTREGUARD = Defense(
+    key="spectreguard",
+    name="SpectreGuard",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_USE,
+    description=(
+        "Software marks secret memory regions; forwarding of speculatively loaded "
+        "secret data to dependent instructions is blocked until authorization."
+    ),
+    reference="Fustos, Farshchi, Yun -- DAC 2019",
+)
+
+NDA = Defense(
+    key="nda",
+    name="NDA (Non-speculative Data Access)",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_USE,
+    description="Prevent forwarding of speculatively loaded data to younger instructions.",
+    reference="Weisse et al. -- MICRO 2019",
+)
+
+CONTEXT = Defense(
+    key="context",
+    name="ConTExT",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_USE,
+    description=(
+        "Software marks sensitive memory; the hardware does not forward speculatively "
+        "read sensitive values to dependent transient instructions."
+    ),
+    reference="Schwarz et al. -- NDSS 2020",
+)
+
+SPECSHIELD = Defense(
+    key="specshield",
+    name="SpecShield",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_USE,
+    description="Shield speculatively loaded data from forwarding to covert-channel-capable instructions.",
+    reference="Barber et al. -- PACT 2019",
+)
+
+SPECSHIELD_ERP = Defense(
+    key="specshield_erp",
+    name="SpecShieldERP+",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description="Prevent loads whose address is based on speculative data from executing.",
+    reference="Barber et al. -- PACT 2019",
+)
+
+STT = Defense(
+    key="stt",
+    name="Speculative Taint Tracking (STT)",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description=(
+        "Taint speculatively accessed data and block any instruction that would form "
+        "a covert-channel send (e.g. a load with a tainted address) until authorization."
+    ),
+    reference="Yu et al. -- MICRO 2019",
+)
+
+DAWG = Defense(
+    key="dawg",
+    name="DAWG",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description=(
+        "Partition the cache between protection domains so the sender's cache-state "
+        "changes are not observable by the receiver's domain."
+    ),
+    reference="Kiriansky et al. -- MICRO 2018",
+)
+
+CONDITIONAL_SPECULATION = Defense(
+    key="conditional_speculation",
+    name="Conditional Speculation",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description=(
+        "Allow speculative loads that hit in the cache (no state change) but delay "
+        "speculative loads that miss until authorization resolves."
+    ),
+    reference="Li et al. -- HPCA 2019",
+)
+
+EFFICIENT_INVISIBLE_SPECULATION = Defense(
+    key="efficient_invisible_speculation",
+    name="Efficient Invisible Speculative Execution",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description="Selective delay and value prediction keep speculative loads from changing cache state.",
+    reference="Sakalis et al. -- ISCA 2019",
+)
+
+INVISISPEC = Defense(
+    key="invisispec",
+    name="InvisiSpec",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description=(
+        "Speculative loads go into a shadow (speculative) buffer instead of the cache; "
+        "the cache is only updated after the speculation is validated."
+    ),
+    reference="Yan et al. -- MICRO 2018",
+)
+
+SAFESPEC = Defense(
+    key="safespec",
+    name="SafeSpec",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description="Shadow structures hold speculative cache/TLB state until commit.",
+    reference="Khasawneh et al. -- DAC 2019",
+)
+
+CLEANUPSPEC = Defense(
+    key="cleanupspec",
+    name="CleanupSpec",
+    origin=DefenseOrigin.ACADEMIA,
+    strategy=DefenseStrategy.PREVENT_SEND,
+    description=(
+        "Allow speculative cache state changes but undo (roll back) them when the "
+        "speculation is squashed."
+    ),
+    reference="Saileshwar, Qureshi -- MICRO 2019",
+)
+
+ACADEMIA_DEFENSES: Tuple[Defense, ...] = (
+    CONTEXT_SENSITIVE_FENCING,
+    SECURE_AUTOMATIC_BOUNDS_CHECKING,
+    SPECTREGUARD,
+    NDA,
+    CONTEXT,
+    SPECSHIELD,
+    SPECSHIELD_ERP,
+    STT,
+    DAWG,
+    CONDITIONAL_SPECULATION,
+    EFFICIENT_INVISIBLE_SPECULATION,
+    INVISISPEC,
+    SAFESPEC,
+    CLEANUPSPEC,
+)

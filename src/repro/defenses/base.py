@@ -1,0 +1,105 @@
+"""Defense model: strategies, defense records, and graph transformation.
+
+Section V-B derives four defense strategies from the attack graph model.  A
+strategy is implemented by adding security dependencies (edges) to the attack
+graph -- or, for strategy 4, by adding a predictor-clearing operation that
+prevents the attacker's mis-training from steering speculation:
+
+* Strategy 1 -- **prevent access before authorization**,
+* Strategy 2 -- **prevent data usage before authorization**,
+* Strategy 3 -- **prevent send before authorization**,
+* Strategy 4 -- **clearing predictions** (prevent predictor state sharing).
+
+Every industry and academic defense catalogued by the paper is expressed as a
+:class:`Defense` carrying its strategy, so that the claim "all currently
+proposed defenses fall under one of our defense strategies" is reproduced by
+construction and checked by the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from ..attacks.base import AttackVariant, DelayMechanism
+from ..core.attack_graph import AttackGraph
+from . import strategies as _strategies
+
+
+class DefenseStrategy(enum.Enum):
+    """The paper's four defense strategies (Figure 8 / Figure 4 red arrows)."""
+
+    PREVENT_ACCESS = "prevent access before authorization"
+    PREVENT_USE = "prevent data usage before authorization"
+    PREVENT_SEND = "prevent send before authorization"
+    CLEAR_PREDICTIONS = "clearing predictions"
+
+    @property
+    def figure8_number(self) -> int:
+        """The red-arrow number used in Figure 8."""
+        return {
+            DefenseStrategy.PREVENT_ACCESS: 1,
+            DefenseStrategy.PREVENT_USE: 2,
+            DefenseStrategy.PREVENT_SEND: 3,
+            DefenseStrategy.CLEAR_PREDICTIONS: 4,
+        }[self]
+
+
+class DefenseOrigin(enum.Enum):
+    """Whether the defense was proposed by industry or academia."""
+
+    INDUSTRY = "industry"
+    ACADEMIA = "academia"
+
+
+@dataclass(frozen=True)
+class Defense:
+    """One concrete defense mechanism mapped onto a defense strategy."""
+
+    key: str
+    name: str
+    origin: DefenseOrigin
+    strategy: DefenseStrategy
+    description: str
+    #: Delay mechanisms (speculation triggers) this defense addresses.  An
+    #: empty set means the defense is generic across triggers.
+    applicable_delays: FrozenSet[DelayMechanism] = frozenset()
+    #: Explicit attack keys this defense targets (used when delay filtering
+    #: is too coarse, e.g. KPTI only helps against Meltdown proper).
+    applicable_attacks: Tuple[str, ...] = ()
+    #: Which secret sources the defense protects (``None`` = all).  Used to
+    #: model *insufficient* defenses such as a fence that only serializes the
+    #: memory path while the secret may still be read from the L1 cache.
+    protected_sources: Optional[Tuple[str, ...]] = None
+    reference: str = ""
+    table2_category: str = ""
+
+    # ------------------------------------------------------------------
+    def applies_to(self, variant: AttackVariant) -> bool:
+        """Is this defense intended to address the given attack variant?"""
+        if self.applicable_attacks:
+            return variant.key in self.applicable_attacks
+        if self.applicable_delays:
+            return variant.delay_mechanism in self.applicable_delays
+        return True
+
+    def apply(self, graph: AttackGraph) -> AttackGraph:
+        """Return a defended copy of ``graph`` (adds the strategy's security edges)."""
+        if self.strategy is DefenseStrategy.PREVENT_ACCESS:
+            return _strategies.apply_prevent_access(graph, sources=self.protected_sources)
+        if self.strategy is DefenseStrategy.PREVENT_USE:
+            return _strategies.apply_prevent_use(graph)
+        if self.strategy is DefenseStrategy.PREVENT_SEND:
+            return _strategies.apply_prevent_send(graph)
+        if self.strategy is DefenseStrategy.CLEAR_PREDICTIONS:
+            return _strategies.apply_clear_predictions(graph)
+        raise ValueError(f"unknown strategy {self.strategy!r}")  # pragma: no cover
+
+    @property
+    def table2_row(self) -> Tuple[str, str, str]:
+        """(attack/strategy category, strategy, defense) row used for Table II."""
+        return (self.table2_category or "-", self.strategy.value, self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} [{self.strategy.value}]"

@@ -1,0 +1,212 @@
+"""Industry defenses (Table II), mapped onto the paper's defense strategies."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import Defense, DefenseOrigin, DefenseStrategy
+
+_BRANCH_PREDICTION_VARIANTS = ("spectre_v1", "spectre_v1_1", "spectre_v1_2", "spectre_v2")
+_SERIALIZABLE_SPECTRE = (
+    "spectre_v1",
+    "spectre_v1_1",
+    "spectre_v1_2",
+    "spectre_v2",
+    "spectre_rsb",
+)
+_BOUNDARY_BYPASS = ("spectre_v1", "spectre_v1_1", "spectre_v1_2")
+
+LFENCE = Defense(
+    key="lfence",
+    name="LFence",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description=(
+        "Serializing fence before the protected memory access: instructions after "
+        "the fence cannot execute until prior instructions (the authorization) complete."
+    ),
+    applicable_attacks=_SERIALIZABLE_SPECTRE,
+    table2_category="Spectre",
+    reference="Intel SDM",
+)
+
+MFENCE = Defense(
+    key="mfence",
+    name="MFence",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Memory fence serializing loads and stores around the authorization.",
+    applicable_attacks=_SERIALIZABLE_SPECTRE,
+    table2_category="Spectre",
+    reference="Intel SDM",
+)
+
+KAISER = Defense(
+    key="kaiser",
+    name="KAISER",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description=(
+        "Kernel Address Isolation: unmap kernel pages from user space so the "
+        "speculative access of kernel memory cannot be performed at all."
+    ),
+    applicable_attacks=("meltdown",),
+    table2_category="Meltdown",
+    reference="Gruss et al.",
+)
+
+KPTI = Defense(
+    key="kpti",
+    name="Kernel Page Table Isolation (KPTI)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Linux implementation of KAISER: separate user/kernel page tables.",
+    applicable_attacks=("meltdown",),
+    table2_category="Meltdown",
+    reference="Linux kernel documentation",
+)
+
+DISABLE_BRANCH_PREDICTION = Defense(
+    key="disable_branch_prediction",
+    name="Disable branch prediction",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description="Turn off the vulnerable predictor so mis-training has no effect.",
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="AMD software techniques for managing speculation",
+)
+
+IBRS = Defense(
+    key="ibrs",
+    name="Indirect Branch Restricted Speculation (IBRS)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description="Restrict indirect branch prediction from being influenced by less-privileged code.",
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="Intel speculative execution side channel mitigations",
+)
+
+STIBP = Defense(
+    key="stibp",
+    name="Single Thread Indirect Branch Predictor (STIBP)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description="Prevent the sibling hyperthread from influencing indirect branch prediction.",
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="Intel speculative execution side channel mitigations",
+)
+
+IBPB = Defense(
+    key="ibpb",
+    name="Indirect Branch Prediction Barrier (IBPB)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description=(
+        "Flush the BTB on the barrier: code before the barrier cannot affect "
+        "branch prediction after it (adds a 'flush predictor' operation)."
+    ),
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="Intel deep dive: indirect branch predictor barrier",
+)
+
+INVALIDATE_PREDICTOR_ON_CONTEXT_SWITCH = Defense(
+    key="invalidate_predictor_ctx_switch",
+    name="Invalidate branch predictor during context switch",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description="Flush predictor and BTB state whenever the context changes (some AMD CPUs).",
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="AMD software techniques for managing speculation",
+)
+
+RETPOLINE = Defense(
+    key="retpoline",
+    name="Retpoline",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description=(
+        "Replace indirect branches (which use the potentially poisoned BTB) with "
+        "return sequences that use the return stack instead."
+    ),
+    applicable_attacks=_BRANCH_PREDICTION_VARIANTS,
+    table2_category="Spectre variants requiring branch prediction (v1, v1.1, v1.2, v2)",
+    reference="Google retpoline",
+)
+
+COARSE_ADDRESS_MASKING = Defense(
+    key="coarse_masking",
+    name="Coarse address masking",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Mask the accessed address so even a speculative access stays in the legal range.",
+    applicable_attacks=_BOUNDARY_BYPASS,
+    table2_category="Spectre boundary bypass (v1, v1.1, v1.2)",
+    reference="V8 / Linux kernel address masking",
+)
+
+DATA_DEPENDENT_MASKING = Defense(
+    key="data_dependent_masking",
+    name="Data-dependent masking",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Mask the index with a data-dependent bound so out-of-bounds accesses are clamped.",
+    applicable_attacks=_BOUNDARY_BYPASS,
+    table2_category="Spectre boundary bypass (v1, v1.1, v1.2)",
+    reference="Kiriansky and Waldspurger, 2018",
+)
+
+SSBB = Defense(
+    key="ssbb",
+    name="Speculative Store Bypass Barrier (SSBB)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Serialize stores and loads so a load cannot bypass an older store with unknown address.",
+    applicable_attacks=("spectre_v4",),
+    table2_category="Spectre v4",
+    reference="ARM",
+)
+
+SSBS = Defense(
+    key="ssbs",
+    name="Speculative Store Bypass Safe (SSBS)",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.PREVENT_ACCESS,
+    description="Mode bit preventing loads from speculatively bypassing older stores.",
+    applicable_attacks=("spectre_v4",),
+    table2_category="Spectre v4",
+    reference="ARM",
+)
+
+RSB_STUFFING = Defense(
+    key="rsb_stuffing",
+    name="RSB stuffing",
+    origin=DefenseOrigin.INDUSTRY,
+    strategy=DefenseStrategy.CLEAR_PREDICTIONS,
+    description="Refill the return stack buffer so returns never consume attacker-controlled entries.",
+    applicable_attacks=("spectre_rsb",),
+    table2_category="Spectre RSB",
+    reference="Intel",
+)
+
+INDUSTRY_DEFENSES: Tuple[Defense, ...] = (
+    LFENCE,
+    MFENCE,
+    KAISER,
+    KPTI,
+    DISABLE_BRANCH_PREDICTION,
+    IBRS,
+    STIBP,
+    IBPB,
+    INVALIDATE_PREDICTOR_ON_CONTEXT_SWITCH,
+    RETPOLINE,
+    COARSE_ADDRESS_MASKING,
+    DATA_DEPENDENT_MASKING,
+    SSBB,
+    SSBS,
+    RSB_STUFFING,
+)

@@ -1,0 +1,119 @@
+"""Graph transformations implementing the four defense strategies.
+
+Each strategy is a pure function from an :class:`AttackGraph` to a defended
+copy.  Strategies 1-3 insert security-dependency edges from every
+authorization-resolution vertex to the protected vertices (access, use, or
+send).  Strategy 4 inserts a predictor-clearing operation between the
+attacker's mis-training and the victim's branch, cutting the attacker's
+control over the speculative path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.attack_graph import AttackGraph
+from ..core.edges import DependencyKind
+from ..core.nodes import AttackStep, OperationType
+from ..core.security_dependency import ProtectionPoint, SecurityDependency
+
+#: Vertex name added by :func:`apply_clear_predictions`.
+FLUSH_PREDICTOR_NODE = "Flush predictor"
+#: Vertex name of the attacker's mis-training operation (see attacks.builders.Nodes).
+MISTRAIN_NODE = "Mistrain predictor"
+
+
+def _resolution_nodes(graph: AttackGraph) -> List[str]:
+    """Authorization-resolution vertices (fall back to authorization vertices)."""
+    resolutions = [op.name for op in graph.operations_of_type(OperationType.RESOLUTION)]
+    if resolutions:
+        return resolutions
+    return [op.name for op in graph.operations_of_type(OperationType.AUTHORIZATION)]
+
+
+def _protect(
+    graph: AttackGraph,
+    targets: Iterable[str],
+    point: ProtectionPoint,
+    suffix: str,
+) -> AttackGraph:
+    """Add a security edge from every resolution vertex to every target vertex."""
+    dependencies = [
+        SecurityDependency(authorization=auth, protected=target, point=point)
+        for auth in _resolution_nodes(graph)
+        for target in targets
+        if not graph.has_path(auth, target)
+    ]
+    defended = graph.with_security_dependencies(dependencies)
+    defended.name = f"{graph.name}+{suffix}"
+    return defended
+
+
+def apply_prevent_access(
+    graph: AttackGraph, sources: Optional[Sequence[str]] = None
+) -> AttackGraph:
+    """Strategy 1: the secret must not be *accessed* before authorization resolves.
+
+    ``sources`` optionally restricts protection to secret-access vertices whose
+    name mentions one of the given micro-architectural sources.  This models
+    *partial* (and possibly insufficient) defenses, e.g. serializing only the
+    memory path of a load while the L1-cache path stays unprotected
+    (Section V-B's insufficient-defense discussion).
+    """
+    targets = graph.secret_access_nodes
+    if sources is not None:
+        wanted = [source.lower() for source in sources]
+        targets = [
+            name
+            for name in targets
+            if any(source in name.lower() for source in wanted)
+        ]
+    return _protect(graph, targets, ProtectionPoint.ACCESS, "prevent-access")
+
+
+def apply_prevent_use(graph: AttackGraph) -> AttackGraph:
+    """Strategy 2: speculatively accessed data must not be *used* before authorization."""
+    return _protect(graph, graph.use_nodes, ProtectionPoint.USE, "prevent-use")
+
+
+def apply_prevent_send(graph: AttackGraph) -> AttackGraph:
+    """Strategy 3: micro-architectural state changes (the *send*) wait for authorization."""
+    return _protect(graph, graph.send_nodes, ProtectionPoint.SEND, "prevent-send")
+
+
+def apply_clear_predictions(graph: AttackGraph) -> AttackGraph:
+    """Strategy 4: clear predictor state so mis-training cannot steer speculation.
+
+    Adds a ``Flush predictor`` operation ordered after the attacker's
+    mis-training and before the victim's branch / authorization instruction.
+    When the graph has no mis-training vertex (Meltdown-type attacks), the
+    transformation is a no-op -- the strategy simply does not address those
+    attacks, which the evaluation layer reports as "not defeated".
+    """
+    defended = graph.copy(name=f"{graph.name}+clear-predictions")
+    if MISTRAIN_NODE not in defended:
+        return defended
+    defended.add_step(
+        FLUSH_PREDICTOR_NODE,
+        OperationType.SETUP,
+        AttackStep.SETUP,
+        description="Flush predictor state (IBPB / context-switch invalidation)",
+        after=[MISTRAIN_NODE],
+        kind=DependencyKind.SECURITY,
+    )
+    for successor in graph.successors(MISTRAIN_NODE):
+        defended.add_edge(FLUSH_PREDICTOR_NODE, successor, kind=DependencyKind.SECURITY)
+    return defended
+
+
+def apply_strategy(graph: AttackGraph, strategy, **kwargs) -> AttackGraph:
+    """Dispatch on a :class:`~repro.defenses.base.DefenseStrategy` value."""
+    from .base import DefenseStrategy
+
+    dispatch = {
+        DefenseStrategy.PREVENT_ACCESS: apply_prevent_access,
+        DefenseStrategy.PREVENT_USE: apply_prevent_use,
+        DefenseStrategy.PREVENT_SEND: apply_prevent_send,
+        DefenseStrategy.CLEAR_PREDICTIONS: apply_clear_predictions,
+    }
+    return dispatch[strategy](graph, **kwargs)

@@ -1,0 +1,40 @@
+"""The Section V-C tool: construct attack graphs from programs, find and patch races."""
+
+from .analyzer import AnalysisReport, Finding, analyze_program
+from .builder import (
+    AttackGraphBuilder,
+    BuildResult,
+    build_attack_graph,
+    instruction_node_name,
+    resolution_node_name,
+)
+from .classify import (
+    AuthorizationKind,
+    AuthorizationSite,
+    SecretAccessSite,
+    find_authorizations,
+    find_secret_accesses,
+    requires_microarch_modelling,
+)
+from .expansion import expansion_for
+from .patcher import PatchResult, patch_program
+
+__all__ = [
+    "AnalysisReport",
+    "AttackGraphBuilder",
+    "AuthorizationKind",
+    "AuthorizationSite",
+    "BuildResult",
+    "Finding",
+    "PatchResult",
+    "SecretAccessSite",
+    "analyze_program",
+    "build_attack_graph",
+    "expansion_for",
+    "find_authorizations",
+    "find_secret_accesses",
+    "instruction_node_name",
+    "patch_program",
+    "requires_microarch_modelling",
+    "resolution_node_name",
+]

@@ -1,0 +1,117 @@
+"""Vulnerability analysis on constructed attack graphs.
+
+The analyzer runs the Figure 9 flow end to end: build the attack graph of a
+program, find the missing security dependencies (races between authorization
+and access / use / send), and produce a report that names the offending
+instructions, classifies the program as Spectre-type or Meltdown-type, and
+says which vulnerabilities a software fence can plug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.attack_graph import Vulnerability
+from ..core.security_dependency import ProtectionPoint
+from ..isa.program import Program
+from .builder import BuildResult, build_attack_graph
+from .classify import AuthorizationKind, MICROARCH_KINDS
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported vulnerability: a missing security dependency."""
+
+    authorization: str
+    protected_operation: str
+    point: ProtectionPoint
+    software_patchable: bool
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        fix = "software fence" if self.software_patchable else "hardware defense"
+        return (
+            f"[{self.point.value}] {self.protected_operation!r} may complete before "
+            f"{self.authorization!r} (fix: {fix})"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Full report of the attack-graph construction tool on one program."""
+
+    program_name: str
+    build: BuildResult
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.findings)
+
+    @property
+    def is_meltdown_type(self) -> bool:
+        return self.build.is_meltdown_type
+
+    @property
+    def access_findings(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.point is ProtectionPoint.ACCESS]
+
+    @property
+    def send_findings(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.point is ProtectionPoint.SEND]
+
+    def summary(self) -> str:
+        lines = [
+            f"Analysis of {self.program_name!r}",
+            f"  graph: {len(self.build.graph)} vertices, {len(self.build.graph.edges)} edges",
+            f"  classification: "
+            + ("Meltdown-type (intra-instruction)" if self.is_meltdown_type else "Spectre-type (inter-instruction)"),
+            f"  potential secret accesses: {len(self.build.secret_accesses)}",
+            f"  missing security dependencies: {len(self.findings)}",
+        ]
+        for finding in self.findings:
+            lines.append(f"    - {finding}")
+        if not self.findings:
+            lines.append("    (none -- program appears safe under this threat model)")
+        return "\n".join(lines)
+
+
+def _software_patchable(build: BuildResult, vulnerability: Vulnerability) -> bool:
+    """A vulnerability is software-patchable when its authorization is a branch.
+
+    Fences can be inserted between a software authorization (a branch) and
+    the protected access.  When authorization and access are micro-ops of the
+    same instruction, no software fence can be placed between them -- the fix
+    must come from hardware (or from removing the mapping, as KPTI does).
+    """
+    software_kinds = {
+        site.authorization_kind
+        for site in build.secret_accesses
+        if site.authorization_kind not in MICROARCH_KINDS
+    }
+    # The vulnerability's authorization vertex is a branch vertex iff it is
+    # not a micro-op vertex (micro-op vertices contain the ``::`` separator).
+    return bool(software_kinds) and "::" not in vulnerability.dependency.authorization
+
+
+def analyze_program(
+    program: Program,
+    protected_symbols: Optional[Sequence[str]] = None,
+    points: Optional[Sequence[ProtectionPoint]] = None,
+) -> AnalysisReport:
+    """Run the full Figure 9 flow on a program and report its vulnerabilities."""
+    build = build_attack_graph(program, protected_symbols)
+    selected_points = list(points) if points is not None else None
+    vulnerabilities = build.graph.find_vulnerabilities(points=selected_points)
+    findings = [
+        Finding(
+            authorization=vulnerability.dependency.authorization,
+            protected_operation=vulnerability.dependency.protected,
+            point=vulnerability.dependency.point,
+            software_patchable=_software_patchable(build, vulnerability),
+            description=vulnerability.description,
+        )
+        for vulnerability in vulnerabilities
+    ]
+    return AnalysisReport(program_name=program.name, build=build, findings=findings)

@@ -1,0 +1,200 @@
+"""Intra-instruction (micro-op) expansion for Meltdown-type accesses.
+
+For attacks where the authorization and the access live inside the same
+instruction (faulting loads, privileged register reads, lazily-switched FPU
+accesses, store-bypassing loads), the attack graph must contain the
+instruction's micro-ops as separate vertices (Section V-C: "the tool needs to
+break down such instructions into their micro-architectural level").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.edges import DependencyKind
+from ..core.nodes import ExecutionLevel, OperationType
+from .classify import AuthorizationKind
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One micro-op vertex produced by expanding an instruction."""
+
+    suffix: str
+    op_type: OperationType
+    description: str
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """The micro-ops of one instruction and the intra-instruction edges."""
+
+    micro_ops: Tuple[MicroOp, ...]
+    #: Edges between the micro-ops, as (source suffix, target suffix) pairs.
+    edges: Tuple[Tuple[str, str], ...]
+
+    def vertex_name(self, instruction_name: str, suffix: str) -> str:
+        return f"{instruction_name} :: {suffix}"
+
+
+_ADDRESS = MicroOp(
+    "compute address", OperationType.OTHER, "compute the effective address"
+)
+
+
+def _check_and_read(check_label: str, read_label: str) -> Expansion:
+    return Expansion(
+        micro_ops=(
+            _ADDRESS,
+            MicroOp("permission check", OperationType.AUTHORIZATION, check_label),
+            MicroOp(
+                "authorization resolved",
+                OperationType.RESOLUTION,
+                "the delayed check completes",
+            ),
+            MicroOp("read data", OperationType.SECRET_ACCESS, read_label, speculative=True),
+            MicroOp(
+                "writeback / forward",
+                OperationType.OTHER,
+                "forward the (possibly unauthorized) value to dependent micro-ops",
+                speculative=True,
+            ),
+        ),
+        edges=(
+            ("compute address", "permission check"),
+            ("permission check", "authorization resolved"),
+            ("compute address", "read data"),
+            ("read data", "writeback / forward"),
+        ),
+    )
+
+
+_EXPANSIONS = {
+    AuthorizationKind.PAGE_PRIVILEGE_CHECK: _check_and_read(
+        "page privilege / permission check (delayed)",
+        "read the data from memory, cache or an internal buffer",
+    ),
+    AuthorizationKind.MSR_PRIVILEGE_CHECK: Expansion(
+        micro_ops=(
+            MicroOp(
+                "privilege check",
+                OperationType.AUTHORIZATION,
+                "check the current privilege level allows RDMSR",
+            ),
+            MicroOp(
+                "authorization resolved",
+                OperationType.RESOLUTION,
+                "the privilege check completes",
+            ),
+            MicroOp(
+                "read special register",
+                OperationType.SECRET_ACCESS,
+                "read the system register value",
+                speculative=True,
+            ),
+            MicroOp(
+                "writeback / forward",
+                OperationType.OTHER,
+                "forward the value to dependent micro-ops",
+                speculative=True,
+            ),
+        ),
+        edges=(
+            ("privilege check", "authorization resolved"),
+            ("read special register", "writeback / forward"),
+        ),
+    ),
+    AuthorizationKind.FPU_OWNER_CHECK: Expansion(
+        micro_ops=(
+            MicroOp(
+                "owner check",
+                OperationType.AUTHORIZATION,
+                "check whether the FPU state belongs to the current context",
+            ),
+            MicroOp(
+                "authorization resolved",
+                OperationType.RESOLUTION,
+                "the ownership check / state restore completes",
+            ),
+            MicroOp(
+                "read FPU state",
+                OperationType.SECRET_ACCESS,
+                "read the (possibly stale) floating-point registers",
+                speculative=True,
+            ),
+            MicroOp(
+                "writeback / forward",
+                OperationType.OTHER,
+                "forward the value to dependent micro-ops",
+                speculative=True,
+            ),
+        ),
+        edges=(
+            ("owner check", "authorization resolved"),
+            ("read FPU state", "writeback / forward"),
+        ),
+    ),
+    AuthorizationKind.STORE_LOAD_DISAMBIGUATION: Expansion(
+        micro_ops=(
+            _ADDRESS,
+            MicroOp(
+                "address disambiguation",
+                OperationType.AUTHORIZATION,
+                "compare the load address against older stores in the store buffer",
+            ),
+            MicroOp(
+                "authorization resolved",
+                OperationType.RESOLUTION,
+                "disambiguation completes (true data source known)",
+            ),
+            MicroOp(
+                "read stale data",
+                OperationType.SECRET_ACCESS,
+                "read (possibly stale) data from memory, bypassing the store buffer",
+                speculative=True,
+            ),
+            MicroOp(
+                "writeback / forward",
+                OperationType.OTHER,
+                "forward the value to dependent micro-ops",
+                speculative=True,
+            ),
+        ),
+        edges=(
+            ("compute address", "address disambiguation"),
+            ("address disambiguation", "authorization resolved"),
+            ("compute address", "read stale data"),
+            ("read stale data", "writeback / forward"),
+        ),
+    ),
+}
+
+#: The micro-op suffix that carries the instruction's result to later instructions.
+RESULT_SUFFIX = "writeback / forward"
+#: The micro-op suffix of the authorization-resolution vertex.
+RESOLUTION_SUFFIX = "authorization resolved"
+#: The micro-op suffix of the secret-access vertex, per authorization kind.
+ACCESS_SUFFIX = {
+    AuthorizationKind.PAGE_PRIVILEGE_CHECK: "read data",
+    AuthorizationKind.MSR_PRIVILEGE_CHECK: "read special register",
+    AuthorizationKind.FPU_OWNER_CHECK: "read FPU state",
+    AuthorizationKind.STORE_LOAD_DISAMBIGUATION: "read stale data",
+}
+
+
+def expansion_for(kind: AuthorizationKind) -> Expansion:
+    """The micro-op expansion for an intra-instruction authorization kind."""
+    try:
+        return _EXPANSIONS[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"{kind} is a software authorization; no micro-op expansion is needed"
+        ) from exc
+
+
+#: Edge kind used for all intra-instruction micro-op edges.
+MICRO_EDGE_KIND = DependencyKind.MICROARCH
+#: Execution level attached to expanded vertices.
+MICRO_LEVEL = ExecutionLevel.MICROARCHITECTURAL

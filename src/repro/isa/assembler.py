@@ -1,0 +1,293 @@
+"""A small two-pass assembler for the tiny ISA.
+
+The assembler turns a textual listing -- close to the paper's Listing 1 and
+Listing 2 -- into a :class:`~repro.isa.program.Program`.  Supported syntax::
+
+    ; comment
+    .data
+    array_a:      address=0x100000 size=1048576 shared
+    secret:       address=0xffff0000 size=64 protected kernel
+    .text
+        clflush [array_a]
+        mov rbx, array_a
+        cmp rdx, [victim_size]
+        ja done
+        mov al, byte [array_victim + rdx]
+        shl rax, 12
+        mov rbx, [array_a + rax]
+    done:
+        hlt
+
+Memory operands accept a symbol, a base register, an index register with an
+optional ``*scale``, and a displacement, joined by ``+``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instructions import (
+    ALU_OPS,
+    Alu,
+    Branch,
+    Call,
+    Clflush,
+    Cmp,
+    CONDITIONS,
+    Fence,
+    FpExtract,
+    FpLoad,
+    Halt,
+    IndirectJmp,
+    Instruction,
+    Jmp,
+    Load,
+    Mov,
+    Nop,
+    Rdmsr,
+    Rdtsc,
+    Ret,
+    Store,
+)
+from .operands import ALL_REGISTERS, Immediate, Label, MemoryOperand, Register
+from .program import DataSymbol, Program, ProgramError
+
+
+class AssemblerError(ValueError):
+    """Raised for syntax errors, with the offending line number."""
+
+    def __init__(self, message: str, line_number: int, line: str) -> None:
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_DATA_ATTR_RE = re.compile(r"(\w+)=(\S+)")
+_DATA_FLAGS = ("protected", "kernel", "shared")
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise ValueError(f"not a number: {token!r}") from exc
+
+
+def _is_register(token: str) -> bool:
+    return token in ALL_REGISTERS
+
+
+def _parse_memory(token: str) -> MemoryOperand:
+    """Parse ``[sym + base + index*scale + disp]`` (any subset, any order)."""
+    inner = token.strip()[1:-1].strip()
+    if not inner:
+        raise ValueError("empty memory operand")
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale = 1
+    displacement = 0
+    symbol: Optional[str] = None
+    for part in (piece.strip() for piece in inner.split("+")):
+        if not part:
+            continue
+        if "*" in part:
+            reg_name, scale_text = (item.strip() for item in part.split("*", 1))
+            if not _is_register(reg_name):
+                raise ValueError(f"scaled index must be a register: {part!r}")
+            index = Register(reg_name)
+            scale = _parse_int(scale_text)
+        elif _is_register(part):
+            if base is None:
+                base = Register(part)
+            elif index is None:
+                index = Register(part)
+            else:
+                raise ValueError(f"too many registers in memory operand: {inner!r}")
+        else:
+            try:
+                displacement += _parse_int(part)
+            except ValueError:
+                if symbol is not None:
+                    raise ValueError(f"two symbols in memory operand: {inner!r}") from None
+                symbol = part
+    return MemoryOperand(
+        base=base, index=index, scale=scale, displacement=displacement, symbol=symbol
+    )
+
+
+def _parse_source(token: str) -> object:
+    """Parse a generic source operand: register, immediate, label/symbol or memory."""
+    token = token.strip()
+    if token.startswith("["):
+        return _parse_memory(token)
+    if _is_register(token):
+        return Register(token)
+    try:
+        return Immediate(_parse_int(token))
+    except ValueError:
+        return Label(token)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas that are not inside brackets."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#", "//"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _assemble_mov(operands: List[str], size: int, label: Optional[str]) -> Instruction:
+    if len(operands) != 2:
+        raise ValueError("mov needs exactly two operands")
+    dst_text, src_text = operands
+    if dst_text.startswith("["):
+        destination = _parse_memory(dst_text)
+        source = _parse_source(src_text)
+        if isinstance(source, MemoryOperand):
+            raise ValueError("memory-to-memory mov is not supported")
+        if isinstance(source, Label):
+            raise ValueError("cannot store a label directly")
+        return Store(address=destination, src=source, size=size, label=label)
+    destination = Register(dst_text)
+    source = _parse_source(src_text)
+    if isinstance(source, MemoryOperand):
+        return Load(dst=destination, address=source, size=size, label=label)
+    return Mov(dst=destination, src=source, label=label)
+
+
+def _assemble_instruction(
+    mnemonic: str, operand_text: str, label: Optional[str]
+) -> Instruction:
+    size = 8
+    if operand_text.strip().lower().startswith("byte "):
+        # e.g. ``mov al, byte [array + rdx]`` -- the byte size marker may also
+        # appear on the destination side of a store.
+        pass
+    operand_text = operand_text.replace("byte ", "@BYTE@")
+    operands = _split_operands(operand_text)
+    cleaned = []
+    for operand in operands:
+        if "@BYTE@" in operand:
+            size = 1
+            operand = operand.replace("@BYTE@", "").strip()
+        cleaned.append(operand)
+    operands = cleaned
+
+    if mnemonic == "mov":
+        # ``mov al, ...`` -- the 8-bit register aliases rax in the tiny ISA.
+        operands = ["rax" if operand in ("al", "ax", "eax") else operand for operand in operands]
+        return _assemble_mov(operands, size, label)
+    if mnemonic in ("movss", "movsd"):
+        return FpLoad(dst=Register(operands[0]), address=_parse_memory(operands[1]), label=label)
+    if mnemonic in ("movd", "movq") and len(operands) == 2 and operands[1].startswith("xmm"):
+        return FpExtract(dst=Register(operands[0]), src=Register(operands[1]), label=label)
+    if mnemonic in ALU_OPS:
+        source = _parse_source(operands[1])
+        if isinstance(source, (MemoryOperand, Label)):
+            raise ValueError(f"{mnemonic} source must be a register or immediate")
+        return Alu(op=mnemonic, dst=Register(operands[0]), src=source, label=label)
+    if mnemonic == "cmp":
+        rhs = _parse_source(operands[1])
+        if isinstance(rhs, Label):
+            raise ValueError("cmp right-hand side cannot be a label")
+        return Cmp(lhs=Register(operands[0]), rhs=rhs, label=label)
+    if mnemonic in CONDITIONS:
+        return Branch(condition=mnemonic, target=Label(operands[0]), label=label)
+    if mnemonic == "jmp":
+        if operands and _is_register(operands[0]):
+            return IndirectJmp(target=Register(operands[0]), label=label)
+        return Jmp(target=Label(operands[0]), label=label)
+    if mnemonic == "call":
+        return Call(target=Label(operands[0]), label=label)
+    if mnemonic == "ret":
+        return Ret(label=label)
+    if mnemonic == "clflush":
+        return Clflush(address=_parse_memory(operands[0]), label=label)
+    if mnemonic in ("lfence", "mfence"):
+        return Fence(kind=mnemonic, label=label)
+    if mnemonic == "rdtsc":
+        return Rdtsc(dst=Register(operands[0]), label=label)
+    if mnemonic == "rdmsr":
+        return Rdmsr(dst=Register(operands[0]), msr=_parse_int(operands[1]), label=label)
+    if mnemonic == "nop":
+        return Nop(label=label)
+    if mnemonic in ("hlt", "halt"):
+        return Halt(label=label)
+    raise ValueError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _parse_data_line(line: str) -> DataSymbol:
+    name, _, rest = line.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError("data symbol needs a name")
+    attributes = dict(_DATA_ATTR_RE.findall(rest))
+    if "address" not in attributes:
+        raise ValueError(f"data symbol {name!r} needs address=<value>")
+    flags = {flag: flag in rest.split() for flag in _DATA_FLAGS}
+    return DataSymbol(
+        name=name,
+        address=_parse_int(attributes["address"]),
+        size=_parse_int(attributes.get("size", "8")),
+        protected=flags["protected"],
+        kernel=flags["kernel"],
+        shared=flags["shared"],
+    )
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble a textual listing into a :class:`Program`."""
+    program = Program(name=name)
+    section = ".text"
+    pending_label: Optional[str] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        if line.startswith("."):
+            section = line.split()[0]
+            if section not in (".data", ".text"):
+                raise AssemblerError(f"unknown section {section!r}", line_number, raw_line)
+            continue
+        try:
+            if section == ".data":
+                program.add_symbol(_parse_data_line(line))
+                continue
+            if line.endswith(":") and " " not in line:
+                if pending_label is not None:
+                    program.append(Nop(label=pending_label))
+                pending_label = line[:-1]
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            instruction = _assemble_instruction(mnemonic, operand_text, pending_label)
+            pending_label = None
+            program.append(instruction)
+        except (ValueError, ProgramError) as exc:
+            raise AssemblerError(str(exc), line_number, raw_line) from exc
+    if pending_label is not None:
+        program.append(Nop(label=pending_label))
+    return program

@@ -1,0 +1,436 @@
+"""Instructions of the tiny ISA.
+
+The ISA is a deliberately small x86-64-flavoured instruction set, just rich
+enough to express the paper's attack listings (Listing 1: Spectre v1,
+Listing 2: Meltdown) and their variants: moves, loads/stores, ALU operations,
+compares and branches, cache flushes, fences, privileged register reads,
+floating-point register accesses, and a cycle counter read.
+
+Every instruction reports the registers it reads and writes and whether it
+reads or writes memory; this is what both the dependency analysis
+(:mod:`repro.isa.dependency`) and the out-of-order pipeline
+(:mod:`repro.uarch.pipeline`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+from .operands import FLAGS, Immediate, Label, MemoryOperand, Register
+
+Source = Union[Register, Immediate, Label, MemoryOperand]
+
+#: Condition codes supported by conditional branches.
+CONDITIONS = ("ja", "jae", "jb", "jbe", "je", "jne", "jg", "jl")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all instructions."""
+
+    #: Optional label attached to this instruction (branch target).
+    label: Optional[str] = field(default=None, kw_only=True)
+    #: Free-form comment carried through to reports and attack graphs.
+    comment: str = field(default="", kw_only=True)
+
+    # -- dataflow interface -------------------------------------------------
+    @property
+    def mnemonic(self) -> str:
+        return type(self).__name__.lower()
+
+    def reads_registers(self) -> FrozenSet[str]:
+        """Register names whose values this instruction reads."""
+        return frozenset()
+
+    def writes_registers(self) -> FrozenSet[str]:
+        """Register names this instruction writes."""
+        return frozenset()
+
+    @property
+    def memory_read(self) -> Optional[MemoryOperand]:
+        """The memory operand this instruction loads from, if any."""
+        return None
+
+    @property
+    def memory_write(self) -> Optional[MemoryOperand]:
+        """The memory operand this instruction stores to, if any."""
+        return None
+
+    # -- classification -----------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.memory_read is not None
+
+    @property
+    def is_store(self) -> bool:
+        return self.memory_write is not None
+
+    @property
+    def is_branch(self) -> bool:
+        return False
+
+    @property
+    def is_serializing(self) -> bool:
+        """Fences and other instructions that serialize execution."""
+        return False
+
+    @property
+    def is_privileged(self) -> bool:
+        """Instructions requiring supervisor privilege (e.g. RDMSR)."""
+        return False
+
+    def describe(self) -> str:
+        """One-line human readable rendering."""
+        return repr(self)
+
+
+def _source_registers(source: Source) -> FrozenSet[str]:
+    if isinstance(source, Register):
+        return frozenset({source.name})
+    if isinstance(source, MemoryOperand):
+        return source.registers
+    return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Data movement
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """Register <- register / immediate / symbol address."""
+
+    dst: Register
+    src: Union[Register, Immediate, Label]
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return _source_registers(self.src)
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"mov {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """Register <- memory.  ``size`` is 1 or 8 bytes."""
+
+    dst: Register
+    address: MemoryOperand
+    size: int = 8
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return self.address.registers
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    @property
+    def memory_read(self) -> Optional[MemoryOperand]:
+        return self.address
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        prefix = "byte " if self.size == 1 else ""
+        return f"mov {self.dst}, {prefix}{self.address}"
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """Memory <- register / immediate.  ``size`` is 1 or 8 bytes."""
+
+    address: MemoryOperand
+    src: Union[Register, Immediate]
+    size: int = 8
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return self.address.registers | _source_registers(self.src)
+
+    @property
+    def memory_write(self) -> Optional[MemoryOperand]:
+        return self.address
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"mov {self.address}, {self.src}"
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+ALU_OPS = ("add", "sub", "and", "or", "xor", "shl", "shr", "imul")
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """Two-operand ALU operation ``dst = dst <op> src``."""
+
+    op: str
+    dst: Register
+    src: Union[Register, Immediate]
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {self.op!r}; expected one of {ALU_OPS}")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.op
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name}) | _source_registers(self.src)
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name, FLAGS})
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.op} {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Cmp(Instruction):
+    """Compare and set flags.  The right-hand side may be a memory operand,
+    which is how the Spectre v1 bounds check gets its *delayed* operand
+    (``Array_Victim_Size`` not in the cache)."""
+
+    lhs: Register
+    rhs: Union[Register, Immediate, MemoryOperand]
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return frozenset({self.lhs.name}) | _source_registers(self.rhs)
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({FLAGS})
+
+    @property
+    def memory_read(self) -> Optional[MemoryOperand]:
+        return self.rhs if isinstance(self.rhs, MemoryOperand) else None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"cmp {self.lhs}, {self.rhs}"
+
+
+# ---------------------------------------------------------------------------
+# Control flow
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Conditional branch on the flags register."""
+
+    condition: str
+    target: Label
+
+    def __post_init__(self) -> None:
+        if self.condition not in CONDITIONS:
+            raise ValueError(f"unknown condition {self.condition!r}")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.condition
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return frozenset({FLAGS})
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.condition} {self.target}"
+
+
+@dataclass(frozen=True)
+class Jmp(Instruction):
+    """Unconditional direct jump."""
+
+    target: Label
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class IndirectJmp(Instruction):
+    """Indirect jump through a register (the Spectre v2 trigger)."""
+
+    target: Register
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return frozenset({self.target.name})
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"jmp {self.target}"
+
+
+@dataclass(frozen=True)
+class Call(Instruction):
+    """Direct call (pushes the return address onto the return stack)."""
+
+    target: Label
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"call {self.target}"
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """Return (pops the return stack; the Spectre-RSB trigger)."""
+
+    @property
+    def is_branch(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "ret"
+
+
+# ---------------------------------------------------------------------------
+# Cache control, fences, timing
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Clflush(Instruction):
+    """Flush the cache line containing the given address."""
+
+    address: MemoryOperand
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return self.address.registers
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"clflush {self.address}"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Serializing fence (``lfence`` or ``mfence``)."""
+
+    kind: str = "lfence"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lfence", "mfence"):
+            raise ValueError(f"unknown fence kind {self.kind!r}")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.kind
+
+    @property
+    def is_serializing(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Rdtsc(Instruction):
+    """Read the cycle counter into a register (used to time probe accesses)."""
+
+    dst: Register
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"rdtsc {self.dst}"
+
+
+# ---------------------------------------------------------------------------
+# Privileged / special state
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Rdmsr(Instruction):
+    """Read a model-specific (system) register -- requires supervisor privilege."""
+
+    dst: Register
+    msr: int
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    @property
+    def is_privileged(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"rdmsr {self.dst}, {self.msr:#x}"
+
+
+@dataclass(frozen=True)
+class FpLoad(Instruction):
+    """Load a floating-point register from memory."""
+
+    dst: Register
+    address: MemoryOperand
+
+    def __post_init__(self) -> None:
+        if not self.dst.is_fp:
+            raise ValueError("FpLoad destination must be an xmm register")
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return self.address.registers
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    @property
+    def memory_read(self) -> Optional[MemoryOperand]:
+        return self.address
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"movss {self.dst}, {self.address}"
+
+
+@dataclass(frozen=True)
+class FpExtract(Instruction):
+    """Move the low bits of a floating-point register into a GP register.
+
+    The first FP instruction in a new context is what triggers the LazyFP
+    ownership check; reading the stale FP state is the illegal access.
+    """
+
+    dst: Register
+    src: Register
+
+    def __post_init__(self) -> None:
+        if not self.src.is_fp:
+            raise ValueError("FpExtract source must be an xmm register")
+        if self.dst.is_fp:
+            raise ValueError("FpExtract destination must be a GP register")
+
+    def reads_registers(self) -> FrozenSet[str]:
+        return frozenset({self.src.name})
+
+    def writes_registers(self) -> FrozenSet[str]:
+        return frozenset({self.dst.name})
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"movd {self.dst}, {self.src}"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """No operation."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "nop"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Stop the simulated program."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "hlt"

@@ -1,0 +1,148 @@
+"""Operands of the tiny ISA: registers, immediates and memory references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Union
+
+
+#: General-purpose register names of the tiny ISA (x86-64 flavoured).
+GP_REGISTERS = (
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "rbp",
+    "rsp",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+#: The flags pseudo-register written by ``cmp`` and read by conditional branches.
+FLAGS = "flags"
+
+#: Floating-point registers (used by the LazyFP attack model).
+FP_REGISTERS = tuple(f"xmm{i}" for i in range(8))
+
+ALL_REGISTERS = GP_REGISTERS + (FLAGS,) + FP_REGISTERS
+
+
+@dataclass(frozen=True)
+class Register:
+    """A register operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ALL_REGISTERS:
+            raise ValueError(f"unknown register {self.name!r}")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.name.startswith("xmm")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """An immediate (constant) operand."""
+
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.value:#x}" if abs(self.value) > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic code or data label operand."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class MemoryOperand:
+    """A memory reference ``[base + index*scale + displacement]``.
+
+    ``symbol`` optionally names a data symbol whose address is added to the
+    effective address (resolved by the :class:`~repro.isa.program.Program`'s
+    data layout).
+    """
+
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale: int = 1
+    displacement: int = 0
+    symbol: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"scale must be 1, 2, 4 or 8, got {self.scale}")
+        if self.base is None and self.index is None and self.symbol is None:
+            raise ValueError("memory operand needs a base, an index or a symbol")
+
+    @property
+    def registers(self) -> FrozenSet[str]:
+        """Register names read to form the effective address."""
+        names = set()
+        if self.base is not None:
+            names.add(self.base.name)
+        if self.index is not None:
+            names.add(self.index.name)
+        return frozenset(names)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        parts = []
+        if self.symbol:
+            parts.append(self.symbol)
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            term = self.index.name if self.scale == 1 else f"{self.index.name}*{self.scale}"
+            parts.append(term)
+        if self.displacement:
+            parts.append(str(self.displacement))
+        return "[" + " + ".join(parts) + "]"
+
+
+Operand = Union[Register, Immediate, Label, MemoryOperand]
+
+
+def reg(name: str) -> Register:
+    """Shorthand constructor for a register operand."""
+    return Register(name)
+
+
+def imm(value: int) -> Immediate:
+    """Shorthand constructor for an immediate operand."""
+    return Immediate(value)
+
+
+def mem(
+    base: Optional[str] = None,
+    index: Optional[str] = None,
+    scale: int = 1,
+    displacement: int = 0,
+    symbol: Optional[str] = None,
+) -> MemoryOperand:
+    """Shorthand constructor for a memory operand."""
+    return MemoryOperand(
+        base=Register(base) if base else None,
+        index=Register(index) if index else None,
+        scale=scale,
+        displacement=displacement,
+        symbol=symbol,
+    )

@@ -1,0 +1,47 @@
+"""Microarchitectural simulator: caches, predictors, buffers, speculative pipeline."""
+
+from .buffers import LineFillBuffer, LoadPort, StoreBuffer, StoreBufferEntry
+from .cache import CacheAccess, CacheStats, SetAssociativeCache
+from .config import DEFAULT_CONFIG, UarchConfig
+from .defenses import DEFENSE_STRATEGY, SimDefense
+from .memory import Fault, MainMemory, MemorySystem, PAGE_SIZE, PageTable, PageTableEntry
+from .pipeline import ExecutionResult, SpeculativeCPU
+from .predictor import (
+    BranchTargetBuffer,
+    PredictorSuite,
+    ReturnStackBuffer,
+    TwoBitPredictor,
+)
+from .registers import FPUState, Flags, RegisterFile, SpecialRegisters
+from .stats import SimStats
+
+__all__ = [
+    "BranchTargetBuffer",
+    "CacheAccess",
+    "CacheStats",
+    "DEFAULT_CONFIG",
+    "DEFENSE_STRATEGY",
+    "ExecutionResult",
+    "FPUState",
+    "Fault",
+    "Flags",
+    "LineFillBuffer",
+    "LoadPort",
+    "MainMemory",
+    "MemorySystem",
+    "PAGE_SIZE",
+    "PageTable",
+    "PageTableEntry",
+    "PredictorSuite",
+    "RegisterFile",
+    "ReturnStackBuffer",
+    "SetAssociativeCache",
+    "SimDefense",
+    "SimStats",
+    "SpecialRegisters",
+    "SpeculativeCPU",
+    "StoreBuffer",
+    "StoreBufferEntry",
+    "TwoBitPredictor",
+    "UarchConfig",
+]

@@ -1,0 +1,56 @@
+"""Configuration of the microarchitectural simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable
+
+from .defenses import SimDefense
+
+
+@dataclass(frozen=True)
+class UarchConfig:
+    """Parameters of the simulated out-of-order speculative core."""
+
+    # Cache geometry and timing.
+    cache_sets: int = 64
+    cache_ways: int = 8
+    line_size: int = 64
+    cache_hit_latency: int = 4
+    cache_miss_latency: int = 200
+    #: Latency threshold separating a "fast" (hit) probe from a "slow" (miss)
+    #: probe in the timing covert channels.
+    hit_threshold: int = 80
+
+    # Speculation parameters.
+    #: Maximum number of transient instructions executed in one window
+    #: (roughly the ROB capacity available past the stalled authorization).
+    speculative_window: int = 64
+    #: Whether faults raised by transient/illegal accesses are suppressed so
+    #: the attacker program keeps running (Meltdown attackers install a
+    #: signal handler or use TSX for exactly this purpose).
+    suppress_faults: bool = True
+
+    #: Active defenses.
+    defenses: FrozenSet[SimDefense] = frozenset()
+
+    #: Maximum instructions executed per :meth:`SpeculativeCPU.run` call.
+    max_instructions: int = 100_000
+
+    def with_defenses(self, *defenses: SimDefense) -> "UarchConfig":
+        """A copy of this configuration with the given defenses enabled."""
+        return replace(self, defenses=frozenset(self.defenses) | set(defenses))
+
+    def without_defenses(self) -> "UarchConfig":
+        """A copy of this configuration with every defense disabled."""
+        return replace(self, defenses=frozenset())
+
+    def has(self, defense: SimDefense) -> bool:
+        return defense in self.defenses
+
+    @property
+    def cache_size(self) -> int:
+        return self.cache_sets * self.cache_ways * self.line_size
+
+
+DEFAULT_CONFIG = UarchConfig()

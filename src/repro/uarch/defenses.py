@@ -1,0 +1,63 @@
+"""Simulator-level defenses and their mapping to the paper's strategies.
+
+Each member of :class:`SimDefense` changes the behaviour of the speculative
+pipeline in :mod:`repro.uarch.pipeline` exactly the way the corresponding
+real defense changes real hardware/software.  :data:`DEFENSE_STRATEGY` maps
+every simulator defense onto one of the paper's four defense strategies,
+mirroring the mapping of the modelled defenses in :mod:`repro.defenses`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..defenses.base import DefenseStrategy
+
+
+class SimDefense(enum.Enum):
+    """Defenses the microarchitectural simulator can enforce."""
+
+    #: Strategy 1: transient loads do not execute until authorization resolves
+    #: (context-sensitive fencing / inserted LFENCE at the micro-op level).
+    PREVENT_SPECULATIVE_LOADS = "prevent speculative loads"
+    #: Strategy 1 (Meltdown-specific): kernel pages are unmapped for user
+    #: code, so even a transient access returns nothing (KAISER / KPTI).
+    KERNEL_ISOLATION = "kernel page table isolation"
+    #: Strategy 1 (Spectre v4): loads never speculatively bypass older stores
+    #: with unresolved addresses (SSBB / SSBS).
+    NO_STORE_BYPASS = "no speculative store bypass"
+    #: Strategy 2: speculatively loaded data is not forwarded to dependent
+    #: instructions (NDA / SpecShield / ConTExT / SpectreGuard).
+    NO_SPECULATIVE_FORWARDING = "no speculative data forwarding"
+    #: Strategy 3: speculative loads do not modify the cache; data is
+    #: returned through a shadow buffer (InvisiSpec / SafeSpec).
+    INVISIBLE_SPECULATION = "invisible speculation"
+    #: Strategy 3: speculative cache fills are rolled back on a squash
+    #: (CleanupSpec).
+    CLEANUP_ON_SQUASH = "cleanup speculative cache state on squash"
+    #: Strategy 3: speculative loads that hit may proceed, speculative misses
+    #: are delayed until authorization (Conditional Speculation / Efficient
+    #: Invisible Speculation).
+    DELAY_SPECULATIVE_MISSES = "delay speculative cache misses"
+    #: Strategy 3: the cache is partitioned between protection domains, so
+    #: the receiver cannot observe the sender's fills (DAWG).
+    PARTITIONED_CACHE = "partitioned cache (DAWG)"
+    #: Strategy 4: predictor and BTB state is flushed on a context switch /
+    #: barrier, so mis-training from another context has no effect
+    #: (IBPB, predictor invalidation, disabling prediction).
+    FLUSH_PREDICTORS = "flush predictors on context switch"
+
+
+#: Mapping from simulator defenses to the paper's strategies.
+DEFENSE_STRATEGY: Dict[SimDefense, DefenseStrategy] = {
+    SimDefense.PREVENT_SPECULATIVE_LOADS: DefenseStrategy.PREVENT_ACCESS,
+    SimDefense.KERNEL_ISOLATION: DefenseStrategy.PREVENT_ACCESS,
+    SimDefense.NO_STORE_BYPASS: DefenseStrategy.PREVENT_ACCESS,
+    SimDefense.NO_SPECULATIVE_FORWARDING: DefenseStrategy.PREVENT_USE,
+    SimDefense.INVISIBLE_SPECULATION: DefenseStrategy.PREVENT_SEND,
+    SimDefense.CLEANUP_ON_SQUASH: DefenseStrategy.PREVENT_SEND,
+    SimDefense.DELAY_SPECULATIVE_MISSES: DefenseStrategy.PREVENT_SEND,
+    SimDefense.PARTITIONED_CACHE: DefenseStrategy.PREVENT_SEND,
+    SimDefense.FLUSH_PREDICTORS: DefenseStrategy.CLEAR_PREDICTIONS,
+}

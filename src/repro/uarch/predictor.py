@@ -1,0 +1,137 @@
+"""Branch prediction structures: direction predictor, BTB and return stack buffer.
+
+These are the "hardware prediction" features the Spectre family exploits: the
+attacker mis-trains them so the victim speculates down the attacker's chosen
+path while the real authorization (branch resolution) is delayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class TwoBitPredictor:
+    """A per-PC two-bit saturating-counter direction predictor."""
+
+    STRONG_NOT_TAKEN = 0
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, initial: int = WEAK_NOT_TAKEN) -> None:
+        if not 0 <= initial <= 3:
+            raise ValueError("two-bit counter must be in [0, 3]")
+        self._initial = initial
+        self._counters: Dict[int, int] = {}
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def has_entry(self, pc: int) -> bool:
+        """Whether this branch has any history.
+
+        The pipeline only speculates on branches with predictor history --
+        flushing the predictor (strategy 4) therefore removes the attacker's
+        ability to steer speculation.
+        """
+        return pc in self._counters
+
+    def predict(self, pc: int) -> bool:
+        """``True`` means predicted taken."""
+        self.predictions += 1
+        return self._counters.get(pc, self._initial) >= self.WEAK_TAKEN
+
+    def train(self, pc: int, taken: bool) -> None:
+        """Update the counter with the actual outcome."""
+        counter = self._counters.get(pc, self._initial)
+        counter = min(counter + 1, 3) if taken else max(counter - 1, 0)
+        self._counters[pc] = counter
+
+    def record_outcome(self, predicted: bool, actual: bool) -> None:
+        if predicted != actual:
+            self.mispredictions += 1
+
+    def flush(self) -> None:
+        """Clear all counters (IBPB / predictor invalidation)."""
+        self._counters.clear()
+
+    def counter(self, pc: int) -> int:
+        return self._counters.get(pc, self._initial)
+
+
+class BranchTargetBuffer:
+    """Predicted targets for indirect branches (the Spectre v2 vector)."""
+
+    def __init__(self) -> None:
+        self._targets: Dict[int, int] = {}
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._targets.get(pc)
+
+    def train(self, pc: int, target: int) -> None:
+        self._targets[pc] = target
+
+    def flush(self) -> None:
+        self._targets.clear()
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._targets
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+
+class ReturnStackBuffer:
+    """A bounded return-address predictor stack (the Spectre-RSB vector)."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError("RSB depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        if len(self._stack) >= self.depth:
+            # Oldest entry falls off the bottom.
+            self._stack.pop(0)
+        self._stack.append(return_address)
+
+    def pop(self) -> Optional[int]:
+        """Predicted return target; ``None`` on underflow."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def poison(self, target: int) -> None:
+        """Overwrite the top entry (models attacker manipulation of the RSB)."""
+        if self._stack:
+            self._stack[-1] = target
+        else:
+            self._stack.append(target)
+
+    def stuff(self, filler: int, count: Optional[int] = None) -> None:
+        """RSB stuffing defense: refill the stack with benign targets."""
+        self._stack = [filler] * (count if count is not None else self.depth)
+
+    def flush(self) -> None:
+        self._stack.clear()
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+@dataclass
+class PredictorSuite:
+    """All prediction structures of the simulated core."""
+
+    direction: TwoBitPredictor = field(default_factory=TwoBitPredictor)
+    btb: BranchTargetBuffer = field(default_factory=BranchTargetBuffer)
+    rsb: ReturnStackBuffer = field(default_factory=ReturnStackBuffer)
+
+    def flush_all(self) -> None:
+        """Flush every predictor (context switch with predictor invalidation)."""
+        self.direction.flush()
+        self.btb.flush()
+        self.rsb.flush()

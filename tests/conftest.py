@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import get as get_attack
+from repro.core import figure2_example
+from repro.isa import assemble
+from repro.uarch import UarchConfig
+
+
+LISTING1_TEXT = """
+.data
+probe_array:  address=0x1000000 size=1048576 shared
+victim_array: address=0x200000  size=16
+victim_size:  address=0x210000  size=8
+secret:       address=0x200048  size=1 protected
+.text
+    clflush [probe_array]
+    mov rdx, 0x48
+    cmp rdx, [victim_size]
+    ja done
+    mov rax, byte [victim_array + rdx]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+done:
+    hlt
+"""
+
+LISTING2_TEXT = """
+.data
+probe_array:   address=0x1000000  size=1048576 shared
+kernel_secret: address=0xffff0000 size=64 kernel protected
+.text
+    clflush [probe_array]
+    mov rax, byte [kernel_secret]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+    hlt
+"""
+
+
+@pytest.fixture
+def figure2():
+    """The TSG of the paper's Figure 2."""
+    return figure2_example()
+
+
+@pytest.fixture
+def spectre_v1_graph():
+    """The Figure 1 attack graph of Spectre v1."""
+    return get_attack("spectre_v1").build_graph()
+
+
+@pytest.fixture
+def meltdown_graph():
+    """The Figure 3 attack graph of Meltdown."""
+    return get_attack("meltdown").build_graph()
+
+
+@pytest.fixture
+def listing1_program():
+    """The paper's Listing 1 (Spectre v1) as a tiny-ISA program."""
+    return assemble(LISTING1_TEXT, name="listing1")
+
+
+@pytest.fixture
+def listing2_program():
+    """The paper's Listing 2 (Meltdown) as a tiny-ISA program."""
+    return assemble(LISTING2_TEXT, name="listing2")
+
+
+@pytest.fixture
+def base_config():
+    """The default (undefended) simulator configuration."""
+    return UarchConfig()

@@ -1,0 +1,85 @@
+"""Tests for the reporting layer (table regeneration and graph rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ascii_graph,
+    classification_table,
+    defense_strategy_table,
+    dot_graph,
+    format_table,
+    race_report,
+    table1,
+    table2,
+    table3,
+)
+from repro.attacks import Nodes
+from repro.defenses import apply_prevent_access
+
+
+class TestFormatTable:
+    def test_columns_aligned_and_rows_present(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "333" in lines[2] or "333" in lines[3]
+
+    def test_header_separator(self):
+        text = format_table(("x",), [("y",)])
+        assert "-" in text.splitlines()[1]
+
+
+class TestPaperTables:
+    def test_table1_contains_thirteen_attacks(self):
+        text = table1()
+        assert "Spectre v1" in text
+        assert "CVE-2017-5754" in text
+        assert "Spoiler" in text
+        assert len(text.splitlines()) == 2 + 13
+
+    def test_table2_contains_industry_defenses_and_strategies(self):
+        text = table2()
+        assert "KAISER" in text
+        assert "Retpoline" in text
+        assert "clearing predictions" in text
+        assert "prevent access before authorization" in text
+
+    def test_table3_contains_authorization_and_access_columns(self):
+        text = table3()
+        assert "Boundary-check branch resolution" in text
+        assert "Forward data from store buffer" in text
+        assert len(text.splitlines()) == 2 + 18
+
+    def test_defense_strategy_table_lists_academia_defenses(self):
+        text = defense_strategy_table()
+        assert "InvisiSpec" in text and "academia" in text
+
+    def test_classification_table_distinguishes_types(self):
+        text = classification_table()
+        assert "intra-instruction micro-ops" in text
+        assert "inter-instruction" in text
+
+
+class TestGraphRendering:
+    def test_ascii_graph_lists_vertices_in_topological_order(self, spectre_v1_graph):
+        text = ascii_graph(spectre_v1_graph)
+        assert Nodes.LOAD_S in text
+        assert "(speculative)" in text
+        assert text.index(Nodes.BRANCH) < text.index(Nodes.LOAD_S)
+
+    def test_dot_graph_marks_security_edges(self, spectre_v1_graph):
+        defended = apply_prevent_access(spectre_v1_graph)
+        dot = dot_graph(defended)
+        assert "digraph" in dot
+        assert 'color="red"' in dot
+
+    def test_race_report_counts_and_lists(self, spectre_v1_graph):
+        text = race_report(spectre_v1_graph)
+        assert "racing pairs" in text
+        assert "missing security dependencies" in text
+
+    def test_race_report_on_defended_graph(self, spectre_v1_graph):
+        defended = apply_prevent_access(spectre_v1_graph)
+        assert "attack defeated" in race_report(defended)

@@ -1,0 +1,47 @@
+"""Tests for the full-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import attack_section, defense_matrix_section, full_report
+from repro.attacks import get
+from repro.defenses import get as get_defense
+
+
+class TestAttackSection:
+    def test_section_contains_key_facts(self):
+        text = attack_section(get("spectre_v1"))
+        assert "### Spectre v1" in text
+        assert "CVE-2017-5753" in text
+        assert "missing security dependencies" in text
+        assert "Load S" in text
+
+    def test_meltdown_section_mentions_microops(self):
+        text = attack_section(get("meltdown"))
+        assert "intra-instruction micro-ops" in text
+
+
+class TestDefenseMatrixSection:
+    def test_restricted_matrix(self):
+        text = defense_matrix_section(
+            defenses=[get_defense("lfence"), get_defense("kpti")],
+            attacks=[get("spectre_v1"), get("meltdown")],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + separator + 2 defenses
+        assert "defeats" in text and "-" in text
+
+
+class TestFullReport:
+    def test_report_without_matrix(self):
+        text = full_report(include_matrix=False)
+        assert "## Table I" in text
+        assert "## Attack graphs" in text
+        assert "### Cacheout" in text
+        assert "## Defense x attack evaluation" not in text
+
+    def test_report_with_matrix(self):
+        text = full_report(include_matrix=True)
+        assert "## Defense x attack evaluation" in text
+        assert "InvisiSpec" in text

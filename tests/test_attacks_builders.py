@@ -1,0 +1,139 @@
+"""Tests for the attack-graph builders (Figures 1, 3, 4, 5, 6, 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    FAULTING_LOAD_SOURCES,
+    LVI_SOURCES,
+    Nodes,
+    build_branch_speculation_graph,
+    build_faulting_load_graph,
+    build_lvi_graph,
+    build_special_register_graph,
+    build_store_bypass_graph,
+    get,
+)
+from repro.core import ExecutionLevel, OperationType, has_race
+
+
+class TestFigure1BranchGraph:
+    def test_races_the_paper_identifies(self, spectre_v1_graph):
+        """'Load S' and 'Load R' both race with 'Branch resolution'."""
+        assert has_race(spectre_v1_graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+        assert has_race(spectre_v1_graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_R)
+        assert has_race(spectre_v1_graph, Nodes.BRANCH_RESOLUTION, Nodes.COMPUTE_R)
+
+    def test_branch_precedes_speculative_path(self, spectre_v1_graph):
+        assert spectre_v1_graph.has_path(Nodes.BRANCH, Nodes.LOAD_S)
+        assert spectre_v1_graph.has_path(Nodes.LOAD_S, Nodes.LOAD_R)
+
+    def test_receiver_after_send_and_window(self, spectre_v1_graph):
+        assert spectre_v1_graph.has_path(Nodes.LOAD_R, Nodes.MEASURE)
+        assert spectre_v1_graph.has_path(Nodes.SQUASH, Nodes.RELOAD)
+        assert spectre_v1_graph.has_path(Nodes.FLUSH, Nodes.RELOAD)
+
+    def test_mistrain_feeds_the_branch(self, spectre_v1_graph):
+        assert spectre_v1_graph.has_edge(Nodes.MISTRAIN, Nodes.BRANCH)
+
+    def test_speculative_window_contents(self, spectre_v1_graph):
+        assert set(spectre_v1_graph.speculative_window) == {
+            Nodes.LOAD_S,
+            Nodes.COMPUTE_R,
+            Nodes.LOAD_R,
+        }
+
+    def test_mistrain_optional(self):
+        graph = build_branch_speculation_graph(name="no-mistrain", mistrain=False)
+        assert Nodes.MISTRAIN not in graph
+        assert graph.validate() == []
+
+    def test_all_vertices_architectural(self, spectre_v1_graph):
+        assert all(
+            op.level is ExecutionLevel.ARCHITECTURAL for op in spectre_v1_graph.operations
+        )
+
+
+class TestFigure3And4FaultingLoad:
+    def test_meltdown_single_source(self, meltdown_graph):
+        assert Nodes.read_from("memory") in meltdown_graph
+        assert meltdown_graph.operation(Nodes.read_from("memory")).op_type is (
+            OperationType.SECRET_ACCESS
+        )
+
+    def test_micro_op_vertices_are_microarchitectural(self, meltdown_graph):
+        assert (
+            meltdown_graph.operation(Nodes.PERMISSION_CHECK).level
+            is ExecutionLevel.MICROARCHITECTURAL
+        )
+
+    def test_access_races_with_permission_check(self, meltdown_graph):
+        assert has_race(meltdown_graph, Nodes.AUTH_RESOLVED, Nodes.read_from("memory"))
+        assert has_race(meltdown_graph, Nodes.AUTH_RESOLVED, Nodes.LOAD_R)
+
+    def test_figure4_has_all_five_sources(self):
+        graph = build_faulting_load_graph(name="figure4", sources=FAULTING_LOAD_SOURCES)
+        for source in FAULTING_LOAD_SOURCES:
+            assert Nodes.read_from(source) in graph
+        assert len(graph.secret_access_nodes) == 5
+
+    def test_each_source_feeds_compute_r(self):
+        graph = build_faulting_load_graph(name="figure4", sources=FAULTING_LOAD_SOURCES)
+        for source in FAULTING_LOAD_SOURCES:
+            assert graph.has_edge(Nodes.read_from(source), Nodes.COMPUTE_R)
+
+    def test_mds_variants_use_their_buffers(self):
+        assert Nodes.read_from("store buffer") in get("fallout").build_graph()
+        assert Nodes.read_from("line fill buffer") in get("zombieload").build_graph()
+        ridl = get("ridl").build_graph()
+        assert Nodes.read_from("load port") in ridl
+        assert Nodes.read_from("line fill buffer") in ridl
+
+    def test_foreshadow_reads_from_cache(self):
+        assert Nodes.read_from("cache") in get("foreshadow").build_graph()
+
+
+class TestFigure5SpecialRegister:
+    def test_spectre_v3a_reads_special_register(self):
+        graph = get("spectre_v3a").build_graph()
+        assert Nodes.read_from("special register") in graph
+        assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.read_from("special register"))
+
+    def test_lazy_fp_reads_fpu(self):
+        graph = get("lazy_fp").build_graph()
+        assert Nodes.read_from("FPU") in graph
+
+    def test_register_access_is_expanded(self):
+        graph = build_special_register_graph()
+        assert Nodes.REGISTER_ACCESS in graph
+        assert graph.is_meltdown_type
+
+
+class TestFigure6StoreBypass:
+    def test_authorization_is_disambiguation(self):
+        graph = build_store_bypass_graph()
+        assert graph.operation(Nodes.DISAMBIGUATION).op_type is OperationType.AUTHORIZATION
+        assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.READ_S)
+
+    def test_store_precedes_disambiguation(self):
+        graph = build_store_bypass_graph()
+        assert graph.has_path(Nodes.STORE, Nodes.DISAMBIGUATION)
+        assert graph.has_path(Nodes.LOAD_INSTRUCTION, Nodes.READ_S)
+
+
+class TestFigure7LVI:
+    def test_injection_sources_feed_the_diversion(self):
+        graph = build_lvi_graph()
+        for source in LVI_SOURCES:
+            assert graph.has_edge(Nodes.read_m_from(source), Nodes.DIVERT)
+
+    def test_diverted_flow_reaches_the_send(self):
+        graph = build_lvi_graph()
+        assert graph.has_path(Nodes.DIVERT, Nodes.LOAD_R)
+        assert graph.has_path(Nodes.PLANT_BUFFER, Nodes.LOAD_R)
+
+    def test_injection_races_with_fault_check(self):
+        graph = build_lvi_graph()
+        for source in LVI_SOURCES:
+            assert has_race(graph, Nodes.AUTH_RESOLVED, Nodes.read_m_from(source))

@@ -1,0 +1,94 @@
+"""Tests for the Section V-A attack-space generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+    SynthesizedAttack,
+    enumerate_attack_space,
+    novel_combinations,
+    published_combinations,
+)
+
+
+class TestEnumeration:
+    def test_full_space_size(self):
+        expected = len(SecretSource) * len(DelayMechanism) * len(CovertChannelKind)
+        assert sum(1 for _ in enumerate_attack_space()) == expected
+
+    def test_restricted_enumeration(self):
+        attacks = list(
+            enumerate_attack_space(
+                sources=[SecretSource.MAIN_MEMORY],
+                delays=[DelayMechanism.KERNEL_PRIVILEGE_CHECK],
+                channels=[CovertChannelKind.FLUSH_RELOAD, CovertChannelKind.PRIME_PROBE],
+            )
+        )
+        assert len(attacks) == 2
+
+    def test_published_combination_detected(self):
+        meltdown_like = SynthesizedAttack(
+            SecretSource.MAIN_MEMORY,
+            DelayMechanism.KERNEL_PRIVILEGE_CHECK,
+            CovertChannelKind.FLUSH_RELOAD,
+        )
+        assert meltdown_like.is_published
+
+    def test_new_combination_detected(self):
+        """Changing the covert channel of a known attack yields a new attack."""
+        new_attack = SynthesizedAttack(
+            SecretSource.MAIN_MEMORY,
+            DelayMechanism.KERNEL_PRIVILEGE_CHECK,
+            CovertChannelKind.FUNCTIONAL_UNIT,
+        )
+        assert not new_attack.is_published
+        assert "NEW candidate" in new_attack.describe()
+
+    def test_novel_combinations_exclude_published(self):
+        novel = novel_combinations()
+        assert all(not attack.is_published for attack in novel)
+        published = published_combinations()
+        assert all(attack.is_published for attack in published)
+        assert novel and published
+
+    def test_published_plus_novel_covers_space(self):
+        total = sum(1 for _ in enumerate_attack_space())
+        assert len(novel_combinations()) + len(published_combinations()) == total
+
+
+class TestSynthesizedGraphs:
+    def test_branch_delay_builds_spectre_style_graph(self):
+        attack = SynthesizedAttack(
+            SecretSource.OUT_OF_BOUNDS_MEMORY,
+            DelayMechanism.CONDITIONAL_BRANCH,
+            CovertChannelKind.FLUSH_RELOAD,
+        )
+        graph = attack.build_graph()
+        assert not graph.is_meltdown_type
+        assert graph.is_vulnerable()
+
+    def test_fault_delay_builds_meltdown_style_graph(self):
+        attack = SynthesizedAttack(
+            SecretSource.LINE_FILL_BUFFER,
+            DelayMechanism.TSX_ABORT,
+            CovertChannelKind.PRIME_PROBE,
+        )
+        graph = attack.build_graph()
+        assert graph.is_meltdown_type
+        assert graph.is_vulnerable()
+        assert any("line fill buffer" in name for name in graph.secret_access_nodes)
+
+    def test_every_novel_combination_yields_a_vulnerable_graph(self):
+        """The paper: any new combination of the three dimensions gives a new attack."""
+        sample = novel_combinations(
+            sources=[SecretSource.STORE_BUFFER, SecretSource.SPECIAL_REGISTER],
+            delays=[DelayMechanism.CONDITIONAL_BRANCH, DelayMechanism.LOAD_FAULT_CHECK],
+            channels=[CovertChannelKind.BTB, CovertChannelKind.FLUSH_RELOAD],
+        )
+        assert sample
+        for attack in sample:
+            assert attack.build_graph().is_vulnerable()

@@ -1,0 +1,135 @@
+"""Tests for the attack catalog (Tables I and III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import (
+    ALL_VARIANTS,
+    AttackCategory,
+    get,
+    keys,
+    meltdown_type,
+    spectre_type,
+    table1_rows,
+    table3_rows,
+    variants,
+)
+from repro.core import OperationType
+
+
+class TestRegistry:
+    def test_nineteen_variants_registered(self):
+        assert len(ALL_VARIANTS) == 19
+
+    def test_lookup_by_key(self):
+        assert get("spectre_v1").name == "Spectre v1"
+        assert get("meltdown").cve == "CVE-2017-5754"
+
+    def test_unknown_key_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="spectre_v1"):
+            get("spectre_v99")
+
+    def test_keys_in_table_order(self):
+        ordered = keys()
+        assert ordered[0] == "spectre_v1"
+        assert ordered[4] == "meltdown"
+        assert ordered[-1] == "spoiler"
+
+    def test_category_filters_partition_the_registry(self):
+        spectre = {variant.key for variant in spectre_type()}
+        meltdown = {variant.key for variant in meltdown_type()}
+        assert spectre | meltdown == set(keys())
+        assert not (spectre & meltdown)
+
+    def test_category_filter_via_variants(self):
+        assert all(
+            variant.category is AttackCategory.SPECTRE_TYPE
+            for variant in variants(AttackCategory.SPECTRE_TYPE)
+        )
+
+
+class TestTable1:
+    def test_thirteen_first_published_attacks(self):
+        assert len(table1_rows()) == 13
+
+    def test_known_rows_present(self):
+        rows = {row[0]: row for row in table1_rows()}
+        assert rows["Spectre v1"][1] == "CVE-2017-5753"
+        assert rows["Meltdown (Spectre v3)"][2] == "Kernel content leakage to unprivileged attacker"
+        assert rows["Spoiler"][1] == "CVE-2019-0162"
+        assert rows["Spectre v1.2"][1] == "N/A"
+
+    def test_newer_attacks_not_in_table1(self):
+        names = {row[0] for row in table1_rows()}
+        assert "RIDL" not in names
+        assert "LVI" not in names
+
+
+class TestTable3:
+    def test_eighteen_rows(self):
+        assert len(table3_rows()) == 18
+
+    def test_authorization_and_access_columns(self):
+        rows = {row[0]: row for row in table3_rows()}
+        assert rows["Spectre v1"][1] == "Boundary-check branch resolution"
+        assert rows["Spectre v1"][2] == "Read out-of-bounds memory"
+        assert rows["Meltdown (Spectre v3)"][1] == "Kernel privilege check"
+        assert rows["Spectre v4"][2] == "Read stale data"
+        assert rows["Fallout"][2] == "Forward data from store buffer"
+        assert rows["TAA"][1] == "TSX Asynchronous Abort Completion"
+
+    def test_spoiler_excluded_from_table3(self):
+        assert "Spoiler" not in {row[0] for row in table3_rows()}
+
+
+class TestCategoryClaims:
+    """Insight 6: Spectre-type vs Meltdown-type classification."""
+
+    def test_spectre_family_is_spectre_type(self):
+        for key in ("spectre_v1", "spectre_v1_1", "spectre_v2", "spectre_v4", "spectre_rsb"):
+            assert get(key).category is AttackCategory.SPECTRE_TYPE
+
+    def test_faulting_access_family_is_meltdown_type(self):
+        for key in ("meltdown", "foreshadow", "ridl", "zombieload", "fallout", "lvi", "taa",
+                    "cacheout", "lazy_fp", "spectre_v3a"):
+            assert get(key).category is AttackCategory.MELTDOWN_TYPE
+
+    def test_graph_granularity_matches_category(self):
+        for variant in ALL_VARIANTS.values():
+            graph = variant.build_graph()
+            assert graph.is_meltdown_type == variant.is_meltdown_type, variant.key
+
+
+class TestEveryGraph:
+    @pytest.mark.parametrize("key", list(ALL_VARIANTS))
+    def test_graph_builds_and_is_well_formed(self, key):
+        graph = get(key).build_graph()
+        assert graph.validate() == []
+        assert len(graph) >= 8
+        assert len(graph.edges) >= 7
+
+    @pytest.mark.parametrize("key", list(ALL_VARIANTS))
+    def test_graph_has_missing_security_dependency(self, key):
+        """Every published attack corresponds to at least one race (vulnerability)."""
+        graph = get(key).build_graph()
+        assert graph.is_vulnerable()
+        assert graph.secret_reachable_before_authorization()
+
+    @pytest.mark.parametrize("key", list(ALL_VARIANTS))
+    def test_graph_contains_all_required_steps(self, key):
+        graph = get(key).build_graph()
+        steps = {step.name for step in graph.steps_present()}
+        assert {"SETUP", "DELAYED_AUTHORIZATION", "SECRET_ACCESS", "USE_AND_SEND", "RECEIVE"} <= steps
+
+    @pytest.mark.parametrize("key", list(ALL_VARIANTS))
+    def test_speculative_window_is_nonempty(self, key):
+        graph = get(key).build_graph()
+        assert graph.speculative_window
+
+    def test_table1_row_accessor(self):
+        variant = get("spectre_v1")
+        assert variant.table1_row == ("Spectre v1", "CVE-2017-5753", "Boundary check bypass")
+
+    def test_str_includes_cve(self):
+        assert "CVE-2017-5754" in str(get("meltdown"))

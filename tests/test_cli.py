@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+LISTING1 = """
+.data
+probe_array:  address=0x1000000 size=1048576 shared
+victim_array: address=0x200000  size=16
+victim_size:  address=0x210000  size=8
+secret:       address=0x200048  size=1 protected
+.text
+    cmp rdx, [victim_size]
+    ja done
+    mov rax, byte [victim_array + rdx]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+done:
+    hlt
+"""
+
+
+@pytest.fixture
+def listing_file(tmp_path):
+    path = tmp_path / "victim.s"
+    path.write_text(LISTING1)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["tables"], ["attacks"], ["attack", "spectre_v1"],
+                     ["defenses"], ["evaluate", "lfence", "spectre_v1"],
+                     ["exploit", "meltdown"], ["ablation", "spectre_v1"], ["report"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Spectre v1" in out and "KAISER" in out and "Kernel privilege check" in out
+
+    def test_attacks_listing(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "spectre_v4" in out and "meltdown-type" in out
+
+    def test_attack_description(self, capsys):
+        assert main(["attack", "spectre_v1"]) == 0
+        out = capsys.readouterr().out
+        assert "Load S" in out and "missing security dependencies" in out
+
+    def test_attack_dot_output(self, capsys):
+        assert main(["attack", "meltdown", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_defenses_listing(self, capsys):
+        assert main(["defenses"]) == 0
+        assert "InvisiSpec" in capsys.readouterr().out
+
+    def test_evaluate_effective_defense_returns_zero(self, capsys):
+        assert main(["evaluate", "lfence", "spectre_v1"]) == 0
+        assert "defeats the attack" in capsys.readouterr().out
+
+    def test_evaluate_ineffective_defense_returns_one(self, capsys):
+        assert main(["evaluate", "lfence", "meltdown"]) == 1
+        assert "does NOT defeat" in capsys.readouterr().out
+
+    def test_analyze_vulnerable_program_returns_one(self, listing_file, capsys):
+        assert main(["analyze", listing_file]) == 1
+        assert "missing security dependencies" in capsys.readouterr().out
+
+    def test_patch_program(self, listing_file, capsys):
+        assert main(["patch", listing_file]) == 0
+        out = capsys.readouterr().out
+        assert "lfence" in out
+
+    def test_exploit_leaks_returns_one(self, capsys):
+        assert main(["exploit", "spectre_v1"]) == 1
+        assert "LEAKED" in capsys.readouterr().out
+
+    def test_exploit_with_defense_returns_zero(self, capsys):
+        assert main(["exploit", "meltdown", "--defense", "kernel_isolation"]) == 0
+        assert "no leak" in capsys.readouterr().out
+
+    def test_exploit_unknown_name(self):
+        with pytest.raises(SystemExit):
+            main(["exploit", "rowhammer"])
+
+    def test_exploit_unknown_defense(self):
+        with pytest.raises(SystemExit):
+            main(["exploit", "meltdown", "--defense", "tinfoil_hat"])
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "spectre_v1"]) == 0
+        out = capsys.readouterr().out
+        assert "(no defense)" in out and "defeated" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        assert main(["report", "--no-matrix", "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "# Speculative execution attack-graph model" in text
+        assert "### Spectre v1" in text
+        assert "Table III" in text

@@ -1,0 +1,123 @@
+"""Tests for the typed attack graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import Nodes
+from repro.core import (
+    AttackGraph,
+    AttackPart,
+    AttackStep,
+    DependencyKind,
+    ExecutionLevel,
+    OperationType,
+    ProtectionPoint,
+    SecurityDependency,
+)
+
+
+def minimal_attack_graph() -> AttackGraph:
+    """A hand-built four-node attack graph with one missing security dependency."""
+    graph = AttackGraph(name="minimal")
+    graph.add_step("setup", OperationType.SETUP, AttackStep.SETUP)
+    graph.add_step("auth", OperationType.AUTHORIZATION, AttackStep.DELAYED_AUTHORIZATION,
+                   after=["setup"])
+    graph.add_step("access", OperationType.SECRET_ACCESS, AttackStep.SECRET_ACCESS,
+                   speculative=True, after=["setup"])
+    graph.add_step("send", OperationType.SEND, AttackStep.USE_AND_SEND,
+                   speculative=True, after=["access"], kind=DependencyKind.DATA)
+    graph.add_step("receive", OperationType.RECEIVE, AttackStep.RECEIVE, after=["send"])
+    return graph
+
+
+class TestVertexClasses:
+    def test_node_class_properties(self):
+        graph = minimal_attack_graph()
+        assert graph.setup_nodes == ["setup"]
+        assert graph.authorization_nodes == ["auth"]
+        assert graph.secret_access_nodes == ["access"]
+        assert graph.send_nodes == ["send"]
+        assert graph.receive_nodes == ["receive"]
+        assert set(graph.speculative_window) == {"access", "send"}
+
+    def test_steps_and_parts(self):
+        graph = minimal_attack_graph()
+        assert graph.nodes_in_step(AttackStep.SECRET_ACCESS) == ["access"]
+        assert set(graph.nodes_in_part(AttackPart.COVERT_CHANNEL)) == {"setup", "send", "receive"}
+        assert AttackStep.SETUP in graph.steps_present()
+
+    def test_attack_step_part_mapping(self):
+        assert AttackStep.SECRET_ACCESS.part is AttackPart.SECRET_ACCESS
+        assert AttackStep.RECEIVE.part is AttackPart.COVERT_CHANNEL
+        assert AttackStep.SETUP.part is AttackPart.COVERT_CHANNEL
+
+    def test_meltdown_type_detection(self, spectre_v1_graph, meltdown_graph):
+        assert not spectre_v1_graph.is_meltdown_type
+        assert meltdown_graph.is_meltdown_type
+
+    def test_validate_complete_graph(self, spectre_v1_graph):
+        assert spectre_v1_graph.validate() == []
+
+    def test_validate_reports_missing_classes(self):
+        graph = AttackGraph(name="incomplete")
+        graph.add_step("auth", OperationType.AUTHORIZATION, AttackStep.DELAYED_AUTHORIZATION)
+        problems = graph.validate()
+        assert any("secret_access" in problem for problem in problems)
+        assert any("receive" in problem for problem in problems)
+
+
+class TestVulnerabilityAnalysis:
+    def test_minimal_graph_is_vulnerable(self):
+        graph = minimal_attack_graph()
+        assert graph.is_vulnerable()
+        assert graph.secret_reachable_before_authorization()
+
+    def test_vulnerabilities_describe_the_race(self):
+        graph = minimal_attack_graph()
+        vulnerability = graph.find_vulnerabilities(points=[ProtectionPoint.ACCESS])[0]
+        assert vulnerability.dependency.authorization == "auth"
+        assert vulnerability.dependency.protected == "access"
+        assert vulnerability.race.involves("auth")
+
+    def test_authorization_races(self, spectre_v1_graph):
+        racing = set()
+        for race in spectre_v1_graph.authorization_races():
+            racing.update(race.as_pair())
+        assert Nodes.LOAD_S in racing
+        assert Nodes.LOAD_R in racing
+
+    def test_with_security_dependency_defeats_minimal_graph(self):
+        graph = minimal_attack_graph()
+        defended = graph.with_security_dependency(SecurityDependency("auth", "access"))
+        assert not defended.is_vulnerable()
+        assert graph.is_vulnerable(), "original graph must be untouched"
+
+    def test_with_security_dependencies_is_idempotent_on_existing_edges(self):
+        graph = minimal_attack_graph()
+        dependency = SecurityDependency("auth", "access")
+        defended = graph.with_security_dependencies([dependency, dependency])
+        assert sum(1 for edge in defended.edges if edge.is_security) == 1
+
+
+class TestReporting:
+    def test_summary_fields(self, spectre_v1_graph):
+        summary = spectre_v1_graph.summary()
+        assert summary["vulnerable"] is True
+        assert summary["meltdown_type"] is False
+        assert Nodes.LOAD_S in summary["secret_access_nodes"]
+        assert summary["vertices"] == len(spectre_v1_graph)
+
+    def test_describe_mentions_vulnerabilities(self, spectre_v1_graph):
+        text = spectre_v1_graph.describe()
+        assert "missing security dependencies" in text
+        assert Nodes.LOAD_S in text
+
+    def test_describe_defended_graph_reports_no_vulnerabilities(self):
+        graph = minimal_attack_graph()
+        defended = graph.with_security_dependency(SecurityDependency("auth", "access"))
+        assert "attack defeated" in defended.describe()
+
+    def test_copy_preserves_description(self, spectre_v1_graph):
+        clone = spectre_v1_graph.copy()
+        assert clone.description == spectre_v1_graph.description

@@ -1,0 +1,121 @@
+"""Tests for race conditions and Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Race,
+    TopologicalSortGraph,
+    figure2_example,
+    find_races,
+    has_race,
+    has_race_by_enumeration,
+    race_free,
+    verify_theorem1,
+    witness_orderings,
+)
+
+
+class TestFigure2Races:
+    def test_d_and_e_race(self, figure2):
+        """The race the paper calls out explicitly."""
+        assert has_race(figure2, "D", "E")
+
+    def test_connected_pairs_do_not_race(self, figure2):
+        assert not has_race(figure2, "A", "G")
+        assert not has_race(figure2, "C", "F")
+        assert not has_race(figure2, "B", "D")
+
+    def test_b_races_with_c_and_e(self, figure2):
+        assert has_race(figure2, "B", "C")
+        assert has_race(figure2, "B", "E")
+
+    def test_race_is_symmetric(self, figure2):
+        assert has_race(figure2, "E", "D") == has_race(figure2, "D", "E")
+
+    def test_vertex_does_not_race_with_itself(self, figure2):
+        assert not has_race(figure2, "D", "D")
+
+    def test_find_races_lists_every_racing_pair(self, figure2):
+        races = {frozenset(race.as_pair()) for race in find_races(figure2)}
+        assert frozenset({"D", "E"}) in races
+        assert frozenset({"B", "C"}) in races
+        assert frozenset({"A", "G"}) not in races
+
+    def test_find_races_among_subset(self, figure2):
+        races = find_races(figure2, among=["D", "E", "F"])
+        assert [race.as_pair() for race in races] == [("D", "E")]
+
+    def test_race_involves(self):
+        race = Race("D", "E")
+        assert race.involves("D") and race.involves("E")
+        assert not race.involves("F")
+
+
+class TestTheorem1:
+    def test_theorem_holds_on_figure2(self, figure2):
+        check = verify_theorem1(figure2)
+        assert check.holds
+        assert check.pairs_checked == 21  # C(7, 2)
+
+    def test_theorem_holds_on_chain(self):
+        graph = TopologicalSortGraph()
+        for name in "ABCDE":
+            graph.add_vertex(name)
+        for source, target in zip("ABCD", "BCDE"):
+            graph.add_edge(source, target)
+        assert verify_theorem1(graph).holds
+
+    def test_theorem_holds_on_disconnected_vertices(self):
+        graph = TopologicalSortGraph()
+        for name in "ABCD":
+            graph.add_vertex(name)
+        assert verify_theorem1(graph).holds
+
+    def test_enumeration_and_path_checks_agree(self, figure2):
+        for u in figure2.vertices:
+            for v in figure2.vertices:
+                if u < v:
+                    assert has_race(figure2, u, v) == has_race_by_enumeration(figure2, u, v)
+
+    def test_adding_the_missing_edge_removes_the_race(self, figure2):
+        """Inserting a (security) dependency between racing vertices removes the race."""
+        assert has_race(figure2, "D", "E")
+        figure2.add_edge("E", "D")
+        assert not has_race(figure2, "D", "E")
+        assert verify_theorem1(figure2).holds
+
+
+class TestWitnesses:
+    def test_witness_orderings_flip_the_racing_pair(self, figure2):
+        witnesses = witness_orderings(figure2, "D", "E")
+        assert witnesses is not None
+        first, second = witnesses
+        assert figure2.is_valid_ordering(first)
+        assert figure2.is_valid_ordering(second)
+        first_pos = {name: index for index, name in enumerate(first)}
+        second_pos = {name: index for index, name in enumerate(second)}
+        assert (first_pos["D"] < first_pos["E"]) != (second_pos["D"] < second_pos["E"])
+
+    def test_no_witness_for_ordered_pair(self, figure2):
+        assert witness_orderings(figure2, "A", "G") is None
+
+
+class TestRaceFree:
+    def test_total_order_is_race_free(self):
+        graph = TopologicalSortGraph()
+        for name in "ABC":
+            graph.add_vertex(name)
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "C")
+        assert race_free(graph)
+
+    def test_figure2_is_not_race_free(self, figure2):
+        assert not race_free(figure2)
+
+    def test_figure2_factory_returns_fresh_graphs(self):
+        first = figure2_example()
+        second = figure2_example()
+        first.add_edge("E", "D")
+        assert has_race(second, "D", "E")

@@ -1,0 +1,75 @@
+"""Tests for security dependencies (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import Nodes
+from repro.core import (
+    DependencyKind,
+    OperationType,
+    ProtectionPoint,
+    SecurityDependency,
+    enforce,
+    is_vulnerable,
+    missing_security_dependencies,
+)
+
+
+class TestSecurityDependency:
+    def test_as_dependency_is_a_security_edge(self):
+        dependency = SecurityDependency("auth", "access")
+        edge = dependency.as_dependency()
+        assert edge.kind is DependencyKind.SECURITY
+        assert edge.source == "auth" and edge.target == "access"
+
+    def test_enforced_by_direct_edge(self, spectre_v1_graph):
+        dependency = SecurityDependency(Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+        assert dependency.is_missing(spectre_v1_graph)
+        patched = enforce(spectre_v1_graph, dependency)
+        assert dependency.is_enforced(patched)
+
+    def test_enforced_by_indirect_path(self, spectre_v1_graph):
+        """Any directed path from authorization to the protected vertex suffices."""
+        access_dep = SecurityDependency(Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+        send_dep = SecurityDependency(Nodes.BRANCH_RESOLUTION, Nodes.LOAD_R, ProtectionPoint.SEND)
+        patched = enforce(spectre_v1_graph, access_dep)
+        # Ordering the access behind authorization transitively orders the send too.
+        assert send_dep.is_enforced(patched)
+
+    def test_original_graph_not_mutated_by_enforce(self, spectre_v1_graph):
+        dependency = SecurityDependency(Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+        enforce(spectre_v1_graph, dependency)
+        assert dependency.is_missing(spectre_v1_graph)
+
+
+class TestMissingDependencies:
+    def test_spectre_graph_misses_access_use_and_send_dependencies(self, spectre_v1_graph):
+        missing = missing_security_dependencies(spectre_v1_graph)
+        points = {dep.point for dep in missing}
+        assert points == {ProtectionPoint.ACCESS, ProtectionPoint.USE, ProtectionPoint.SEND}
+
+    def test_missing_dependencies_name_the_speculative_operations(self, spectre_v1_graph):
+        protected = {dep.protected for dep in missing_security_dependencies(spectre_v1_graph)}
+        assert Nodes.LOAD_S in protected
+        assert Nodes.COMPUTE_R in protected
+        assert Nodes.LOAD_R in protected
+
+    def test_point_filter(self, spectre_v1_graph):
+        only_send = missing_security_dependencies(
+            spectre_v1_graph, points=[ProtectionPoint.SEND]
+        )
+        assert {dep.point for dep in only_send} == {ProtectionPoint.SEND}
+        assert {dep.protected for dep in only_send} == {Nodes.LOAD_R}
+
+    def test_vulnerability_removed_by_enforcement(self, spectre_v1_graph):
+        assert is_vulnerable(spectre_v1_graph)
+        patched = spectre_v1_graph
+        for dependency in missing_security_dependencies(spectre_v1_graph):
+            patched = enforce(patched, dependency)
+        assert not is_vulnerable(patched)
+
+    def test_meltdown_graph_authorization_is_a_micro_op(self, meltdown_graph):
+        missing = missing_security_dependencies(meltdown_graph)
+        authorizations = {dep.authorization for dep in missing}
+        assert Nodes.PERMISSION_CHECK in authorizations or Nodes.AUTH_RESOLVED in authorizations

@@ -1,0 +1,117 @@
+"""Tests for the industry / academia defense catalog (Table II and Section V-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import get as get_attack
+from repro.defenses import (
+    ACADEMIA_DEFENSES,
+    ALL_DEFENSES,
+    INDUSTRY_DEFENSES,
+    DefenseOrigin,
+    DefenseStrategy,
+    get,
+    table2_rows,
+)
+
+
+class TestCatalogShape:
+    def test_fifteen_industry_defenses(self):
+        assert len(INDUSTRY_DEFENSES) == 15
+
+    def test_fourteen_academic_defenses(self):
+        assert len(ACADEMIA_DEFENSES) == 14
+
+    def test_unique_keys(self):
+        keys = [defense.key for defense in ALL_DEFENSES]
+        assert len(keys) == len(set(keys))
+
+    def test_lookup(self):
+        assert get("lfence").name == "LFence"
+        assert get("stt").origin is DefenseOrigin.ACADEMIA
+
+    def test_unknown_defense(self):
+        with pytest.raises(KeyError):
+            get("magic_shield")
+
+
+class TestPaperClaim:
+    """Insight 3: every proposed defense falls under one of the four strategies."""
+
+    def test_every_defense_has_a_strategy(self):
+        for defense in ALL_DEFENSES:
+            assert isinstance(defense.strategy, DefenseStrategy)
+
+    def test_all_four_strategies_are_used(self):
+        strategies = {defense.strategy for defense in ALL_DEFENSES}
+        assert strategies == set(DefenseStrategy)
+
+    def test_expected_strategy_assignments(self):
+        expected = {
+            "lfence": DefenseStrategy.PREVENT_ACCESS,
+            "kpti": DefenseStrategy.PREVENT_ACCESS,
+            "coarse_masking": DefenseStrategy.PREVENT_ACCESS,
+            "ssbb": DefenseStrategy.PREVENT_ACCESS,
+            "context_sensitive_fencing": DefenseStrategy.PREVENT_ACCESS,
+            "sabc": DefenseStrategy.PREVENT_ACCESS,
+            "nda": DefenseStrategy.PREVENT_USE,
+            "spectreguard": DefenseStrategy.PREVENT_USE,
+            "context": DefenseStrategy.PREVENT_USE,
+            "specshield": DefenseStrategy.PREVENT_USE,
+            "stt": DefenseStrategy.PREVENT_SEND,
+            "invisispec": DefenseStrategy.PREVENT_SEND,
+            "safespec": DefenseStrategy.PREVENT_SEND,
+            "cleanupspec": DefenseStrategy.PREVENT_SEND,
+            "conditional_speculation": DefenseStrategy.PREVENT_SEND,
+            "dawg": DefenseStrategy.PREVENT_SEND,
+            "ibpb": DefenseStrategy.CLEAR_PREDICTIONS,
+            "retpoline": DefenseStrategy.CLEAR_PREDICTIONS,
+            "rsb_stuffing": DefenseStrategy.CLEAR_PREDICTIONS,
+        }
+        for key, strategy in expected.items():
+            assert get(key).strategy is strategy, key
+
+
+class TestApplicability:
+    def test_kpti_targets_meltdown_only(self):
+        kpti = get("kpti")
+        assert kpti.applies_to(get_attack("meltdown"))
+        assert not kpti.applies_to(get_attack("spectre_v1"))
+        assert not kpti.applies_to(get_attack("foreshadow"))
+
+    def test_lfence_targets_spectre_not_meltdown(self):
+        lfence = get("lfence")
+        assert lfence.applies_to(get_attack("spectre_v1"))
+        assert not lfence.applies_to(get_attack("meltdown"))
+
+    def test_ssbb_targets_v4_only(self):
+        ssbb = get("ssbb")
+        assert ssbb.applies_to(get_attack("spectre_v4"))
+        assert not ssbb.applies_to(get_attack("spectre_v1"))
+
+    def test_rsb_stuffing_targets_rsb(self):
+        assert get("rsb_stuffing").applies_to(get_attack("spectre_rsb"))
+        assert not get("rsb_stuffing").applies_to(get_attack("spectre_v2"))
+
+    def test_generic_academic_defense_applies_everywhere(self):
+        stt = get("stt")
+        for key in ("spectre_v1", "meltdown", "lvi", "fallout"):
+            assert stt.applies_to(get_attack(key))
+
+
+class TestTable2:
+    def test_one_row_per_industry_defense(self):
+        assert len(table2_rows()) == len(INDUSTRY_DEFENSES)
+
+    def test_known_rows(self):
+        rows = {row[2]: row for row in table2_rows()}
+        assert rows["LFence"][0] == "Spectre"
+        assert "Meltdown" in rows["KAISER"][0]
+        assert "Spectre v4" in rows["Speculative Store Bypass Barrier (SSBB)"][0]
+
+    def test_row_strategy_column_matches_defense(self):
+        for defense in INDUSTRY_DEFENSES:
+            category, strategy, name = defense.table2_row
+            assert name == defense.name
+            assert strategy == defense.strategy.value

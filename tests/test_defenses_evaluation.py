@@ -1,0 +1,127 @@
+"""Tests for defense evaluation on the attack-graph model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import FAULTING_LOAD_SOURCES, Nodes, build_faulting_load_graph, get as get_attack
+from repro.defenses import (
+    ALL_DEFENSES,
+    DefenseStrategy,
+    attack_succeeds,
+    evaluate_defense,
+    evaluate_matrix,
+    get,
+    insufficient_defense_demo,
+    leaking_sources,
+    source_projections,
+)
+
+
+class TestLeakCondition:
+    def test_baseline_graphs_leak(self, spectre_v1_graph, meltdown_graph):
+        assert attack_succeeds(spectre_v1_graph)
+        assert attack_succeeds(meltdown_graph)
+
+    def test_leaking_sources_of_multi_source_graph(self):
+        graph = build_faulting_load_graph(name="fig4", sources=FAULTING_LOAD_SOURCES)
+        sources = leaking_sources(graph)
+        assert len(sources) == len(FAULTING_LOAD_SOURCES)
+
+    def test_source_projections_single_source_graph_is_itself(self, spectre_v1_graph):
+        projections = source_projections(spectre_v1_graph)
+        assert len(projections) == 1
+        assert projections[0][1] is spectre_v1_graph
+
+    def test_source_projections_expand_alternatives(self):
+        graph = build_faulting_load_graph(name="fig4", sources=("memory", "cache", "store buffer"))
+        projections = source_projections(graph)
+        assert len(projections) == 3
+        for chosen, projection in projections:
+            assert len(chosen) == 1
+            assert len(projection.secret_access_nodes) == 1
+            assert projection.validate() == []
+
+
+class TestEvaluations:
+    def test_lfence_defeats_spectre_v1(self):
+        evaluation = evaluate_defense(get("lfence"), get_attack("spectre_v1"))
+        assert evaluation.applicable and evaluation.effective
+        assert evaluation.security_edges_added >= 1
+
+    def test_lfence_not_applicable_to_meltdown(self):
+        evaluation = evaluate_defense(get("lfence"), get_attack("meltdown"))
+        assert not evaluation.applicable and not evaluation.effective
+
+    def test_kpti_defeats_meltdown(self):
+        assert evaluate_defense(get("kpti"), get_attack("meltdown")).effective
+
+    def test_ibpb_defeats_spectre_v2_but_not_meltdown(self):
+        assert evaluate_defense(get("ibpb"), get_attack("spectre_v2")).effective
+        assert not evaluate_defense(get("ibpb"), get_attack("meltdown")).effective
+
+    def test_rsb_stuffing_defeats_spectre_rsb(self):
+        assert evaluate_defense(get("rsb_stuffing"), get_attack("spectre_rsb")).effective
+
+    def test_ssbb_defeats_spectre_v4(self):
+        assert evaluate_defense(get("ssbb"), get_attack("spectre_v4")).effective
+
+    @pytest.mark.parametrize("defense_key", ["stt", "invisispec", "nda", "context", "cleanupspec"])
+    @pytest.mark.parametrize("attack_key", ["spectre_v1", "meltdown", "foreshadow", "fallout", "lvi"])
+    def test_generic_hardware_defenses_defeat_everything(self, defense_key, attack_key):
+        """Strategy 2/3 defenses protect every variant in the graph model."""
+        evaluation = evaluate_defense(get(defense_key), get_attack(attack_key))
+        assert evaluation.effective, f"{defense_key} should defeat {attack_key}"
+
+    def test_every_attack_has_at_least_one_effective_defense(self):
+        from repro.attacks import ALL_VARIANTS, variants
+
+        matrix = evaluate_matrix(ALL_DEFENSES, variants())
+        by_attack = {}
+        for evaluation in matrix:
+            by_attack.setdefault(evaluation.attack_key, []).append(evaluation)
+        for attack_key, evaluations in by_attack.items():
+            assert any(evaluation.effective for evaluation in evaluations), attack_key
+
+    def test_evaluation_str_mentions_verdict(self):
+        evaluation = evaluate_defense(get("lfence"), get_attack("spectre_v1"))
+        assert "defeats" in str(evaluation)
+
+
+class TestInsufficientDefense:
+    """The Section V-B discussion: a fence on the memory path alone is not enough."""
+
+    def test_reproduces_paper_conclusion(self):
+        report = insufficient_defense_demo()
+        assert report.reproduces_paper
+
+    def test_partial_fence_leaks_through_the_cache(self):
+        report = insufficient_defense_demo()
+        assert report.baseline_leaks
+        assert report.fenced_memory_only_leaks
+        assert any(
+            "cache" in source for chosen in report.fenced_memory_leaking_sources for source in chosen
+        )
+
+    def test_complete_fence_and_prevent_use_both_work(self):
+        report = insufficient_defense_demo()
+        assert not report.fenced_all_sources_leaks
+        assert not report.prevent_use_leaks
+
+    def test_partial_defense_via_defense_object(self):
+        """A Defense with protected_sources only covering memory is insufficient for L1TF."""
+        from repro.defenses.base import Defense, DefenseOrigin
+
+        partial = Defense(
+            key="memory_only_fence",
+            name="Fence on the memory path only",
+            origin=DefenseOrigin.INDUSTRY,
+            strategy=DefenseStrategy.PREVENT_ACCESS,
+            description="hypothetical partial defense",
+            protected_sources=("memory",),
+        )
+        graph = build_faulting_load_graph(
+            name="meltdown-cached", sources=("memory", "cache")
+        )
+        defended = partial.apply(graph)
+        assert attack_succeeds(defended)

@@ -1,0 +1,112 @@
+"""Tests for the four defense strategies as graph transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import FAULTING_LOAD_SOURCES, Nodes, build_faulting_load_graph
+from repro.core import ProtectionPoint, has_race
+from repro.defenses import (
+    FLUSH_PREDICTOR_NODE,
+    DefenseStrategy,
+    apply_clear_predictions,
+    apply_prevent_access,
+    apply_prevent_send,
+    apply_prevent_use,
+    apply_strategy,
+    attack_succeeds,
+    setup_neutralized,
+)
+
+
+class TestStrategy1PreventAccess:
+    def test_access_race_closed(self, spectre_v1_graph):
+        defended = apply_prevent_access(spectre_v1_graph)
+        assert not has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+
+    def test_downstream_races_closed_transitively(self, spectre_v1_graph):
+        defended = apply_prevent_access(spectre_v1_graph)
+        assert not has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_R)
+        assert not attack_succeeds(defended)
+
+    def test_original_graph_untouched(self, spectre_v1_graph):
+        apply_prevent_access(spectre_v1_graph)
+        assert has_race(spectre_v1_graph, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+
+    def test_source_restriction_protects_only_named_sources(self):
+        graph = build_faulting_load_graph(name="fig4", sources=("memory", "cache"))
+        defended = apply_prevent_access(graph, sources=("memory",))
+        assert not has_race(defended, Nodes.AUTH_RESOLVED, Nodes.read_from("memory"))
+        assert has_race(defended, Nodes.AUTH_RESOLVED, Nodes.read_from("cache"))
+
+    def test_security_edges_marked(self, spectre_v1_graph):
+        defended = apply_prevent_access(spectre_v1_graph)
+        added = [edge for edge in defended.edges if edge.is_security]
+        assert added and all(edge.source == Nodes.BRANCH_RESOLUTION for edge in added)
+
+
+class TestStrategy2PreventUse:
+    def test_use_race_closed_access_race_remains(self, spectre_v1_graph):
+        defended = apply_prevent_use(spectre_v1_graph)
+        assert not has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.COMPUTE_R)
+        # The looser model: the secret may still be accessed...
+        assert has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+        # ...but it can no longer be sent out.
+        assert not attack_succeeds(defended)
+
+    def test_works_for_every_faulting_load_source(self):
+        graph = build_faulting_load_graph(name="fig4", sources=FAULTING_LOAD_SOURCES)
+        defended = apply_prevent_use(graph)
+        assert not attack_succeeds(defended)
+
+
+class TestStrategy3PreventSend:
+    def test_send_race_closed_use_race_remains(self, spectre_v1_graph):
+        defended = apply_prevent_send(spectre_v1_graph)
+        assert not has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_R)
+        assert has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.COMPUTE_R)
+        assert not attack_succeeds(defended)
+
+    def test_meltdown_send_protected(self, meltdown_graph):
+        defended = apply_prevent_send(meltdown_graph)
+        assert not attack_succeeds(defended)
+
+
+class TestStrategy4ClearPredictions:
+    def test_flush_predictor_vertex_inserted(self, spectre_v1_graph):
+        defended = apply_clear_predictions(spectre_v1_graph)
+        assert FLUSH_PREDICTOR_NODE in defended
+        assert defended.has_path(Nodes.MISTRAIN, FLUSH_PREDICTOR_NODE)
+        assert defended.has_path(FLUSH_PREDICTOR_NODE, Nodes.BRANCH)
+        assert setup_neutralized(defended)
+
+    def test_noop_for_attacks_without_mistraining(self, meltdown_graph):
+        defended = apply_clear_predictions(meltdown_graph)
+        assert FLUSH_PREDICTOR_NODE not in defended
+        assert not setup_neutralized(defended)
+
+    def test_does_not_close_the_authorization_race(self, spectre_v1_graph):
+        defended = apply_clear_predictions(spectre_v1_graph)
+        assert has_race(defended, Nodes.BRANCH_RESOLUTION, Nodes.LOAD_S)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            DefenseStrategy.PREVENT_ACCESS,
+            DefenseStrategy.PREVENT_USE,
+            DefenseStrategy.PREVENT_SEND,
+            DefenseStrategy.CLEAR_PREDICTIONS,
+        ],
+    )
+    def test_apply_strategy_dispatch(self, spectre_v1_graph, strategy):
+        defended = apply_strategy(spectre_v1_graph, strategy)
+        assert defended is not spectre_v1_graph
+        assert len(defended) >= len(spectre_v1_graph)
+
+    def test_figure8_numbers(self):
+        assert DefenseStrategy.PREVENT_ACCESS.figure8_number == 1
+        assert DefenseStrategy.PREVENT_USE.figure8_number == 2
+        assert DefenseStrategy.PREVENT_SEND.figure8_number == 3
+        assert DefenseStrategy.CLEAR_PREDICTIONS.figure8_number == 4

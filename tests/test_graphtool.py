@@ -1,0 +1,165 @@
+"""Tests for the Section V-C attack-graph construction tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OperationType, ProtectionPoint
+from repro.graphtool import (
+    AuthorizationKind,
+    analyze_program,
+    build_attack_graph,
+    find_authorizations,
+    find_secret_accesses,
+    instruction_node_name,
+    patch_program,
+    requires_microarch_modelling,
+)
+from repro.isa import assemble
+
+
+class TestClassify:
+    def test_listing1_authorizations(self, listing1_program):
+        kinds = {site.kind for site in find_authorizations(listing1_program)}
+        assert AuthorizationKind.BOUNDS_CHECK_BRANCH in kinds
+
+    def test_listing1_secret_access_guarded_by_branch(self, listing1_program):
+        sites = find_secret_accesses(listing1_program)
+        guarded = [site for site in sites
+                   if site.authorization_kind is AuthorizationKind.BOUNDS_CHECK_BRANCH]
+        assert guarded and guarded[0].index == 4 and guarded[0].authorization_index == 3
+
+    def test_listing2_secret_access_is_intra_instruction(self, listing2_program):
+        sites = find_secret_accesses(listing2_program)
+        assert sites
+        site = sites[0]
+        assert site.authorization_kind is AuthorizationKind.PAGE_PRIVILEGE_CHECK
+        assert site.authorization_index == site.index
+
+    def test_modelling_level_decision(self, listing1_program, listing2_program):
+        """Figure 9's first decision: faulty access -> micro-architectural modelling."""
+        assert not requires_microarch_modelling(listing1_program)
+        assert requires_microarch_modelling(listing2_program)
+
+    def test_rdmsr_and_fp_access_detected(self):
+        program = assemble(".text\nrdmsr rax, 0x10\nmovd rbx, xmm0\nhlt")
+        kinds = {site.authorization_kind for site in find_secret_accesses(program)}
+        assert AuthorizationKind.MSR_PRIVILEGE_CHECK in kinds
+        assert AuthorizationKind.FPU_OWNER_CHECK in kinds
+
+    def test_store_bypass_detected(self):
+        program = assemble(".text\nmov [r10], rax\nmov rbx, [r11]\nhlt")
+        kinds = {site.authorization_kind for site in find_secret_accesses(program)}
+        assert AuthorizationKind.STORE_LOAD_DISAMBIGUATION in kinds
+
+    def test_unguarded_static_load_is_not_a_secret_access(self):
+        program = assemble(
+            ".data\npublic: address=0x1000 size=8\n.text\nmov rax, [public]\nhlt"
+        )
+        assert find_secret_accesses(program) == []
+
+
+class TestBuilder:
+    def test_listing1_graph_races(self, listing1_program):
+        build = build_attack_graph(listing1_program)
+        graph = build.graph
+        assert not build.is_meltdown_type
+        vulnerabilities = graph.find_vulnerabilities()
+        protected = {v.dependency.protected for v in vulnerabilities}
+        load_s = instruction_node_name(4, listing1_program[4])
+        send = instruction_node_name(6, listing1_program[6])
+        assert load_s in protected
+        assert send in protected
+
+    def test_listing1_send_node_detected_via_taint(self, listing1_program):
+        build = build_attack_graph(listing1_program)
+        send_nodes = build.graph.send_nodes
+        assert any("probe_array" in name for name in send_nodes)
+
+    def test_listing2_graph_expands_micro_ops(self, listing2_program):
+        build = build_attack_graph(listing2_program)
+        assert build.is_meltdown_type
+        assert any("permission check" in name for name in build.graph.vertices)
+        assert any("read data" in name for name in build.graph.vertices)
+
+    def test_clflush_is_setup(self, listing1_program):
+        build = build_attack_graph(listing1_program)
+        assert any("clflush" in name for name in build.graph.setup_nodes)
+
+    def test_fenced_program_has_no_access_race(self):
+        program = assemble(
+            """
+            .data
+            probe_array:  address=0x1000000 size=1048576 shared
+            victim_array: address=0x200000  size=16
+            victim_size:  address=0x210000  size=8
+            .text
+            cmp rdx, [victim_size]
+            ja done
+            lfence
+            mov rax, byte [victim_array + rdx]
+            shl rax, 12
+            mov rbx, [probe_array + rax]
+            done:
+            hlt
+            """,
+            name="fenced",
+        )
+        report = analyze_program(program)
+        assert not report.vulnerable
+
+
+class TestAnalyzer:
+    def test_listing1_report(self, listing1_program):
+        report = analyze_program(listing1_program)
+        assert report.vulnerable
+        assert not report.is_meltdown_type
+        assert report.access_findings and report.send_findings
+        assert all(finding.software_patchable for finding in report.access_findings)
+        assert "missing security dependencies" in report.summary()
+
+    def test_listing2_report_requires_hardware_defense(self, listing2_program):
+        report = analyze_program(listing2_program)
+        assert report.vulnerable
+        assert report.is_meltdown_type
+        assert all(not finding.software_patchable for finding in report.findings)
+
+    def test_point_restriction(self, listing1_program):
+        report = analyze_program(listing1_program, points=[ProtectionPoint.SEND])
+        assert report.findings
+        assert all(finding.point is ProtectionPoint.SEND for finding in report.findings)
+
+    def test_extra_protected_symbols_widen_the_analysis(self):
+        program = assemble(
+            ".data\ndata: address=0x1000 size=8\n.text\nmov rax, [data]\nhlt",
+            name="widened",
+        )
+        assert not analyze_program(program).vulnerable
+        assert analyze_program(program, protected_symbols=["data"]).vulnerable
+
+
+class TestPatcher:
+    def test_patch_listing1_inserts_fence_and_removes_races(self, listing1_program):
+        result = patch_program(listing1_program)
+        assert result.fences_inserted == (3,)
+        assert result.report_before.vulnerable
+        assert not result.report_after.vulnerable
+        assert result.access_vulnerabilities_removed
+        assert len(result.patched) == len(listing1_program) + 1
+
+    def test_patch_preserves_original_program(self, listing1_program):
+        original_length = len(listing1_program)
+        patch_program(listing1_program)
+        assert len(listing1_program) == original_length
+
+    def test_meltdown_findings_reported_unpatchable(self, listing2_program):
+        result = patch_program(listing2_program)
+        assert result.fences_inserted == ()
+        assert result.unpatchable_findings
+        assert "hardware" in result.summary() or result.unpatchable_findings
+
+    def test_safe_program_needs_no_patch(self):
+        program = assemble(".text\nmov rax, 1\nadd rax, 2\nhlt", name="safe")
+        result = patch_program(program)
+        assert result.fences_inserted == ()
+        assert not result.report_before.vulnerable

@@ -1,0 +1,117 @@
+"""Tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    Alu,
+    AssemblerError,
+    Branch,
+    Clflush,
+    Cmp,
+    Fence,
+    Halt,
+    IndirectJmp,
+    Jmp,
+    Load,
+    Mov,
+    Rdmsr,
+    Rdtsc,
+    Store,
+    assemble,
+)
+
+
+class TestDataSection:
+    def test_symbol_attributes_parsed(self, listing1_program):
+        secret = listing1_program.symbol("secret")
+        assert secret.protected and not secret.kernel
+        probe = listing1_program.symbol("probe_array")
+        assert probe.shared and probe.size == 1048576
+
+    def test_kernel_flag(self, listing2_program):
+        assert listing2_program.symbol("kernel_secret").kernel
+
+    def test_missing_address_rejected(self):
+        with pytest.raises(AssemblerError, match="address"):
+            assemble(".data\nbad: size=8\n.text\nhlt")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(AssemblerError, match="section"):
+            assemble(".bss\nhlt")
+
+
+class TestInstructionParsing:
+    def test_listing1_shape(self, listing1_program):
+        kinds = [type(instruction).__name__ for instruction in listing1_program]
+        assert kinds == ["Clflush", "Mov", "Cmp", "Branch", "Load", "Alu", "Load", "Halt"]
+
+    def test_byte_size_marker(self, listing1_program):
+        load = listing1_program[4]
+        assert isinstance(load, Load) and load.size == 1
+
+    def test_label_attached_to_following_instruction(self, listing1_program):
+        assert listing1_program.label_index("done") == 7
+
+    def test_mov_variants(self):
+        program = assemble(
+            ".text\nmov rax, 5\nmov rbx, rax\nmov rcx, table\nmov [rbx], rax\nmov rdx, [rbx]\nhlt",
+        )
+        assert isinstance(program[0], Mov)
+        assert isinstance(program[3], Store)
+        assert isinstance(program[4], Load)
+
+    def test_scaled_index_memory_operand(self):
+        program = assemble(".text\nmov rax, [rbx + rcx*8 + 16]\nhlt")
+        operand = program[0].memory_read
+        assert operand.index.name == "rcx" and operand.scale == 8 and operand.displacement == 16
+
+    def test_symbol_plus_register_operand(self):
+        program = assemble(".text\nmov rax, [table + rdx]\nhlt")
+        operand = program[0].memory_read
+        assert operand.symbol == "table" and operand.base.name == "rdx"
+
+    def test_fences_and_misc(self):
+        program = assemble(".text\nlfence\nmfence\nrdtsc r8\nrdmsr rax, 0x10\nclflush [rbx]\nnop\nhlt")
+        assert isinstance(program[0], Fence) and program[0].kind == "lfence"
+        assert isinstance(program[1], Fence) and program[1].kind == "mfence"
+        assert isinstance(program[2], Rdtsc)
+        assert isinstance(program[3], Rdmsr) and program[3].msr == 0x10
+        assert isinstance(program[4], Clflush)
+
+    def test_branches(self):
+        program = assemble(".text\ntarget:\ncmp rax, 5\nja target\njmp target\njmp rbx\nhlt")
+        assert isinstance(program[1], Branch) and program[1].condition == "ja"
+        assert isinstance(program[2], Jmp)
+        assert isinstance(program[3], IndirectJmp)
+
+    def test_al_aliases_rax(self):
+        program = assemble(".text\nmov al, byte [rbx]\nhlt")
+        assert program[0].dst.name == "rax" and program[0].size == 1
+
+    def test_comments_stripped(self):
+        program = assemble(".text\nnop ; trailing comment\n# full line\n// another\nhlt")
+        assert len(program) == 2
+
+    def test_trailing_label_becomes_nop(self):
+        program = assemble(".text\nnop\nend:")
+        assert program.label_index("end") == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nfrobnicate rax\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble(".text\nnop\nbadinstr\n")
+
+    def test_memory_to_memory_move_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nmov [rax], [rbx]\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nx:\nnop\nx:\nnop\n")

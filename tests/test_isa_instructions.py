@@ -1,0 +1,139 @@
+"""Tests for the tiny ISA instruction set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    Alu,
+    Branch,
+    Call,
+    Clflush,
+    Cmp,
+    Fence,
+    FpExtract,
+    FpLoad,
+    Halt,
+    IndirectJmp,
+    Jmp,
+    Load,
+    Mov,
+    Nop,
+    Rdmsr,
+    Rdtsc,
+    Ret,
+    Store,
+    imm,
+    mem,
+    reg,
+)
+from repro.isa.operands import FLAGS, Label
+
+
+class TestDataflowSets:
+    def test_mov_register_to_register(self):
+        instruction = Mov(reg("rax"), reg("rbx"))
+        assert instruction.reads_registers() == frozenset({"rbx"})
+        assert instruction.writes_registers() == frozenset({"rax"})
+        assert not instruction.is_load and not instruction.is_store
+
+    def test_load_reads_address_registers(self):
+        instruction = Load(reg("rax"), mem(base="rbx", index="rcx"))
+        assert instruction.reads_registers() == frozenset({"rbx", "rcx"})
+        assert instruction.writes_registers() == frozenset({"rax"})
+        assert instruction.is_load and instruction.memory_read is not None
+
+    def test_store_reads_address_and_value(self):
+        instruction = Store(mem(base="rbx"), reg("rax"))
+        assert instruction.reads_registers() == frozenset({"rbx", "rax"})
+        assert instruction.is_store and instruction.memory_write is not None
+
+    def test_alu_reads_and_writes_destination(self):
+        instruction = Alu("shl", reg("rax"), imm(12))
+        assert "rax" in instruction.reads_registers()
+        assert instruction.writes_registers() == frozenset({"rax", FLAGS})
+        assert instruction.mnemonic == "shl"
+
+    def test_cmp_with_memory_operand_is_a_load(self):
+        instruction = Cmp(reg("rdx"), mem(symbol="victim_size"))
+        assert instruction.is_load
+        assert instruction.writes_registers() == frozenset({FLAGS})
+
+    def test_branch_reads_flags(self):
+        instruction = Branch("ja", Label("done"))
+        assert instruction.reads_registers() == frozenset({FLAGS})
+        assert instruction.is_branch
+
+    def test_indirect_jump_reads_target_register(self):
+        instruction = IndirectJmp(reg("r11"))
+        assert instruction.reads_registers() == frozenset({"r11"})
+        assert instruction.is_branch
+
+    def test_clflush_reads_address_registers(self):
+        assert Clflush(mem(base="rdi")).reads_registers() == frozenset({"rdi"})
+
+    def test_rdmsr_is_privileged(self):
+        instruction = Rdmsr(reg("rax"), 0x10)
+        assert instruction.is_privileged
+        assert instruction.writes_registers() == frozenset({"rax"})
+
+    def test_rdtsc_writes_destination(self):
+        assert Rdtsc(reg("r8")).writes_registers() == frozenset({"r8"})
+
+    def test_fp_instructions(self):
+        load = FpLoad(reg("xmm0"), mem(symbol="data"))
+        extract = FpExtract(reg("rax"), reg("xmm0"))
+        assert load.is_load and load.writes_registers() == frozenset({"xmm0"})
+        assert extract.reads_registers() == frozenset({"xmm0"})
+
+    def test_control_instructions_have_no_dataflow(self):
+        for instruction in (Jmp(Label("x")), Call(Label("x")), Ret(), Nop(), Halt()):
+            assert instruction.reads_registers() == frozenset()
+            assert instruction.writes_registers() == frozenset()
+
+
+class TestValidation:
+    def test_unknown_alu_op_rejected(self):
+        with pytest.raises(ValueError):
+            Alu("rot", reg("rax"), imm(1))
+
+    def test_unknown_branch_condition_rejected(self):
+        with pytest.raises(ValueError):
+            Branch("jz", Label("x"))
+
+    def test_unknown_fence_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fence(kind="sfence")
+
+    def test_fp_load_requires_fp_destination(self):
+        with pytest.raises(ValueError):
+            FpLoad(reg("rax"), mem(symbol="data"))
+
+    def test_fp_extract_requires_fp_source_and_gp_destination(self):
+        with pytest.raises(ValueError):
+            FpExtract(reg("rax"), reg("rbx"))
+        with pytest.raises(ValueError):
+            FpExtract(reg("xmm1"), reg("xmm0"))
+
+
+class TestClassification:
+    def test_fence_is_serializing(self):
+        assert Fence(kind="lfence").is_serializing
+        assert not Nop().is_serializing
+
+    def test_branch_family(self):
+        assert Branch("ja", Label("x")).is_branch
+        assert Jmp(Label("x")).is_branch
+        assert Call(Label("x")).is_branch
+        assert Ret().is_branch
+        assert not Load(reg("rax"), mem(symbol="x")).is_branch
+
+    def test_str_renderings(self):
+        assert str(Load(reg("rax"), mem(base="rbx"), size=1)) == "mov rax, byte [rbx]"
+        assert str(Fence(kind="mfence")) == "mfence"
+        assert str(Branch("ja", Label("done"))) == "ja done"
+
+    def test_label_and_comment_carried(self):
+        instruction = Nop(label="entry", comment="does nothing")
+        assert instruction.label == "entry"
+        assert instruction.comment == "does nothing"

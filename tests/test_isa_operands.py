@@ -1,0 +1,61 @@
+"""Tests for ISA operands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Immediate, Label, MemoryOperand, Register, imm, mem, reg
+from repro.isa.operands import ALL_REGISTERS, FLAGS, FP_REGISTERS, GP_REGISTERS
+
+
+class TestRegister:
+    def test_known_register(self):
+        assert reg("rax").name == "rax"
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(ValueError):
+            Register("zax")
+
+    def test_fp_classification(self):
+        assert Register("xmm0").is_fp
+        assert not Register("rax").is_fp
+
+    def test_register_sets_are_disjoint_and_complete(self):
+        assert set(GP_REGISTERS).isdisjoint(FP_REGISTERS)
+        assert set(ALL_REGISTERS) == set(GP_REGISTERS) | {FLAGS} | set(FP_REGISTERS)
+
+
+class TestImmediateAndLabel:
+    def test_immediate_value(self):
+        assert imm(42).value == 42
+
+    def test_immediate_str_hex_for_large_values(self):
+        assert str(Immediate(4096)) == "0x1000"
+        assert str(Immediate(5)) == "5"
+
+    def test_label(self):
+        assert str(Label("target")) == "target"
+
+
+class TestMemoryOperand:
+    def test_registers_collected_from_base_and_index(self):
+        operand = mem(base="rbx", index="rax", scale=8)
+        assert operand.registers == frozenset({"rbx", "rax"})
+
+    def test_symbol_only_operand(self):
+        operand = mem(symbol="probe_array")
+        assert operand.registers == frozenset()
+        assert operand.symbol == "probe_array"
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryOperand()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            mem(base="rax", index="rbx", scale=3)
+
+    def test_str_rendering(self):
+        operand = mem(base="rbx", index="rax", scale=8, displacement=16, symbol="table")
+        rendered = str(operand)
+        assert "table" in rendered and "rbx" in rendered and "rax*8" in rendered and "16" in rendered

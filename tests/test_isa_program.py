@@ -1,0 +1,91 @@
+"""Tests for programs and data symbols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import DataSymbol, Halt, Load, Mov, Nop, Program, ProgramError, imm, mem, reg
+
+
+class TestSymbols:
+    def test_declare_and_lookup(self):
+        program = Program()
+        program.declare("secret", 0x1000, 8, protected=True, kernel=True)
+        symbol = program.symbol("secret")
+        assert symbol.address == 0x1000 and symbol.protected and symbol.kernel
+
+    def test_duplicate_symbol_rejected(self):
+        program = Program()
+        program.declare("a", 0x1000, 8)
+        with pytest.raises(ProgramError):
+            program.declare("a", 0x2000, 8)
+
+    def test_overlapping_symbols_rejected(self):
+        program = Program()
+        program.declare("a", 0x1000, 64)
+        with pytest.raises(ProgramError, match="overlaps"):
+            program.declare("b", 0x1020, 64)
+
+    def test_adjacent_symbols_allowed(self):
+        program = Program()
+        program.declare("a", 0x1000, 64)
+        program.declare("b", 0x1040, 64)
+        assert len(program.symbols) == 2
+
+    def test_symbol_at(self):
+        program = Program()
+        program.declare("a", 0x1000, 64)
+        assert program.symbol_at(0x1003).name == "a"
+        assert program.symbol_at(0x2000) is None
+
+    def test_protected_symbols(self):
+        program = Program()
+        program.declare("public", 0x1000, 8)
+        program.declare("secret", 0x2000, 8, protected=True)
+        assert [symbol.name for symbol in program.protected_symbols()] == ["secret"]
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ProgramError):
+            Program().symbol("nope")
+
+    def test_symbol_contains(self):
+        symbol = DataSymbol("a", 0x1000, 16)
+        assert symbol.contains(0x1000) and symbol.contains(0x100F)
+        assert not symbol.contains(0x1010)
+
+
+class TestInstructionsAndLabels:
+    def test_append_and_iterate(self):
+        program = Program()
+        program.extend([Mov(reg("rax"), imm(1)), Halt()])
+        assert len(program) == 2
+        assert isinstance(program[1], Halt)
+
+    def test_label_resolution(self):
+        program = Program()
+        program.append(Mov(reg("rax"), imm(1)))
+        program.append(Halt(label="end"))
+        assert program.label_index("end") == 1
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.append(Nop(label="x"))
+        with pytest.raises(ProgramError):
+            program.append(Nop(label="x"))
+
+    def test_unknown_label(self):
+        with pytest.raises(ProgramError):
+            Program().label_index("missing")
+
+    def test_static_address_resolution(self):
+        program = Program()
+        program.declare("table", 0x4000, 64)
+        operand = mem(symbol="table", displacement=8)
+        assert program.static_address(operand) == 0x4008
+        assert program.static_address(mem(base="rax")) is None
+
+    def test_listing_contains_symbols_and_instructions(self, listing1_program):
+        text = listing1_program.listing()
+        assert "victim_array" in text
+        assert "cmp rdx" in text
+        assert "protected" in text

@@ -1,0 +1,98 @@
+"""Tests for main memory, page tables and permission checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.uarch import Fault, MainMemory, MemorySystem, PAGE_SIZE, PageTable
+
+
+class TestMainMemory:
+    def test_default_contents_are_zero(self):
+        memory = MainMemory()
+        assert memory.read(0x1000, 8) == 0
+
+    def test_byte_roundtrip(self):
+        memory = MainMemory()
+        memory.write_byte(0x1000, 0xAB)
+        assert memory.read_byte(0x1000) == 0xAB
+
+    def test_little_endian_multibyte(self):
+        memory = MainMemory()
+        memory.write(0x1000, 0x1122334455667788, 8)
+        assert memory.read_byte(0x1000) == 0x88
+        assert memory.read_byte(0x1007) == 0x11
+        assert memory.read(0x1000, 8) == 0x1122334455667788
+
+    def test_partial_read(self):
+        memory = MainMemory()
+        memory.write(0x1000, 0xDEADBEEF, 4)
+        assert memory.read(0x1000, 2) == 0xBEEF
+
+    def test_load_bytes(self):
+        memory = MainMemory()
+        memory.load_bytes(0x2000, [1, 2, 3])
+        assert memory.read(0x2000, 3) == 0x030201
+        assert 0x2001 in memory
+
+
+class TestPageTable:
+    def test_default_pages_are_user_present(self):
+        table = PageTable()
+        assert table.check(0x1000, supervisor=False) is Fault.NONE
+
+    def test_kernel_page_faults_for_user(self):
+        table = PageTable()
+        table.map_range(0xFFFF0000, 64, user=False)
+        assert table.check(0xFFFF0000, supervisor=False) is Fault.PRIVILEGE
+        assert table.check(0xFFFF0000, supervisor=True) is Fault.NONE
+
+    def test_unmapped_page_not_present(self):
+        table = PageTable()
+        table.unmap_range(0xFFFF0000, 64)
+        assert table.check(0xFFFF0000, supervisor=True) is Fault.NOT_PRESENT
+        assert not table.is_present(0xFFFF0000)
+
+    def test_read_only_page(self):
+        table = PageTable()
+        table.map_range(0x5000, 64, writable=False)
+        assert table.check(0x5000, supervisor=False, write=True) is Fault.READ_ONLY
+        assert table.check(0x5000, supervisor=False, write=False) is Fault.NONE
+
+    def test_map_range_spans_pages(self):
+        table = PageTable()
+        table.map_range(PAGE_SIZE - 8, 16, user=False)
+        assert table.check(PAGE_SIZE - 4, supervisor=False) is Fault.PRIVILEGE
+        assert table.check(PAGE_SIZE + 4, supervisor=False) is Fault.PRIVILEGE
+
+    def test_page_of(self):
+        assert PageTable.page_of(0) == 0
+        assert PageTable.page_of(PAGE_SIZE) == 1
+
+
+class TestMemorySystem:
+    def test_read_returns_data_even_on_privilege_fault(self):
+        """The Meltdown-enabling behaviour: data races with the permission check."""
+        system = MemorySystem()
+        system.memory.write(0xFFFF0000, 0x42, 1)
+        system.page_table.map_range(0xFFFF0000, 64, user=False)
+        access = system.read(0xFFFF0000, 1, supervisor=False)
+        assert access.fault is Fault.PRIVILEGE
+        assert access.value == 0x42
+
+    def test_read_of_unmapped_page_returns_nothing(self):
+        """The KPTI-enabling behaviour: an unmapped page has no data to leak."""
+        system = MemorySystem()
+        system.memory.write(0xFFFF0000, 0x42, 1)
+        system.page_table.unmap_range(0xFFFF0000, 64)
+        access = system.read(0xFFFF0000, 1, supervisor=False)
+        assert access.fault is Fault.NOT_PRESENT
+        assert access.value == 0
+
+    def test_write_respects_permissions(self):
+        system = MemorySystem()
+        system.page_table.map_range(0x5000, 64, writable=False)
+        assert system.write(0x5000, 1, 1, supervisor=False) is Fault.READ_ONLY
+        assert system.memory.read(0x5000, 1) == 0
+        assert system.write(0x6000, 7, 1, supervisor=False) is Fault.NONE
+        assert system.memory.read(0x6000, 1) == 7

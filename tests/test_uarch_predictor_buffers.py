@@ -1,0 +1,228 @@
+"""Tests for predictors, the store buffer, fill buffer, load port and registers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.uarch import (
+    BranchTargetBuffer,
+    FPUState,
+    Flags,
+    LineFillBuffer,
+    LoadPort,
+    PredictorSuite,
+    RegisterFile,
+    ReturnStackBuffer,
+    SpecialRegisters,
+    StoreBuffer,
+    TwoBitPredictor,
+)
+
+
+class TestTwoBitPredictor:
+    def test_default_has_no_entry(self):
+        predictor = TwoBitPredictor()
+        assert not predictor.has_entry(10)
+
+    def test_training_creates_entry_and_direction(self):
+        predictor = TwoBitPredictor()
+        for _ in range(3):
+            predictor.train(10, taken=False)
+        assert predictor.has_entry(10)
+        assert predictor.predict(10) is False
+        for _ in range(3):
+            predictor.train(10, taken=True)
+        assert predictor.predict(10) is True
+
+    def test_counter_saturates(self):
+        predictor = TwoBitPredictor()
+        for _ in range(10):
+            predictor.train(5, taken=True)
+        assert predictor.counter(5) == TwoBitPredictor.STRONG_TAKEN
+        for _ in range(10):
+            predictor.train(5, taken=False)
+        assert predictor.counter(5) == TwoBitPredictor.STRONG_NOT_TAKEN
+
+    def test_flush_removes_entries(self):
+        predictor = TwoBitPredictor()
+        predictor.train(10, taken=False)
+        predictor.flush()
+        assert not predictor.has_entry(10)
+
+    def test_invalid_initial_counter(self):
+        with pytest.raises(ValueError):
+            TwoBitPredictor(initial=7)
+
+    def test_misprediction_counter(self):
+        predictor = TwoBitPredictor()
+        predictor.record_outcome(predicted=True, actual=False)
+        predictor.record_outcome(predicted=True, actual=True)
+        assert predictor.mispredictions == 1
+
+
+class TestBTBAndRSB:
+    def test_btb_train_and_predict(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(4) is None
+        btb.train(4, 17)
+        assert btb.predict(4) == 17
+        btb.flush()
+        assert btb.predict(4) is None
+
+    def test_rsb_lifo(self):
+        rsb = ReturnStackBuffer(depth=4)
+        rsb.push(1)
+        rsb.push(2)
+        assert rsb.pop() == 2
+        assert rsb.pop() == 1
+
+    def test_rsb_underflow(self):
+        rsb = ReturnStackBuffer()
+        assert rsb.pop() is None
+        assert rsb.underflows == 1
+
+    def test_rsb_overflow_drops_oldest(self):
+        rsb = ReturnStackBuffer(depth=2)
+        rsb.push(1)
+        rsb.push(2)
+        rsb.push(3)
+        assert rsb.pop() == 3
+        assert rsb.pop() == 2
+        assert rsb.pop() is None
+
+    def test_rsb_poison_and_stuff(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(10)
+        rsb.poison(99)
+        assert rsb.pop() == 99
+        rsb.stuff(7)
+        assert len(rsb) == rsb.depth
+        assert rsb.pop() == 7
+
+    def test_suite_flush_all(self):
+        suite = PredictorSuite()
+        suite.direction.train(1, True)
+        suite.btb.train(1, 2)
+        suite.rsb.push(3)
+        suite.flush_all()
+        assert not suite.direction.has_entry(1)
+        assert suite.btb.predict(1) is None
+        assert len(suite.rsb) == 0
+
+
+class TestStoreBuffer:
+    def test_forwarding_from_resolved_store(self):
+        buffer = StoreBuffer()
+        buffer.add(0x42, 1, address=0x1000)
+        entry = buffer.forward(0x1000)
+        assert entry is not None and entry.value == 0x42
+
+    def test_unresolved_store_not_forwarded(self):
+        buffer = StoreBuffer()
+        entry = buffer.add(0x42, 1, address=None)
+        assert buffer.forward(0x1000) is None
+        assert buffer.has_unresolved()
+        buffer.resolve(entry, 0x1000)
+        assert not buffer.has_unresolved()
+        assert buffer.forward(0x1000) is entry
+
+    def test_youngest_store_wins(self):
+        buffer = StoreBuffer()
+        buffer.add(1, 1, address=0x1000)
+        buffer.add(2, 1, address=0x1000)
+        assert buffer.forward(0x1000).value == 2
+
+    def test_drain_removes_resolved_only(self):
+        buffer = StoreBuffer()
+        buffer.add(1, 1, address=0x1000)
+        buffer.add(2, 1, address=None)
+        drained = buffer.drain()
+        assert len(drained) == 1 and len(buffer) == 1
+
+    def test_capacity_bound(self):
+        buffer = StoreBuffer(capacity=2)
+        for value in range(4):
+            buffer.add(value, 1, address=value * 8)
+        assert len(buffer) == 2
+
+    def test_latest_values(self):
+        buffer = StoreBuffer()
+        for value in (1, 2, 3):
+            buffer.add(value, 1, address=value)
+        assert buffer.latest_values(2) == [2, 3]
+
+
+class TestFillBufferAndLoadPort:
+    def test_fill_buffer_keeps_recent_values(self):
+        lfb = LineFillBuffer(capacity=2)
+        lfb.record_fill(0x1000, 0xAA)
+        lfb.record_fill(0x2000, 0xBB)
+        lfb.record_fill(0x3000, 0xCC)
+        assert lfb.stale_values() == [0xBB, 0xCC]
+        assert lfb.most_recent() == 0xCC
+        lfb.clear()
+        assert lfb.most_recent() is None
+
+    def test_load_port_records_values(self):
+        port = LoadPort(ports=2)
+        port.record(1)
+        port.record(2)
+        port.record(3)
+        assert set(port.stale_values()) == {2, 3}
+        port.clear()
+        assert port.stale_values() == []
+
+
+class TestRegisters:
+    def test_slow_tracking(self):
+        registers = RegisterFile()
+        registers.write("rax", 5, slow=True)
+        assert registers.is_slow("rax")
+        registers.write("rax", 6)
+        assert not registers.is_slow("rax")
+
+    def test_snapshot_restore(self):
+        registers = RegisterFile()
+        registers.write("rax", 5, slow=True)
+        snapshot = registers.snapshot()
+        registers.write("rax", 99)
+        registers.write("rbx", 1)
+        registers.restore(snapshot)
+        assert registers.read("rax") == 5 and registers.is_slow("rax")
+        assert registers.read("rbx") == 0
+
+    def test_values_masked_to_64_bits(self):
+        registers = RegisterFile()
+        registers.write("rax", 1 << 70)
+        assert registers.read("rax") == (1 << 70) % (1 << 64)
+
+    def test_flags_conditions(self):
+        flags = Flags(lhs=5, rhs=3)
+        assert flags.evaluate("ja") and flags.evaluate("jae") and flags.evaluate("jne")
+        assert not flags.evaluate("jb") and not flags.evaluate("je")
+        equal = Flags(lhs=4, rhs=4)
+        assert equal.evaluate("je") and equal.evaluate("jae") and equal.evaluate("jbe")
+
+    def test_flags_signed_conditions(self):
+        negative = Flags(lhs=(1 << 64) - 1, rhs=1)  # -1 vs 1
+        assert negative.evaluate("jl") and not negative.evaluate("jg")
+        assert negative.evaluate("ja")  # unsigned comparison sees a huge value
+
+    def test_flags_unknown_condition(self):
+        with pytest.raises(ValueError):
+            Flags().evaluate("jz")
+
+    def test_special_registers(self):
+        msrs = SpecialRegisters({0x10: 0xABCD})
+        assert msrs.read(0x10) == 0xABCD
+        assert msrs.read(0x99) == 0
+        msrs.write(0x99, 7)
+        assert msrs.read(0x99) == 7
+
+    def test_fpu_lazy_vs_eager_switch(self):
+        fpu = FPUState()
+        fpu.write("xmm0", 0x55)
+        fpu.switch_owner(1)
+        assert fpu.read("xmm0") == 0x55  # lazy switch leaves stale state
+        fpu.switch_owner(2, eager=True)
+        assert fpu.read("xmm0") == 0

@@ -1,0 +1,83 @@
+"""Property-based tests for the simulator substrate and channels."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.channels import CacheTimingSurface, FlushReloadChannel
+from repro.uarch import RegisterFile, SetAssociativeCache
+from repro.uarch.registers import Flags
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+@given(st.lists(addresses, min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_cache_accessed_addresses_are_present_until_evicted(address_list):
+    """After an access, the line is present unless a later fill evicted it."""
+    cache = SetAssociativeCache(sets=8, ways=2, line_size=64)
+    for address in address_list:
+        cache.access(address)
+        assert cache.contains(address)
+
+
+@given(st.lists(addresses, min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_cache_flush_all_empties_the_cache(address_list):
+    cache = SetAssociativeCache(sets=8, ways=2, line_size=64)
+    for address in address_list:
+        cache.access(address)
+    cache.flush_all()
+    assert cache.occupancy() == 0
+    for address in address_list:
+        assert not cache.contains(address)
+
+
+@given(st.lists(addresses, min_size=1, max_size=32), addresses)
+@settings(max_examples=50, deadline=None)
+def test_cache_occupancy_never_exceeds_capacity(address_list, extra):
+    cache = SetAssociativeCache(sets=4, ways=2, line_size=64)
+    for address in address_list + [extra]:
+        cache.access(address)
+    assert cache.occupancy() <= cache.sets * cache.ways
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=60, deadline=None)
+def test_flush_reload_roundtrip_recovers_any_byte(value):
+    """The Flush+Reload channel is lossless for every byte value."""
+    cache = SetAssociativeCache(sets=64, ways=8, line_size=64)
+    channel = FlushReloadChannel(CacheTimingSurface(cache), 0x100_0000, entries=256)
+    assert channel.transmit(value).value == value
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["rax", "rbx", "rcx", "rdx", "r8"]),
+        st.integers(min_value=0, max_value=2**64 - 1),
+        max_size=5,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_register_file_snapshot_restore_roundtrip(values):
+    registers = RegisterFile()
+    for name, value in values.items():
+        registers.write(name, value, slow=bool(value % 2))
+    snapshot = registers.snapshot()
+    for name in values:
+        registers.write(name, 0)
+    registers.restore(snapshot)
+    for name, value in values.items():
+        assert registers.read(name) == value
+        assert registers.is_slow(name) == bool(value % 2)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=100, deadline=None)
+def test_flags_condition_pairs_are_consistent(lhs, rhs):
+    """Branch conditions and their complements never both hold."""
+    flags = Flags(lhs=lhs, rhs=rhs)
+    assert flags.evaluate("ja") != flags.evaluate("jbe")
+    assert flags.evaluate("jae") != flags.evaluate("jb")
+    assert flags.evaluate("je") != flags.evaluate("jne")
+    assert flags.evaluate("je") == (lhs == rhs)
