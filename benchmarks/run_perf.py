@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Run the TSG-core perf suite and append the results to BENCH_core.json.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--output BENCH_core.json] [--quick]
+
+Also available as the ``repro perf`` CLI subcommand.  Each invocation appends
+one commit-stamped run to the trajectory file so regressions across PRs are
+visible as a time series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+try:
+    from repro import perf
+except ImportError:  # pragma: no cover - direct invocation without PYTHONPATH
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+    from repro import perf
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", "-o", default="BENCH_core.json", help="trajectory file to append to"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller baseline budget, single repeat"
+    )
+    args = parser.parse_args(argv)
+    run = perf.main(output=args.output, quick=args.quick)
+    print(f"commit {run['commit']}  ({run['timestamp']})")
+    for record in run["results"]:
+        print(
+            f"  {record['graph']:>14}: {record['vertices']} vertices / "
+            f"{record['edges']} edges, {record['racing_pairs']} racing pairs | "
+            f"all-pairs races: closure {record['closure_all_pairs_seconds'] * 1e3:.2f} ms "
+            f"vs BFS {record['bfs_all_pairs_seconds_estimate'] * 1e3:.1f} ms "
+            f"({record['bfs_baseline_mode']}) -> {record['speedup_all_pairs']:.0f}x | "
+            f"ordering count ({record['count_orderings_digits']} digits) "
+            f"in {record['count_orderings_seconds'] * 1e3:.2f} ms"
+        )
+    print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

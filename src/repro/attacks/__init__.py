@@ -22,6 +22,8 @@ from .generator import (
     enumerate_attack_space,
     novel_combinations,
     published_combinations,
+    published_keys,
+    refresh_published_cache,
 )
 from .registry import (
     ALL_VARIANTS,
@@ -58,6 +60,8 @@ __all__ = [
     "meltdown_type",
     "novel_combinations",
     "published_combinations",
+    "published_keys",
+    "refresh_published_cache",
     "spectre_type",
     "table1_rows",
     "table3_rows",

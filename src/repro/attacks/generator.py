@@ -19,12 +19,38 @@ covered by any published attack in the registry -- candidates for new attacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.attack_graph import AttackGraph
 from .base import CovertChannelKind, DelayMechanism, SecretSource
 from .builders import build_faulting_load_graph, build_branch_speculation_graph
 from .registry import ALL_VARIANTS
+
+#: Cached index of the published (source, delay, channel) keys.  Built lazily
+#: from the registry so ``is_published`` / ``novel_combinations`` are a set
+#: lookup per combination instead of a scan over every registered variant.
+_PUBLISHED_KEYS: Optional[FrozenSet[Tuple[str, str, str]]] = None
+
+
+def published_keys() -> FrozenSet[Tuple[str, str, str]]:
+    """The set of ``(source, delay, channel)`` keys used by published variants."""
+    global _PUBLISHED_KEYS
+    if _PUBLISHED_KEYS is None:
+        _PUBLISHED_KEYS = frozenset(
+            (
+                variant.secret_source.name,
+                variant.delay_mechanism.name,
+                variant.channel.name,
+            )
+            for variant in ALL_VARIANTS.values()
+        )
+    return _PUBLISHED_KEYS
+
+
+def refresh_published_cache() -> None:
+    """Drop the cached key index (for tests that mutate the attack registry)."""
+    global _PUBLISHED_KEYS
+    _PUBLISHED_KEYS = None
 
 #: Delay mechanisms that resolve at the instruction level (Spectre-type).
 _INSTRUCTION_LEVEL_DELAYS = frozenset(
@@ -37,7 +63,7 @@ _INSTRUCTION_LEVEL_DELAYS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SynthesizedAttack:
     """A point in the three-dimensional attack space of Section V-A."""
 
@@ -52,12 +78,7 @@ class SynthesizedAttack:
     @property
     def is_published(self) -> bool:
         """``True`` when a published variant already uses this exact combination."""
-        return any(
-            variant.secret_source is self.secret_source
-            and variant.delay_mechanism is self.delay_mechanism
-            and variant.channel is self.channel
-            for variant in ALL_VARIANTS.values()
-        )
+        return self.key in published_keys()
 
     def describe(self) -> str:
         status = "published" if self.is_published else "NEW candidate"
@@ -109,11 +130,15 @@ def novel_combinations(
     delays: Optional[Sequence[DelayMechanism]] = None,
     channels: Optional[Sequence[CovertChannelKind]] = None,
 ) -> List[SynthesizedAttack]:
-    """Combinations of the attack space not used by any published variant."""
+    """Combinations of the attack space not used by any published variant.
+
+    O(|space|) on the cached key index -- one set lookup per combination.
+    """
+    published = published_keys()
     return [
         attack
         for attack in enumerate_attack_space(sources, delays, channels)
-        if not attack.is_published
+        if attack.key not in published
     ]
 
 

@@ -12,6 +12,7 @@ Subcommands::
     repro exploit spectre_v1          # run an exploit on the simulator
     repro ablation meltdown           # defense ablation on the simulator
     repro report                      # full Markdown report
+    repro perf                        # TSG-core perf suite -> BENCH_core.json
 
 The CLI is intentionally a thin veneer over the library API so that every
 command can also be reproduced programmatically.
@@ -152,6 +153,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from . import perf
+
+    run = perf.main(output=args.output, quick=args.quick)
+    print(f"commit {run['commit']}  ({run['timestamp']})")
+    for record in run["results"]:
+        print(
+            f"  {record['graph']}: all-pairs races "
+            f"{record['closure_all_pairs_seconds'] * 1e3:.2f} ms (closure) vs "
+            f"{record['bfs_all_pairs_seconds_estimate'] * 1e3:.1f} ms (seed BFS, "
+            f"{record['bfs_baseline_mode']}) -> {record['speedup_all_pairs']:.0f}x speedup"
+        )
+    print(f"trajectory appended to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--no-matrix", action="store_true",
                                help="skip the defense x attack matrix (faster)")
     report_parser.set_defaults(handler=_cmd_report)
+
+    perf_parser = subparsers.add_parser(
+        "perf", help="run the TSG-core perf suite and append to BENCH_core.json"
+    )
+    perf_parser.add_argument("--output", "-o", default="BENCH_core.json",
+                             help="trajectory file to append to")
+    perf_parser.add_argument("--quick", action="store_true",
+                             help="smaller baseline budget, single repeat")
+    perf_parser.set_defaults(handler=_cmd_perf)
 
     return parser
 

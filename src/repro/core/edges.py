@@ -50,7 +50,7 @@ HARDWARE_ENFORCED_KINDS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Dependency:
     """A directed, labelled edge ``source -> target`` of an attack graph."""
 

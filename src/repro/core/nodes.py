@@ -102,7 +102,7 @@ _STEP_TO_PART: Mapping[AttackStep, AttackPart] = {
 _FRESH_IDS = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """A vertex of an attack graph.
 

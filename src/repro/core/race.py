@@ -14,6 +14,16 @@ The paper proves this analytically (Appendix A).  This module provides
   theorem on concrete graphs, including in the test suite's property tests),
 * enumeration of all racing pairs of a graph, and
 * construction of witness orderings demonstrating a race.
+
+Performance notes
+-----------------
+The TSG maintains a bitset transitive closure (see :mod:`repro.core.tsg`),
+so :func:`has_race` is O(1) -- two bit tests -- and :func:`find_races` over
+the whole graph delegates to ``TopologicalSortGraph.all_racing_pairs``, one
+O(V * V/w) sweep over the closure rather than O(V^2) BFS traversals.
+:func:`has_race_by_enumeration` and :func:`verify_theorem1` intentionally
+remain enumeration-based: they exist to validate the fast path against the
+paper's definition.
 """
 
 from __future__ import annotations
@@ -43,7 +53,10 @@ class Race:
 
 
 def has_race(graph: TopologicalSortGraph, u: str, v: str) -> bool:
-    """Path-based race check (Theorem 1): race iff no path u->v and no path v->u."""
+    """Path-based race check (Theorem 1): race iff no path u->v and no path v->u.
+
+    O(1) on the reachability index -- two bit tests.
+    """
     if u == v:
         return False
     return not (graph.has_path(u, v) or graph.has_path(v, u))
@@ -96,18 +109,28 @@ def witness_orderings(
 def find_races(
     graph: TopologicalSortGraph, among: Optional[Iterable[str]] = None
 ) -> List[Race]:
-    """Enumerate all racing pairs of the graph (or among a subset of vertices)."""
-    names: Sequence[str] = list(among) if among is not None else graph.vertices
-    races = []
-    for u, v in combinations(names, 2):
-        if has_race(graph, u, v):
-            races.append(Race(u, v))
-    return races
+    """Enumerate all racing pairs of the graph (or among a subset of vertices).
+
+    The whole-graph case is one batch pass over the reachability index
+    (:meth:`~repro.core.tsg.TopologicalSortGraph.all_racing_pairs`); the
+    subset case filters that pass down to the requested vertices.
+    """
+    if among is None:
+        return [Race(u, v) for u, v in graph.all_racing_pairs()]
+    keep = set(among)
+    unknown = [name for name in keep if name not in graph]
+    if unknown:
+        raise KeyError(f"Unknown vertex in race query: {sorted(unknown)!r}")
+    return [
+        Race(u, v)
+        for u, v in graph.all_racing_pairs()
+        if u in keep and v in keep
+    ]
 
 
 def race_free(graph: TopologicalSortGraph) -> bool:
     """``True`` when the graph is a total order (no racing pair at all)."""
-    return not find_races(graph)
+    return not graph.all_racing_pairs()
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,6 @@ from typing import List, Optional
 
 from .edges import Dependency, DependencyKind
 from .nodes import OperationType
-from .race import has_race
 from .tsg import TopologicalSortGraph
 
 
@@ -110,12 +109,15 @@ def missing_security_dependencies(
         for op in graph.operations
         if op.op_type in (OperationType.AUTHORIZATION, OperationType.RESOLUTION)
     ]
+    # One reachability-index lookup per authorization vertex; every
+    # (authorization, protected) pair is then a set-membership test.
+    racing = {auth: graph.racing_partners(auth) for auth in authorizations}
     missing: List[SecurityDependency] = []
     for point in points:
         targets = [op.name for op in graph.operations_of_type(_PROTECTION_TO_OPTYPE[point])]
         for auth in authorizations:
             for target in targets:
-                if has_race(graph, auth, target):
+                if target in racing[auth]:
                     missing.append(
                         SecurityDependency(
                             authorization=auth,

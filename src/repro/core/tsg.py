@@ -9,12 +9,39 @@ This module provides the graph data structure plus the ordering machinery
 needed to state and check the paper's Theorem 1 (see :mod:`repro.core.race`):
 validity checking, enumeration of all valid orderings, reachability, and
 ordering construction biased towards putting a chosen vertex early or late.
+
+Performance notes
+-----------------
+The graph maintains an incremental **bitset transitive closure**: every
+vertex carries two integer bitmasks over the vertex index space, one of its
+(strict) ancestors and one of its (strict) descendants.  With ``V`` vertices,
+``E`` edges and ``w`` the machine word size:
+
+* ``add_dependency`` updates the closure in O(V * V/w) bit operations and
+  detects cycles with a single bit test (no BFS on insert);
+* ``has_path`` is O(1) -- one shift and one mask;
+* ``descendants`` / ``ancestors`` decode one bitmask, O(V);
+* ``has_race`` (Theorem 1, in :mod:`repro.core.race`) is O(1);
+* ``all_racing_pairs`` derives the complete race set from the closure in one
+  O(V * V/w) pass instead of O(V^2) BFS traversals;
+* ``racing_partners`` answers "everything racing with this vertex" in O(V/w);
+* ``count_orderings`` is a memoized downset DP (exact linear-extension
+  counts) over connected components instead of explicit enumeration --
+  milliseconds on the paper's 10-20-vertex attack graphs;
+* ``topological_order`` uses an index-heap ready set, O((V + E) log V),
+  replacing the earlier O(V^2) list-scan implementation;
+* ``remove_edge`` rebuilds the closure with a topological sweep,
+  O((V + E) * V/w) -- removal is rare (defense *adds* edges).
+
+``all_orderings`` remains the exponential backtracking enumerator; it is kept
+for witness construction and for validating the DP counter on small graphs.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+import heapq
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .edges import Dependency, DependencyKind
 from .nodes import Operation, OperationType
@@ -24,12 +51,29 @@ class CycleError(ValueError):
     """Raised when adding an edge would create a cycle in the TSG."""
 
 
+class _StateBudgetExceeded(Exception):
+    """Internal: the downset DP grew past its state budget (fall back)."""
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 class TopologicalSortGraph:
     """A directed acyclic graph of :class:`~repro.core.nodes.Operation` vertices.
 
     Vertices are addressed by their unique ``name``.  Edges are
     :class:`~repro.core.edges.Dependency` records.  The graph rejects any edge
     insertion that would create a cycle, so it is a DAG by construction.
+
+    Alongside the adjacency sets the graph maintains a bitset transitive
+    closure (see the module docstring's performance notes): ``_index`` maps a
+    vertex name to its bit position, ``_names`` maps positions back, and
+    ``_anc`` / ``_desc`` hold per-vertex ancestor / descendant bitmasks.
     """
 
     def __init__(self, name: str = "tsg") -> None:
@@ -38,6 +82,11 @@ class TopologicalSortGraph:
         self._succ: Dict[str, Set[str]] = {}
         self._pred: Dict[str, Set[str]] = {}
         self._edges: Dict[Tuple[str, str], Dependency] = {}
+        # Reachability index: vertex name <-> bit position, plus the closure.
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._anc: List[int] = []
+        self._desc: List[int] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -54,6 +103,10 @@ class TopologicalSortGraph:
         self._ops[operation.name] = operation
         self._succ[operation.name] = set()
         self._pred[operation.name] = set()
+        self._index[operation.name] = len(self._names)
+        self._names.append(operation.name)
+        self._anc.append(0)
+        self._desc.append(0)
         return operation
 
     def add_vertex(self, name: str, **kwargs) -> Operation:
@@ -61,20 +114,37 @@ class TopologicalSortGraph:
         return self.add_operation(Operation(name=name, **kwargs))
 
     def add_dependency(self, dependency: Dependency) -> Dependency:
-        """Add an edge, verifying both endpoints exist and no cycle is created."""
+        """Add an edge, verifying both endpoints exist and no cycle is created.
+
+        Cycle detection and closure maintenance are bitmask operations: the
+        edge ``u -> v`` is cyclic iff ``u`` is already a descendant of ``v``,
+        and on insertion every ancestor of ``u`` (including ``u``) gains the
+        descendant set of ``v`` (including ``v``) and vice versa.
+        """
         for endpoint in (dependency.source, dependency.target):
             if endpoint not in self._ops:
                 raise KeyError(f"Unknown vertex {endpoint!r}")
         key = (dependency.source, dependency.target)
         if key in self._edges:
             return self._edges[key]
-        if self.has_path(dependency.target, dependency.source):
+        si = self._index[dependency.source]
+        ti = self._index[dependency.target]
+        if (self._desc[ti] >> si) & 1:
             raise CycleError(
                 f"Edge {dependency.source} -> {dependency.target} would create a cycle"
             )
         self._edges[key] = dependency
         self._succ[dependency.source].add(dependency.target)
         self._pred[dependency.target].add(dependency.source)
+        if not (self._desc[si] >> ti) & 1:
+            up = self._anc[si] | (1 << si)
+            down = self._desc[ti] | (1 << ti)
+            desc = self._desc
+            anc = self._anc
+            for i in _iter_bits(up):
+                desc[i] |= down
+            for i in _iter_bits(down):
+                anc[i] |= up
         return dependency
 
     def add_edge(
@@ -88,12 +158,37 @@ class TopologicalSortGraph:
         return self.add_dependency(Dependency(source, target, kind=kind, label=label))
 
     def remove_edge(self, source: str, target: str) -> None:
-        """Remove an edge if present."""
+        """Remove an edge if present (rebuilds the reachability index)."""
         key = (source, target)
         if key in self._edges:
             del self._edges[key]
             self._succ[source].discard(target)
             self._pred[target].discard(source)
+            self._rebuild_closure()
+
+    def _rebuild_closure(self) -> None:
+        """Recompute the ancestor/descendant bitmasks with a topological sweep."""
+        count = len(self._names)
+        anc = [0] * count
+        desc = [0] * count
+        order = self.topological_order()
+        index = self._index
+        for name in order:
+            i = index[name]
+            gathered = 0
+            for pred_name in self._pred[name]:
+                pi = index[pred_name]
+                gathered |= anc[pi] | (1 << pi)
+            anc[i] = gathered
+        for name in reversed(order):
+            i = index[name]
+            gathered = 0
+            for succ_name in self._succ[name]:
+                sj = index[succ_name]
+                gathered |= desc[sj] | (1 << sj)
+            desc[i] = gathered
+        self._anc = anc
+        self._desc = desc
 
     # ------------------------------------------------------------------
     # Inspection
@@ -149,50 +244,58 @@ class TopologicalSortGraph:
     # ------------------------------------------------------------------
     # Reachability and orderings
     # ------------------------------------------------------------------
+    def _mask_to_names(self, mask: int) -> Set[str]:
+        names = self._names
+        return {names[i] for i in _iter_bits(mask)}
+
     def has_path(self, source: str, target: str) -> bool:
         """``True`` iff there is a directed path from ``source`` to ``target``.
 
-        A vertex is considered to reach itself by the empty path.
+        A vertex is considered to reach itself by the empty path.  O(1): a
+        single bit test against the descendant mask of ``source``.
         """
         if source not in self._ops or target not in self._ops:
             raise KeyError(f"Unknown vertex in path query: {source!r} or {target!r}")
         if source == target:
             return True
-        seen = {source}
-        frontier = deque([source])
-        while frontier:
-            node = frontier.popleft()
-            for nxt in self._succ[node]:
-                if nxt == target:
-                    return True
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return False
+        return bool((self._desc[self._index[source]] >> self._index[target]) & 1)
 
     def descendants(self, source: str) -> Set[str]:
         """All vertices reachable from ``source`` (excluding ``source``)."""
-        seen: Set[str] = set()
-        frontier = deque([source])
-        while frontier:
-            node = frontier.popleft()
-            for nxt in self._succ[node]:
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return seen
+        return self._mask_to_names(self._desc[self._index[source]])
 
     def ancestors(self, target: str) -> Set[str]:
         """All vertices from which ``target`` is reachable (excluding itself)."""
-        seen: Set[str] = set()
-        frontier = deque([target])
-        while frontier:
-            node = frontier.popleft()
-            for prv in self._pred[node]:
-                if prv not in seen:
-                    seen.add(prv)
-                    frontier.append(prv)
-        return seen
+        return self._mask_to_names(self._anc[self._index[target]])
+
+    def racing_partners(self, name: str) -> Set[str]:
+        """All vertices that race with ``name`` (Theorem 1: incomparable vertices).
+
+        One O(V/w) mask operation: everything that is neither an ancestor nor
+        a descendant of ``name`` (nor ``name`` itself).
+        """
+        i = self._index[name]
+        full = (1 << len(self._names)) - 1
+        comparable = self._anc[i] | self._desc[i] | (1 << i)
+        return self._mask_to_names(full & ~comparable)
+
+    def all_racing_pairs(self) -> List[Tuple[str, str]]:
+        """Every racing (incomparable) vertex pair, in one pass over the closure.
+
+        Pairs are returned in insertion order of the first member, each pair
+        ordered by insertion as well -- the same order the pairwise
+        ``itertools.combinations`` scan used to produce.  O(V * V/w).
+        """
+        count = len(self._names)
+        full = (1 << count) - 1
+        names = self._names
+        pairs: List[Tuple[str, str]] = []
+        for i in range(count):
+            later = full >> (i + 1) << (i + 1)
+            racing = later & ~(self._anc[i] | self._desc[i])
+            first = names[i]
+            pairs.extend((first, names[j]) for j in _iter_bits(racing))
+        return pairs
 
     def is_valid_ordering(self, ordering: Sequence[str]) -> bool:
         """Check whether ``ordering`` is a valid ordering of the TSG.
@@ -206,30 +309,36 @@ class TopologicalSortGraph:
         return all(position[dep.source] < position[dep.target] for dep in self._edges.values())
 
     def topological_order(self, prefer_late: Optional[str] = None) -> List[str]:
-        """Return one valid ordering (Kahn's algorithm).
+        """Return one valid ordering (Kahn's algorithm over an index heap).
 
         When ``prefer_late`` names a vertex, that vertex is scheduled as late
         as possible (its selection is deferred whenever another ready vertex
         exists).  This is used to construct witness orderings for races.
+
+        The ready set is a min-heap of insertion indices, so selection is
+        deterministic (earliest-inserted ready vertex first) and each step is
+        O(log V) instead of the O(V) list scans of the earlier implementation.
         """
-        indegree = {name: len(preds) for name, preds in self._pred.items()}
-        ready = [name for name, deg in indegree.items() if deg == 0]
+        index = self._index
+        names = self._names
+        indegree = [0] * len(names)
+        for name, preds in self._pred.items():
+            indegree[index[name]] = len(preds)
+        ready = [i for i, degree in enumerate(indegree) if degree == 0]
+        heapq.heapify(ready)
+        late_index = index.get(prefer_late) if prefer_late is not None else None
         order: List[str] = []
         while ready:
-            pick = None
-            if prefer_late is not None and len(ready) > 1:
-                for candidate in ready:
-                    if candidate != prefer_late:
-                        pick = candidate
-                        break
-            if pick is None:
-                pick = ready[0]
-            ready.remove(pick)
-            order.append(pick)
-            for nxt in sorted(self._succ[pick]):
-                indegree[nxt] -= 1
-                if indegree[nxt] == 0:
-                    ready.append(nxt)
+            pick = heapq.heappop(ready)
+            if pick == late_index and ready:
+                pick, deferred = heapq.heappop(ready), pick
+                heapq.heappush(ready, deferred)
+            order.append(names[pick])
+            for nxt in self._succ[names[pick]]:
+                ni = index[nxt]
+                indegree[ni] -= 1
+                if indegree[ni] == 0:
+                    heapq.heappush(ready, ni)
         if len(order) != len(self._ops):
             raise CycleError("Graph contains a cycle")  # pragma: no cover - unreachable
         return order
@@ -239,7 +348,9 @@ class TopologicalSortGraph:
 
         The number of topological sorts is exponential in general; callers
         should pass ``limit`` or only use this on small graphs (the paper's
-        attack graphs have 10-20 vertices).
+        attack graphs have 10-20 vertices).  For *counting* orderings use
+        :meth:`count_orderings`, which is a polynomial-state DP on typical
+        attack graphs; the enumerator is retained for witness construction.
         """
         indegree = {name: len(preds) for name, preds in self._pred.items()}
         ready = sorted(name for name, deg in indegree.items() if deg == 0)
@@ -270,23 +381,120 @@ class TopologicalSortGraph:
 
         yield from backtrack([], ready)
 
-    def count_orderings(self, limit: int = 100000) -> int:
-        """Count valid orderings, stopping at ``limit``."""
-        count = 0
-        for _ in self.all_orderings(limit=limit):
-            count += 1
-        return count
+    def count_orderings(self, limit: Optional[int] = 100000) -> int:
+        """Count valid orderings (linear extensions) exactly, capped at ``limit``.
+
+        Implemented as a memoized DP over downsets (a downset is the set of
+        already-scheduled vertices; a vertex is schedulable once all its
+        ancestors are in the downset), computed independently per weakly
+        connected component and combined with the multinomial interleaving
+        factor.  Exact counts for the paper's 10-20-vertex attack graphs take
+        milliseconds; pass ``limit=None`` for the uncapped exact count.
+
+        ``limit`` preserves the historical contract of the enumeration-based
+        counter (which stopped once ``limit`` orderings had been seen): when
+        the exact count exceeds ``limit``, ``limit`` is returned -- and the
+        amount of *work* stays bounded as well.  A capped call gives the DP a
+        state budget; pathological shapes (e.g. wide antichains whose downset
+        lattice is exponential) fall back to the bounded enumerator instead
+        of running the DP to completion.  ``limit=None`` requests the exact
+        count and accepts the full DP cost.
+        """
+        # Scale the state budget with the cap: when only a small count is
+        # wanted, bailing out to the enumerator early is cheaper than letting
+        # the DP explore a large lattice first.
+        budget = (
+            None
+            if limit is None
+            else min(self._DP_STATE_BUDGET, max(4 * limit, 4096))
+        )
+        total = 1
+        remaining = len(self._names)
+        try:
+            for component in self._weak_components():
+                total *= math.comb(remaining, len(component))
+                remaining -= len(component)
+                total *= self._count_component(component, max_states=budget)
+                if limit is not None and total >= limit:
+                    return limit
+        except _StateBudgetExceeded:
+            count = 0
+            for _ in self.all_orderings(limit=limit):
+                count += 1
+            return count
+        if limit is not None:
+            return min(total, limit)
+        return total
+
+    #: Downset-DP state budget for capped ``count_orderings`` calls.  Each
+    #: state is one dict entry; past this the bounded enumerator is cheaper.
+    _DP_STATE_BUDGET = 1 << 17
+
+    def _weak_components(self) -> List[List[int]]:
+        """Vertex indices grouped by weakly connected component."""
+        visited: Set[int] = set()
+        components: List[List[int]] = []
+        index = self._index
+        for start, name in enumerate(self._names):
+            if start in visited:
+                continue
+            component = []
+            stack = [name]
+            visited.add(start)
+            while stack:
+                current = stack.pop()
+                component.append(index[current])
+                for neighbour in self._succ[current] | self._pred[current]:
+                    ni = index[neighbour]
+                    if ni not in visited:
+                        visited.add(ni)
+                        stack.append(neighbour)
+            components.append(component)
+        return components
+
+    def _count_component(
+        self, component: List[int], max_states: Optional[int] = None
+    ) -> int:
+        """Linear extensions of one weakly connected component (downset DP)."""
+        if len(component) <= 1:
+            return 1
+        comp_mask = 0
+        for i in component:
+            comp_mask |= 1 << i
+        anc = self._anc
+        memo: Dict[int, int] = {comp_mask: 1}
+
+        def extensions(done: int) -> int:
+            cached = memo.get(done)
+            if cached is not None:
+                return cached
+            if max_states is not None and len(memo) > max_states:
+                raise _StateBudgetExceeded
+            todo = comp_mask & ~done
+            total = 0
+            for i in _iter_bits(todo):
+                if anc[i] & comp_mask & ~done:
+                    continue  # not ready: an ancestor is still unscheduled
+                total += extensions(done | (1 << i))
+            memo[done] = total
+            return total
+
+        return extensions(0)
 
     # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "TopologicalSortGraph":
-        """Return a structural copy of the graph."""
+        """Return a structural copy of the graph (the closure index is shared-free)."""
         clone = type(self)(name=name or self.name)
         clone._ops = dict(self._ops)
         clone._succ = {k: set(v) for k, v in self._succ.items()}
         clone._pred = {k: set(v) for k, v in self._pred.items()}
         clone._edges = dict(self._edges)
+        clone._index = dict(self._index)
+        clone._names = list(self._names)
+        clone._anc = list(self._anc)
+        clone._desc = list(self._desc)
         return clone
 
     def subgraph(self, names: Iterable[str], name: str = "subgraph") -> "TopologicalSortGraph":

@@ -89,15 +89,19 @@ def _resolution_nodes(graph: AttackGraph) -> List[str]:
 
 
 def _projection_leaks(graph: AttackGraph) -> bool:
-    """Does this (single-source) graph leak?  Send can finish before authorization."""
-    sends = graph.send_nodes
+    """Does this (single-source) graph leak?  Send can finish before authorization.
+
+    One descendant-mask lookup per authorization vertex on the reachability
+    index: the graph leaks when some send vertex is not ordered after some
+    authorization.
+    """
+    sends = set(graph.send_nodes)
     authorizations = _resolution_nodes(graph)
     if not sends or not authorizations:
         return False
     return any(
-        not graph.has_path(auth, send)
+        sends - graph.descendants(auth) - {auth}
         for auth in authorizations
-        for send in sends
     )
 
 

@@ -37,13 +37,21 @@ def _protect(
     point: ProtectionPoint,
     suffix: str,
 ) -> AttackGraph:
-    """Add a security edge from every resolution vertex to every target vertex."""
-    dependencies = [
-        SecurityDependency(authorization=auth, protected=target, point=point)
-        for auth in _resolution_nodes(graph)
-        for target in targets
-        if not graph.has_path(auth, target)
-    ]
+    """Add a security edge from every resolution vertex to every target vertex.
+
+    Uses one descendant-set lookup on the reachability index per resolution
+    vertex; only pairs not already ordered get a new security edge.
+    """
+    targets = list(targets)
+    dependencies = []
+    for auth in _resolution_nodes(graph):
+        ordered = graph.descendants(auth)
+        ordered.add(auth)
+        dependencies.extend(
+            SecurityDependency(authorization=auth, protected=target, point=point)
+            for target in targets
+            if target not in ordered
+        )
     defended = graph.with_security_dependencies(dependencies)
     defended.name = f"{graph.name}+{suffix}"
     return defended

@@ -19,7 +19,7 @@ from .builder import BuildResult, build_attack_graph
 from .classify import AuthorizationKind, MICROARCH_KINDS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One reported vulnerability: a missing security dependency."""
 
@@ -44,6 +44,9 @@ class AnalysisReport:
     program_name: str
     build: BuildResult
     findings: List[Finding] = field(default_factory=list)
+    #: Total racing vertex pairs in the attack graph (batch closure sweep);
+    #: an upper bound on how much ordering freedom the hardware retains.
+    total_racing_pairs: int = 0
 
     @property
     def vulnerable(self) -> bool:
@@ -68,6 +71,7 @@ class AnalysisReport:
             f"  classification: "
             + ("Meltdown-type (intra-instruction)" if self.is_meltdown_type else "Spectre-type (inter-instruction)"),
             f"  potential secret accesses: {len(self.build.secret_accesses)}",
+            f"  racing vertex pairs: {self.total_racing_pairs}",
             f"  missing security dependencies: {len(self.findings)}",
         ]
         for finding in self.findings:
@@ -114,4 +118,9 @@ def analyze_program(
         )
         for vulnerability in vulnerabilities
     ]
-    return AnalysisReport(program_name=program.name, build=build, findings=findings)
+    return AnalysisReport(
+        program_name=program.name,
+        build=build,
+        findings=findings,
+        total_racing_pairs=len(build.graph.all_racing_pairs()),
+    )

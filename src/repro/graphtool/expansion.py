@@ -17,7 +17,7 @@ from ..core.nodes import ExecutionLevel, OperationType
 from .classify import AuthorizationKind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MicroOp:
     """One micro-op vertex produced by expanding an instruction."""
 
@@ -27,7 +27,7 @@ class MicroOp:
     speculative: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Expansion:
     """The micro-ops of one instruction and the intra-instruction edges."""
 

@@ -21,7 +21,7 @@ from .analyzer import AnalysisReport, analyze_program
 from .classify import MICROARCH_KINDS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PatchResult:
     """Outcome of patching a program."""
 

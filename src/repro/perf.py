@@ -1,0 +1,249 @@
+"""Timing harness for the reachability-indexed TSG core.
+
+Measures the two hot analyses the repo's upper layers bottom out in --
+all-pairs race detection (Theorem 1 over every vertex pair) and valid-
+ordering counts -- on synthetic layered DAGs of 50 / 200 / 500 vertices,
+comparing the bitset-closure fast paths against the seed's BFS-per-query
+baseline.  Results are appended as one commit-stamped run to a
+``BENCH_core.json`` trajectory so future PRs can track regressions.
+
+Used by ``benchmarks/run_perf.py``, the ``repro perf`` CLI subcommand, and
+(with smaller budgets) by ``benchmarks/bench_perf_core.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import time
+from collections import deque
+from itertools import combinations
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.tsg import TopologicalSortGraph
+
+#: (vertices, layer width, extra random forward edges) per suite size.  The
+#: 200-vertex entry is the acceptance configuration: 200 vertices and at
+#: least 1000 edges.
+DEFAULT_SIZES: Tuple[Tuple[int, int, int], ...] = (
+    (50, 5, 15),
+    (200, 5, 25),
+    (500, 5, 50),
+)
+
+
+# ----------------------------------------------------------------------
+# Synthetic workloads
+# ----------------------------------------------------------------------
+def build_layered_dag(
+    vertices: int, width: int = 5, extra_edges: int = 0, seed: int = 1
+) -> TopologicalSortGraph:
+    """A deterministic layered DAG: ``vertices / width`` layers of ``width``.
+
+    Every vertex depends on every vertex of the previous layer, plus
+    ``extra_edges`` random forward edges.  Layered graphs keep the
+    ordering-count DP polynomial (a downset is a prefix of complete layers
+    plus a subset of one layer, at most ``layers * 2^width`` states) while
+    still containing ``layers * C(width, 2)`` racing pairs -- a realistic
+    stand-in for wide attack graphs.
+    """
+    rng = random.Random(seed)
+    graph = TopologicalSortGraph(name=f"layered-{vertices}v")
+    names = [f"n{i}" for i in range(vertices)]
+    for name in names:
+        graph.add_vertex(name)
+    for i in range(width, vertices):
+        layer_start = (i // width) * width
+        for j in range(layer_start - width, layer_start):
+            graph.add_edge(names[j], names[i])
+    # Extra forward edges must skip at least one layer; with fewer than three
+    # layers no such pair exists, and rejection sampling can always run dry
+    # once the eligible pairs are exhausted -- bound the attempts.
+    added = 0
+    attempts = 0
+    max_attempts = extra_edges * 200
+    if vertices // width < 3:
+        extra_edges = 0
+    while added < extra_edges and attempts < max_attempts:
+        attempts += 1
+        a, b = rng.sample(range(vertices), 2)
+        if a > b:
+            a, b = b, a
+        if b // width - a // width < 2:  # skip intra/adjacent-layer picks
+            continue
+        if not graph.has_edge(names[a], names[b]):
+            graph.add_edge(names[a], names[b])
+            added += 1
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Seed baseline (the pre-index implementation, kept for comparison)
+# ----------------------------------------------------------------------
+def bfs_has_path(graph: TopologicalSortGraph, source: str, target: str) -> bool:
+    """The seed's ``has_path``: a fresh BFS over the successor sets per query."""
+    if source == target:
+        return True
+    succ = graph._succ  # noqa: SLF001 - deliberate: replicate the seed exactly
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in succ[node]:
+            if nxt == target:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def bfs_racing_pairs(
+    graph: TopologicalSortGraph, pairs: Optional[Sequence[Tuple[str, str]]] = None
+) -> List[Tuple[str, str]]:
+    """All-pairs (or given-pairs) race detection with the seed BFS check."""
+    if pairs is None:
+        pairs = list(combinations(graph.vertices, 2))
+    return [
+        (u, v)
+        for u, v in pairs
+        if not (bfs_has_path(graph, u, v) or bfs_has_path(graph, v, u))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Timings
+# ----------------------------------------------------------------------
+def _best_of(callable_, repeats: int) -> Tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_graph(
+    graph: TopologicalSortGraph,
+    baseline_pair_budget: int = 4000,
+    repeats: int = 3,
+    count_orderings: bool = True,
+) -> Dict[str, object]:
+    """Time the closure fast paths against the seed BFS baseline on one graph.
+
+    The closure side always runs the *full* all-pairs analysis.  The BFS
+    baseline runs on at most ``baseline_pair_budget`` pairs (a deterministic
+    sample) and is extrapolated to the full pair count, because the full
+    quadratic baseline on a 500-vertex graph takes minutes -- which is the
+    point of this PR.
+    """
+    vertices = graph.vertices
+    all_pairs = list(combinations(vertices, 2))
+    closure_seconds, closure_races = _best_of(graph.all_racing_pairs, repeats)
+
+    if len(all_pairs) <= baseline_pair_budget:
+        sample = all_pairs
+        baseline_mode = "full"
+    else:
+        rng = random.Random(2)
+        sample = rng.sample(all_pairs, baseline_pair_budget)
+        baseline_mode = "sampled"
+    bfs_seconds, bfs_races = _best_of(lambda: bfs_racing_pairs(graph, sample), 1)
+    bfs_all_pairs_estimate = bfs_seconds * (len(all_pairs) / len(sample))
+
+    if baseline_mode == "full":
+        assert set(bfs_races) == set(closure_races), "closure and BFS disagree"
+
+    record: Dict[str, object] = {
+        "graph": graph.name,
+        "vertices": len(vertices),
+        "edges": len(graph.edges),
+        "racing_pairs": len(closure_races),
+        "all_pairs": len(all_pairs),
+        "closure_all_pairs_seconds": closure_seconds,
+        "bfs_baseline_mode": baseline_mode,
+        "bfs_pairs_measured": len(sample),
+        "bfs_measured_seconds": bfs_seconds,
+        "bfs_all_pairs_seconds_estimate": bfs_all_pairs_estimate,
+        "speedup_all_pairs": (
+            bfs_all_pairs_estimate / closure_seconds if closure_seconds > 0 else float("inf")
+        ),
+    }
+    if count_orderings:
+        dp_seconds, count = _best_of(lambda: graph.count_orderings(limit=None), repeats)
+        record["count_orderings_seconds"] = dp_seconds
+        # Exact linear-extension counts of layered DAGs overflow JSON number
+        # precision (hundreds of digits); store digits + a prefix instead.
+        digits = len(str(count))
+        record["count_orderings_digits"] = digits
+        record["count_orderings_value"] = (
+            count if digits <= 15 else f"{str(count)[:12]}...e{digits - 1}"
+        )
+    return record
+
+
+def run_perf_suite(
+    sizes: Sequence[Tuple[int, int, int]] = DEFAULT_SIZES,
+    baseline_pair_budget: int = 4000,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the full suite and return one commit-stamped run record."""
+    results = []
+    for vertices, width, extra in sizes:
+        graph = build_layered_dag(vertices, width=width, extra_edges=extra)
+        results.append(
+            measure_graph(
+                graph,
+                baseline_pair_budget=baseline_pair_budget,
+                repeats=repeats,
+            )
+        )
+    return {
+        "commit": _git_commit(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": results,
+    }
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+        )
+    except Exception:  # pragma: no cover - git absent or not a repo
+        return "unknown"
+
+
+def append_run(path: str, run: Dict[str, object]) -> Dict[str, object]:
+    """Append one run to the ``BENCH_core.json`` trajectory file."""
+    target = Path(path)
+    if target.exists():
+        trajectory = json.loads(target.read_text(encoding="utf-8"))
+    else:
+        trajectory = {"benchmark": "tsg-core-perf", "runs": []}
+    trajectory["runs"].append(run)
+    target.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    return trajectory
+
+
+def main(output: str = "BENCH_core.json", quick: bool = False) -> Dict[str, object]:
+    """Entry point shared by ``benchmarks/run_perf.py`` and ``repro perf``."""
+    parent = Path(output).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(
+            f"cannot write {output!r}: directory {str(parent)!r} does not exist"
+        )
+    budget = 1500 if quick else 4000
+    repeats = 1 if quick else 3
+    run = run_perf_suite(baseline_pair_budget=budget, repeats=repeats)
+    append_run(output, run)
+    return run
