@@ -46,6 +46,8 @@ def main(argv=None) -> int:
             f"ordering count ({record['count_orderings_digits']} digits) "
             f"in {record['count_orderings_seconds'] * 1e3:.2f} ms"
         )
+    for line in perf.format_engine_records(run):
+        print(f"  {line}")
     print(f"appended to {args.output}")
     return 0
 

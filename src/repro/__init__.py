@@ -23,6 +23,7 @@ library:
 """
 
 from . import analysis, attacks, channels, core, defenses, exploits, graphtool, isa, uarch
+from .engine import Engine, Result, default_engine, set_default_engine
 from .core import (
     AttackGraph,
     AttackStep,
@@ -49,10 +50,12 @@ __all__ = [
     "Dependency",
     "DependencyKind",
     "DefenseStrategy",
+    "Engine",
     "Operation",
     "OperationType",
     "ProtectionPoint",
     "Race",
+    "Result",
     "SecurityDependency",
     "TopologicalSortGraph",
     "analysis",
@@ -60,6 +63,7 @@ __all__ = [
     "attack_succeeds",
     "channels",
     "core",
+    "default_engine",
     "defenses",
     "evaluate_defense",
     "exploits",
@@ -69,6 +73,7 @@ __all__ = [
     "find_races",
     "has_race",
     "missing_security_dependencies",
+    "set_default_engine",
     "verify_theorem1",
     "__version__",
 ]

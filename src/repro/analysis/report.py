@@ -9,11 +9,14 @@ artifact to diff when they extend the catalog.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..attacks import ALL_VARIANTS, AttackVariant, variants
-from ..defenses import ALL_DEFENSES, Defense, evaluate_matrix
+from ..defenses import ALL_DEFENSES, Defense
 from .tables import defense_strategy_table, format_table, table1, table2, table3
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import Engine
 
 
 def attack_section(variant: AttackVariant) -> str:
@@ -43,21 +46,31 @@ def attack_section(variant: AttackVariant) -> str:
 def defense_matrix_section(
     defenses: Optional[Sequence[Defense]] = None,
     attacks: Optional[Sequence[AttackVariant]] = None,
+    *,
+    engine: Optional["Engine"] = None,
+    parallel: Optional[int] = None,
 ) -> str:
-    """A Markdown table of the defense x attack evaluation."""
+    """A Markdown table of the defense x attack evaluation.
+
+    Rendered from the engine's :class:`~repro.engine.Result` envelope; pass
+    ``parallel`` to shard the matrix over the engine's process pool.
+    """
+    from ..engine import default_engine
+
+    session = engine if engine is not None else default_engine()
     chosen_defenses = list(defenses) if defenses is not None else list(ALL_DEFENSES)
     chosen_attacks = list(attacks) if attacks is not None else variants()
-    matrix = evaluate_matrix(chosen_defenses, chosen_attacks)
-    verdict = {(e.defense_key, e.attack_key): e for e in matrix}
+    result = session.evaluate_matrix(chosen_defenses, chosen_attacks, parallel)
+    verdict = {(row["defense"], row["attack"]): row for row in result.data["rows"]}
     headers = ["Defense"] + [attack.key for attack in chosen_attacks]
     rows: List[List[str]] = []
     for defense in chosen_defenses:
         row = [defense.name]
         for attack in chosen_attacks:
-            evaluation = verdict[(defense.key, attack.key)]
-            if not evaluation.applicable:
+            cell = verdict[(defense.key, attack.key)]
+            if not cell["applicable"]:
                 row.append("-")
-            elif evaluation.effective:
+            elif cell["effective"]:
                 row.append("defeats")
             else:
                 row.append("leaks")
@@ -65,7 +78,12 @@ def defense_matrix_section(
     return format_table(headers, rows)
 
 
-def full_report(include_matrix: bool = True) -> str:
+def full_report(
+    include_matrix: bool = True,
+    *,
+    engine: Optional["Engine"] = None,
+    parallel: Optional[int] = None,
+) -> str:
     """The complete Markdown report."""
     sections = [
         "# Speculative execution attack-graph model — full report",
@@ -106,7 +124,7 @@ def full_report(include_matrix: bool = True) -> str:
                 "## Defense x attack evaluation",
                 "",
                 "```",
-                defense_matrix_section(),
+                defense_matrix_section(engine=engine, parallel=parallel),
                 "```",
                 "",
             ]

@@ -48,7 +48,12 @@ def published_keys() -> FrozenSet[Tuple[str, str, str]]:
 
 
 def refresh_published_cache() -> None:
-    """Drop the cached key index (for tests that mutate the attack registry)."""
+    """Drop the cached key index (for tests that mutate the attack registry).
+
+    Subsumed by :meth:`repro.engine.Engine.invalidate`, which clears this
+    index together with the engine's synthesized-graph and verdict caches;
+    kept as a standalone hook for callers that only touched the registry.
+    """
     global _PUBLISHED_KEYS
     _PUBLISHED_KEYS = None
 
@@ -93,7 +98,10 @@ class SynthesizedAttack:
 
         Instruction-level delay mechanisms produce a Figure 1 style graph;
         all others produce a Figure 4 style faulting-access graph whose
-        secret-source vertex is named after the chosen source.
+        secret-source vertex is named after the chosen source.  This is the
+        raw (uncached) construction; sweeps should go through
+        :meth:`repro.engine.Engine.synthesize_graph`, which memoizes graphs
+        per ``(source, delay, channel)`` key.
         """
         name = "synth-" + "-".join(part.lower() for part in self.key)
         if self.delay_mechanism in _INSTRUCTION_LEVEL_DELAYS:
@@ -129,17 +137,19 @@ def novel_combinations(
     sources: Optional[Sequence[SecretSource]] = None,
     delays: Optional[Sequence[DelayMechanism]] = None,
     channels: Optional[Sequence[CovertChannelKind]] = None,
+    parallel: Optional[int] = None,
 ) -> List[SynthesizedAttack]:
     """Combinations of the attack space not used by any published variant.
 
     O(|space|) on the cached key index -- one set lookup per combination.
+    Thin wrapper over :meth:`repro.engine.Engine.novel_combinations` on the
+    default engine: results are sorted by ``(source, delay, channel)`` key
+    and, with ``parallel`` > 1, the lookup is sharded over the process pool
+    (output is identical either way).
     """
-    published = published_keys()
-    return [
-        attack
-        for attack in enumerate_attack_space(sources, delays, channels)
-        if attack.key not in published
-    ]
+    from ..engine import default_engine
+
+    return default_engine().novel_combinations(sources, delays, channels, parallel)
 
 
 def published_combinations() -> List[SynthesizedAttack]:

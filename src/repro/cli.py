@@ -1,21 +1,31 @@
-"""Command-line interface for the attack-graph model library.
+"""Command-line interface over the :class:`repro.engine.Engine` session API.
+
+Every analysis command is a thin veneer over one engine session: programs
+are analysed through the content-addressed artifact cache (so re-analysing
+an unchanged file is a cache hit), the defense matrix and attack-space
+sweeps run on the engine's shardable execution plane, and the ``--json``
+flags emit the engine's uniform :class:`~repro.engine.Result` envelope for
+scripting pipelines.
 
 Subcommands::
 
-    repro tables                      # regenerate Tables I, II, III
-    repro attacks                     # list the attack catalog
-    repro attack spectre_v1           # describe one attack graph
-    repro defenses                    # list the defense catalog
-    repro evaluate lfence spectre_v1  # does a defense defeat an attack?
-    repro analyze victim.s            # run the Figure 9 tool on a program
-    repro patch victim.s              # analyze + insert fences
-    repro exploit spectre_v1          # run an exploit on the simulator
-    repro ablation meltdown           # defense ablation on the simulator
-    repro report                      # full Markdown report
-    repro perf                        # TSG-core perf suite -> BENCH_core.json
+    repro tables                       # regenerate Tables I, II, III
+    repro attacks                      # list the attack catalog
+    repro attack spectre_v1            # describe one attack graph
+    repro defenses                     # list the defense catalog
+    repro evaluate lfence spectre_v1   # does a defense defeat an attack?
+    repro evaluate --json lfence ...   # ... as a JSON Result envelope
+    repro analyze victim.s             # run the Figure 9 tool on a program
+    repro analyze --json victim.s      # ... as a JSON Result envelope
+    repro patch victim.s               # analyze + insert fences
+    repro exploit spectre_v1           # run an exploit on the simulator
+    repro ablation meltdown            # defense ablation on the simulator
+    repro report                       # full Markdown report
+    repro perf                         # core + engine perf -> BENCH_core.json
 
-The CLI is intentionally a thin veneer over the library API so that every
-command can also be reproduced programmatically.
+Everything the CLI prints can be reproduced programmatically:
+``Engine().analyze(program)`` / ``.evaluate(defense, variant)`` /
+``.synthesize()`` / ``.run_exploits()`` return the same envelopes.
 """
 
 from __future__ import annotations
@@ -27,9 +37,10 @@ from typing import List, Optional, Sequence
 from . import analysis
 from .analysis.report import full_report
 from .attacks import ALL_VARIANTS, get as get_attack
-from .defenses import ALL_DEFENSES, evaluate_defense, get as get_defense
+from .defenses import ALL_DEFENSES, get as get_defense
+from .engine import default_engine
 from .exploits import EXPLOITS, defense_ablation
-from .graphtool import analyze_program, patch_program
+from .graphtool import patch_program
 from .isa import assemble
 from .uarch import SimDefense, UarchConfig
 
@@ -74,7 +85,11 @@ def _cmd_defenses(_: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     defense = get_defense(args.defense)
     variant = get_attack(args.attack)
-    evaluation = evaluate_defense(defense, variant)
+    result = default_engine().evaluate(defense, variant)
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    evaluation = result.payload
     print(f"defense:   {defense.name} [{defense.strategy.value}]")
     print(f"attack:    {variant.name}")
     print(f"applicable: {evaluation.applicable}")
@@ -91,9 +106,12 @@ def _load_program(path: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    report = analyze_program(_load_program(args.program))
-    print(report.summary())
-    return 1 if report.vulnerable else 0
+    result = default_engine().analyze(_load_program(args.program))
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.payload.summary())
+    return 0 if result.ok else 1
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
@@ -165,6 +183,8 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             f"{record['bfs_all_pairs_seconds_estimate'] * 1e3:.1f} ms (seed BFS, "
             f"{record['bfs_baseline_mode']}) -> {record['speedup_all_pairs']:.0f}x speedup"
         )
+    for line in perf.format_engine_records(run):
+        print(f"  {line}")
     print(f"trajectory appended to {args.output}")
     return 0
 
@@ -195,10 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a defense against an attack")
     evaluate_parser.add_argument("defense", help="defense key, e.g. lfence")
     evaluate_parser.add_argument("attack", help="attack key, e.g. spectre_v1")
+    evaluate_parser.add_argument("--json", action="store_true",
+                                 help="emit the engine Result envelope as JSON")
     evaluate_parser.set_defaults(handler=_cmd_evaluate)
 
     analyze_parser = subparsers.add_parser("analyze", help="run the Figure 9 tool on a program")
     analyze_parser.add_argument("program", help="path to an assembly file")
+    analyze_parser.add_argument("--json", action="store_true",
+                                 help="emit the engine Result envelope as JSON")
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     patch_parser = subparsers.add_parser("patch", help="analyze a program and insert fences")

@@ -7,6 +7,7 @@ from .evaluation import (
     InsufficientDefenseReport,
     attack_succeeds,
     evaluate_defense,
+    evaluate_defense_uncached,
     evaluate_matrix,
     insufficient_defense_demo,
     leaking_sources,
@@ -57,6 +58,7 @@ __all__ = [
     "apply_strategy",
     "attack_succeeds",
     "evaluate_defense",
+    "evaluate_defense_uncached",
     "evaluate_matrix",
     "get",
     "insufficient_defense_demo",

@@ -168,12 +168,16 @@ class DefenseEvaluation:
         return f"{self.defense_key} {verdict} {self.attack_key}"
 
 
-def evaluate_defense(
+def evaluate_defense_uncached(
     defense: Defense,
     variant: AttackVariant,
     graph: Optional[AttackGraph] = None,
 ) -> DefenseEvaluation:
-    """Apply ``defense`` to ``variant``'s attack graph and report the outcome."""
+    """Apply ``defense`` to ``variant``'s attack graph and report the outcome.
+
+    This is the raw computation; :func:`evaluate_defense` routes through the
+    default engine's ``(defense key, attack key)`` evaluation cache.
+    """
     baseline = graph if graph is not None else variant.build_graph()
     applicable = defense.applies_to(variant)
     leaked_before = attack_succeeds(baseline)
@@ -225,15 +229,37 @@ def evaluate_defense(
     )
 
 
+def evaluate_defense(
+    defense: Defense,
+    variant: AttackVariant,
+    graph: Optional[AttackGraph] = None,
+) -> DefenseEvaluation:
+    """Apply ``defense`` to ``variant``'s attack graph and report the outcome.
+
+    Thin wrapper over :meth:`repro.engine.Engine.evaluate` on the default
+    engine; pairs without an explicit ``graph`` are served from the
+    ``(defense key, attack key)`` cache on warm calls.
+    """
+    from ..engine import default_engine
+
+    return default_engine().evaluate(defense, variant, graph).payload
+
+
 def evaluate_matrix(
-    defenses: Sequence[Defense], variants: Sequence[AttackVariant]
+    defenses: Sequence[Defense],
+    variants: Sequence[AttackVariant],
+    parallel: Optional[int] = None,
 ) -> List[DefenseEvaluation]:
-    """Evaluate every defense against every attack variant."""
-    return [
-        evaluate_defense(defense, variant)
-        for defense in defenses
-        for variant in variants
-    ]
+    """Evaluate every defense against every attack variant.
+
+    Thin wrapper over :meth:`repro.engine.Engine.evaluate_matrix`: rows are
+    sorted by ``(defense key, attack key)`` and, with ``parallel`` > 1,
+    sharded over the engine's process pool -- parallel output is
+    byte-identical to serial output.
+    """
+    from ..engine import default_engine
+
+    return default_engine().evaluate_matrix(defenses, variants, parallel).payload
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,804 @@
+"""The unified ``Engine`` session API: cached artifacts + a shardable execution plane.
+
+Every analysis in the library -- the Figure 9 program tool, the defense x
+attack matrix, the Section V-A attack-space synthesis, and the end-to-end
+exploit harness -- is reachable through one stateful session object:
+
+* **Content-addressed artifact cache.**  :meth:`Engine.build` and
+  :meth:`Engine.analyze` memoize attack-graph construction keyed on
+  :meth:`Program.content_hash() <repro.isa.program.Program.content_hash>`,
+  so analysing the same program twice costs one dictionary lookup.
+  Defense evaluations are keyed by the (frozen) ``(defense, variant)``
+  object pair and synthesized attack graphs by ``(source, delay,
+  channel)``.  Every cache is bounded (``cache_limit``).  The caches are
+  observable (:meth:`Engine.stats`) and explicitly droppable
+  (:meth:`Engine.invalidate`), which subsumes the old ad-hoc
+  :func:`repro.attacks.generator.refresh_published_cache`.
+
+* **Execution plane.**  :meth:`Engine.map` fans pure work out over a
+  ``concurrent.futures`` process pool with a deterministic serial fallback.
+  The sweep methods (:meth:`Engine.evaluate_matrix`,
+  :meth:`Engine.synthesize`, :meth:`Engine.novel_combinations`,
+  :meth:`Engine.run_exploits`) shard their work lists over the pool and sort
+  rows by combination key, so parallel output is byte-identical to serial
+  output.  The pool is owned by the session: it is created lazily on the
+  first parallel call and reused until :meth:`Engine.close`.
+
+* **Uniform result envelope.**  Every analysis returns a :class:`Result`
+  (kind ``analyze`` / ``evaluate`` / ``synthesize`` / ``exploit``) whose
+  ``data`` field is JSON-serializable -- this is what ``repro analyze
+  --json`` and ``repro evaluate --json`` emit, and what the reporting layer
+  renders.
+
+The legacy free functions (:func:`repro.graphtool.analyze_program`,
+:func:`repro.defenses.evaluate_defense`, ...) are thin wrappers over the
+module-wide :func:`default_engine`, so existing callers keep working while
+sharing one cache.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pickle import PicklingError
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from .attacks.base import (
+    AttackVariant,
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+)
+from .attacks.generator import (
+    SynthesizedAttack,
+    enumerate_attack_space,
+    published_keys,
+    refresh_published_cache,
+)
+from .core.attack_graph import AttackGraph
+from .core.security_dependency import ProtectionPoint
+from .defenses.base import Defense
+from .graphtool.analyzer import AnalysisReport, analyze_build
+from .graphtool.builder import AttackGraphBuilder, BuildResult
+from .graphtool.expansion import expansion_for
+from .isa.program import Program
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ---------------------------------------------------------------------------
+# Result envelope
+# ---------------------------------------------------------------------------
+@dataclass
+class Result:
+    """Uniform JSON-serializable envelope around one analysis outcome.
+
+    ``kind`` is one of ``analyze`` / ``evaluate`` / ``synthesize`` /
+    ``exploit``; ``ok`` is the headline boolean of that kind (program safe,
+    defense effective, sweep complete, secret recovered); ``cache`` records
+    whether the result came from a cold build, a warm cache hit, or a
+    non-cached computation; ``data`` is plain JSON-serializable content and
+    ``payload`` the rich library object (``AnalysisReport``,
+    ``DefenseEvaluation`` list, ...) for programmatic callers.
+    """
+
+    kind: str
+    subject: str
+    ok: bool
+    cache: str
+    data: Dict[str, object]
+    payload: object = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "ok": self.ok,
+            "cache": self.cache,
+            "data": self.data,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool shard workers (module-level so they pickle by reference)
+# ---------------------------------------------------------------------------
+def _synth_shard_worker(keys: Sequence[Tuple[str, str, str]]) -> List[Dict[str, object]]:
+    """Compute sweep rows for one shard of the attack space.
+
+    Each worker builds its own serial ``Engine`` so structurally identical
+    combinations within the shard share one graph build and leak check.
+    """
+    engine = Engine()
+    return [
+        engine._synth_row(
+            SynthesizedAttack(SecretSource[s], DelayMechanism[d], CovertChannelKind[c])
+        )
+        for s, d, c in keys
+    ]
+
+
+def _matrix_shard_worker(
+    pairs: Sequence[Tuple[Defense, AttackVariant]]
+) -> List["DefenseEvaluation"]:
+    engine = Engine()
+    return [engine.evaluate(defense, variant).payload for defense, variant in pairs]
+
+
+def _novel_shard_worker(
+    keys: Sequence[Tuple[str, str, str]]
+) -> List[Tuple[str, str, str]]:
+    published = published_keys()
+    return [key for key in keys if key not in published]
+
+
+def _exploit_shard_worker(
+    items: Sequence[Tuple[str, object, int]]
+) -> List["ExploitResult"]:
+    from .exploits.harness import EXPLOITS
+    from .uarch.config import DEFAULT_CONFIG
+
+    results = []
+    for name, config, secret in items:
+        runner = EXPLOITS[name]
+        results.append(runner(config if config is not None else DEFAULT_CONFIG, secret))
+    return results
+
+
+#: Per-(source, delay) structural verdict fields shared across channel twins.
+_VERDICT_FIELDS = (
+    "leaks",
+    "vulnerabilities",
+    "racing_pairs",
+    "vertices",
+    "edges",
+    "meltdown_type",
+)
+
+
+def _picklable(payload: object) -> bool:
+    """Probe whether work can cross the process boundary.
+
+    CPython signals unpicklable objects with a zoo of exception types
+    (PicklingError, TypeError, AttributeError, ...), so the probe catches
+    everything -- a failed probe simply routes the work to the serial path
+    before anything is submitted to the pool.
+    """
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _shards(items: List[T], count: int) -> List[List[T]]:
+    """Split ``items`` into at most ``count`` contiguous, order-preserving shards."""
+    count = max(1, min(count, len(items)))
+    size, remainder = divmod(len(items), count)
+    shards: List[List[T]] = []
+    start = 0
+    for i in range(count):
+        end = start + size + (1 if i < remainder else 0)
+        shards.append(items[start:end])
+        start = end
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+class Engine:
+    """Stateful session facade: build once, analyze many, shard the sweeps.
+
+    ``parallel`` sets the default worker count for the sweep methods; every
+    sweep also accepts a per-call ``parallel=`` override.  ``parallel=None``
+    (or 1) means deterministic serial execution in-process.
+
+    ``cache_limit`` bounds every artifact cache to that many entries
+    (oldest-inserted evicted first), so long-running batch consumers of the
+    legacy free functions -- which share the process-global default engine --
+    cannot grow memory without bound.  ``cache_limit=None`` disables
+    eviction.
+    """
+
+    #: Default per-cache entry bound (FIFO eviction beyond this).
+    DEFAULT_CACHE_LIMIT = 4096
+
+    def __init__(
+        self,
+        parallel: Optional[int] = None,
+        cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
+    ) -> None:
+        self.parallel = parallel
+        self.cache_limit = cache_limit
+        self._builds: Dict[Tuple, BuildResult] = {}
+        self._analyses: Dict[Tuple, AnalysisReport] = {}
+        #: Keyed on the (frozen) Defense / AttackVariant objects themselves, so
+        #: a customized defense sharing a catalog key cannot alias a stale entry.
+        self._evaluations: Dict[Tuple[Defense, AttackVariant], "DefenseEvaluation"] = {}
+        self._synth_graphs: Dict[Tuple[str, str, str], AttackGraph] = {}
+        self._synth_verdicts: Dict[Tuple[str, str], Dict[str, object]] = {}
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+
+    # -- cache plumbing -----------------------------------------------------
+    @staticmethod
+    def program_key(
+        program: Program, protected_symbols: Optional[Sequence[str]] = None
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """Content-addressed cache key of a program + extra protected symbols."""
+        return (program.content_hash(), tuple(sorted(protected_symbols or ())))
+
+    def _record(self, cache: str, hit: bool) -> None:
+        counter = self._hits if hit else self._misses
+        counter[cache] = counter.get(cache, 0) + 1
+
+    def _store(self, store: Dict, key: object, value: T) -> T:
+        """Insert into a cache, evicting the oldest entry beyond the limit."""
+        if self.cache_limit is not None and len(store) >= self.cache_limit:
+            store.pop(next(iter(store)))
+        store[key] = value
+        return value
+
+    def _stores(self) -> Dict[str, Dict]:
+        """The cache registry shared by :meth:`stats` and :meth:`invalidate`."""
+        return {
+            "builds": self._builds,
+            "analyses": self._analyses,
+            "evaluations": self._evaluations,
+            "synth_graphs": self._synth_graphs,
+            "synth_verdicts": self._synth_verdicts,
+        }
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit / miss / entry counts per cache, plus the shared expansion cache."""
+        report = {
+            name: {
+                "entries": len(store),
+                "hits": self._hits.get(name, 0),
+                "misses": self._misses.get(name, 0),
+            }
+            for name, store in self._stores().items()
+        }
+        info = expansion_for.cache_info()
+        report["expansions"] = {
+            "entries": info.currsize,
+            "hits": info.hits,
+            "misses": info.misses,
+        }
+        return report
+
+    def invalidate(self, cache: Optional[str] = None) -> int:
+        """Drop cached artifacts; returns the number of entries removed.
+
+        ``cache`` selects one cache (``builds`` / ``analyses`` /
+        ``evaluations`` / ``synth_graphs`` / ``synth_verdicts``); ``None``
+        clears everything, including the registry's published-key index and
+        the shared micro-op expansion cache, and also shuts down the worker
+        pool (forked workers snapshot the parent at pool creation, so a
+        registry mutation would otherwise be invisible to them) -- use after
+        mutating the attack registry or the defense catalog.
+        """
+        stores = self._stores()
+        if cache is not None:
+            try:
+                store = stores[cache]
+            except KeyError as exc:
+                raise KeyError(
+                    f"unknown cache {cache!r}; known: {', '.join(sorted(stores))}"
+                ) from exc
+            dropped = len(store)
+            store.clear()
+            return dropped
+        dropped = sum(len(store) for store in stores.values())
+        for store in stores.values():
+            store.clear()
+        refresh_published_cache()
+        expansion_for.cache_clear()
+        self.close()
+        return dropped
+
+    # -- execution plane ----------------------------------------------------
+    def _workers(self, parallel: Optional[int]) -> int:
+        if parallel is None:
+            parallel = self.parallel
+        return max(1, parallel or 1)
+
+    def _pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._executor is None or self._executor_workers < workers:
+            if self._executor is not None:
+                self._executor.shutdown()
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+            self._executor_workers = workers
+        return self._executor
+
+    def _try_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        """The session pool, or ``None`` when the platform cannot fork one."""
+        try:
+            return self._pool(workers)
+        except OSError:
+            return None
+
+    def close(self) -> None:
+        """Shut down the session's worker pool (caches are kept)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        parallel: Optional[int] = None,
+    ) -> List[R]:
+        """Order-preserving map over ``items``, sharded across the pool.
+
+        With ``parallel`` (or the session default) <= 1 this is a plain
+        serial list comprehension; otherwise ``fn`` and the items must be
+        picklable.  Results always come back in input order, so serial and
+        parallel runs are interchangeable.
+        """
+        work = list(items)
+        workers = self._workers(parallel)
+        if workers <= 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        chunksize = max(1, -(-len(work) // workers))
+        pool = self._try_pool(workers)
+        if pool is None or not _picklable((fn, work)):
+            return [fn(item) for item in work]
+        try:
+            return list(pool.map(fn, work, chunksize=chunksize))
+        except (BrokenExecutor, PicklingError):
+            # A broken pool (or a result that cannot cross the process
+            # boundary) must not change results -- fall back to the
+            # deterministic serial path.  Exceptions raised by ``fn`` itself
+            # propagate unchanged; unpicklable *inputs* are caught by the
+            # probe above, before anything is submitted.
+            self.close()
+            return [fn(item) for item in work]
+
+    def _run_sharded(
+        self,
+        worker: Callable[[List[T]], List[R]],
+        items: List[T],
+        parallel: Optional[int],
+    ) -> List[R]:
+        """Run ``worker`` over contiguous shards of ``items``, concatenated in order."""
+        workers = self._workers(parallel)
+        if workers <= 1 or len(items) <= 1:
+            return worker(items)
+        shards = _shards(items, workers)
+        pool = self._try_pool(workers)
+        if pool is None or not _picklable((worker, items)):
+            return worker(items)
+        try:
+            futures = [pool.submit(worker, shard) for shard in shards]
+            gathered = [future.result() for future in futures]
+        except (BrokenExecutor, PicklingError):
+            self.close()
+            return worker(items)
+        return [row for shard_rows in gathered for row in shard_rows]
+
+    # -- Figure 9 program analysis ------------------------------------------
+    def build(
+        self, program: Program, protected_symbols: Optional[Sequence[str]] = None
+    ) -> BuildResult:
+        """Construct (or fetch) the attack graph of a program, content-hashed."""
+        key = self.program_key(program, protected_symbols)
+        cached = self._builds.get(key)
+        if cached is not None:
+            self._record("builds", hit=True)
+            return cached
+        self._record("builds", hit=False)
+        build = AttackGraphBuilder(program, protected_symbols).build()
+        self._store(self._builds, key, build)
+        return build
+
+    def analyze(
+        self,
+        program: Program,
+        protected_symbols: Optional[Sequence[str]] = None,
+        points: Optional[Sequence[ProtectionPoint]] = None,
+    ) -> Result:
+        """Run the full Figure 9 flow on a program; warm calls hit the cache.
+
+        The envelope ``data`` is freshly built per call and safe to mutate;
+        the ``payload`` (:class:`AnalysisReport`) is the shared cached
+        artifact -- treat it as immutable, like every cached build.
+        """
+        points_key = tuple(point.value for point in points) if points is not None else None
+        key = (self.program_key(program, protected_symbols), points_key)
+        report = self._analyses.get(key)
+        if report is not None:
+            self._record("analyses", hit=True)
+            cache_state = "warm"
+        else:
+            self._record("analyses", hit=False)
+            cache_state = "cold"
+            build = self.build(program, protected_symbols)
+            report = analyze_build(build, points)
+            self._store(self._analyses, key, report)
+        # The envelope data is built per call (only the report is cached):
+        # callers may freely mutate result.data without poisoning warm hits.
+        data = {
+            "program": report.program_name,
+            "content_hash": key[0][0],
+            "vertices": len(report.build.graph),
+            "edges": len(report.build.graph.edges),
+            "classification": (
+                "meltdown-type" if report.is_meltdown_type else "spectre-type"
+            ),
+            "secret_accesses": len(report.build.secret_accesses),
+            "racing_pairs": report.total_racing_pairs,
+            "vulnerable": report.vulnerable,
+            "findings": [
+                {
+                    "authorization": finding.authorization,
+                    "protected_operation": finding.protected_operation,
+                    "point": finding.point.value,
+                    "software_patchable": finding.software_patchable,
+                    "description": finding.description,
+                }
+                for finding in report.findings
+            ],
+        }
+        return Result(
+            kind="analyze",
+            subject=report.program_name,
+            ok=not report.vulnerable,
+            cache=cache_state,
+            data=data,
+            payload=report,
+        )
+
+    # -- defense evaluation -------------------------------------------------
+    def evaluate(
+        self,
+        defense: Defense,
+        variant: AttackVariant,
+        graph: Optional[AttackGraph] = None,
+    ) -> Result:
+        """Apply one defense to one attack variant (cached per key pair)."""
+        from .defenses.evaluation import evaluate_defense_uncached
+
+        if graph is not None:
+            cache_state = "none"
+            evaluation = evaluate_defense_uncached(defense, variant, graph)
+        else:
+            key = (defense, variant)
+            evaluation = self._evaluations.get(key)
+            if evaluation is not None:
+                self._record("evaluations", hit=True)
+                cache_state = "warm"
+            else:
+                self._record("evaluations", hit=False)
+                cache_state = "cold"
+                evaluation = evaluate_defense_uncached(defense, variant)
+                self._store(self._evaluations, key, evaluation)
+        return Result(
+            kind="evaluate",
+            subject=f"{defense.key} vs {variant.key}",
+            ok=evaluation.effective,
+            cache=cache_state,
+            data=_evaluation_row(evaluation),
+            payload=evaluation,
+        )
+
+    def evaluate_matrix(
+        self,
+        defenses: Optional[Sequence[Defense]] = None,
+        variants: Optional[Sequence[AttackVariant]] = None,
+        parallel: Optional[int] = None,
+    ) -> Result:
+        """Evaluate every defense against every variant, sharded over the pool.
+
+        Rows are sorted by ``(defense key, attack key)`` so serial and
+        parallel runs produce byte-identical output.
+        """
+        from .attacks.registry import variants as registry_variants
+        from .defenses import ALL_DEFENSES
+
+        chosen_defenses = list(defenses) if defenses is not None else list(ALL_DEFENSES)
+        chosen_variants = (
+            list(variants) if variants is not None else registry_variants()
+        )
+        pairs = sorted(
+            (
+                (defense, variant)
+                for defense in chosen_defenses
+                for variant in chosen_variants
+            ),
+            key=lambda pair: (pair[0].key, pair[1].key),
+        )
+        workers = self._workers(parallel)
+        if workers <= 1:
+            # Serial path goes through the session's evaluation cache.
+            evaluations = [
+                self.evaluate(defense, variant).payload for defense, variant in pairs
+            ]
+        else:
+            # Warm pairs are served from the session cache; only the misses
+            # are sharded out.  Worker results are absorbed back into the
+            # cache, so a repeated sweep is all-local dict hits.
+            misses = [pair for pair in pairs if pair not in self._evaluations]
+            computed = self._run_sharded(_matrix_shard_worker, misses, workers)
+            for pair, evaluation in zip(misses, computed):
+                if pair not in self._evaluations:
+                    self._store(self._evaluations, pair, evaluation)
+            evaluations = [
+                self.evaluate(defense, variant).payload for defense, variant in pairs
+            ]
+        rows = [_evaluation_row(evaluation) for evaluation in evaluations]
+        defeated: Dict[str, bool] = {}
+        for evaluation in evaluations:
+            defeated[evaluation.attack_key] = (
+                defeated.get(evaluation.attack_key, False) or evaluation.effective
+            )
+        data = {
+            "defenses": len(chosen_defenses),
+            "attacks": len(chosen_variants),
+            "effective": sum(1 for evaluation in evaluations if evaluation.effective),
+            "undefeated_attacks": sorted(
+                key for key, covered in defeated.items() if not covered
+            ),
+            "rows": rows,
+        }
+        return Result(
+            kind="evaluate",
+            subject=f"matrix {len(chosen_defenses)}x{len(chosen_variants)}",
+            ok=all(defeated.values()) if defeated else True,
+            cache="none",
+            data=data,
+            payload=evaluations,
+        )
+
+    # -- Section V-A attack-space synthesis ---------------------------------
+    def synthesize_graph(self, attack: SynthesizedAttack) -> AttackGraph:
+        """Build (or fetch) the synthesized graph of one combination."""
+        graph = self._synth_graphs.get(attack.key)
+        if graph is not None:
+            self._record("synth_graphs", hit=True)
+            return graph
+        self._record("synth_graphs", hit=False)
+        graph = attack.build_graph()
+        self._store(self._synth_graphs, attack.key, graph)
+        return graph
+
+    def _synth_row(self, attack: SynthesizedAttack) -> Dict[str, object]:
+        """One sweep row; the structural verdict only depends on (source, delay).
+
+        The covert channel names the exfiltration path but does not change the
+        synthesized graph's shape, so leak / vulnerability / race analysis is
+        shared across all channels of one (source, delay) pair.
+        """
+        from .defenses.evaluation import attack_succeeds
+
+        structural_key = (attack.secret_source.name, attack.delay_mechanism.name)
+        verdict = self._synth_verdicts.get(structural_key)
+        if verdict is not None:
+            self._record("synth_verdicts", hit=True)
+        else:
+            self._record("synth_verdicts", hit=False)
+            graph = self.synthesize_graph(attack)
+            verdict = {
+                "leaks": attack_succeeds(graph),
+                "vulnerabilities": len(graph.find_vulnerabilities()),
+                "racing_pairs": len(graph.all_racing_pairs()),
+                "vertices": len(graph),
+                "edges": len(graph.edges),
+                "meltdown_type": graph.is_meltdown_type,
+            }
+            self._store(self._synth_verdicts, structural_key, verdict)
+        row: Dict[str, object] = {
+            "source": attack.secret_source.name,
+            "delay": attack.delay_mechanism.name,
+            "channel": attack.channel.name,
+            "published": attack.is_published,
+        }
+        row.update(verdict)
+        return row
+
+    def synthesize(
+        self,
+        sources: Optional[Sequence[SecretSource]] = None,
+        delays: Optional[Sequence[DelayMechanism]] = None,
+        channels: Optional[Sequence[CovertChannelKind]] = None,
+        parallel: Optional[int] = None,
+    ) -> Result:
+        """Sweep the (restricted) attack space, sharded over the pool.
+
+        Rows come back sorted by ``(source, delay, channel)`` key so parallel
+        output is byte-identical to serial output.
+        """
+        attacks = sorted(
+            enumerate_attack_space(sources, delays, channels), key=lambda a: a.key
+        )
+        workers = self._workers(parallel)
+        if workers > 1:
+            # Shard one representative per structurally distinct (source,
+            # delay) pair that the session has not analysed yet; the workers'
+            # verdicts are absorbed into the cache, and every row (including
+            # channel twins) is then served locally.
+            missing: Dict[Tuple[str, str], SynthesizedAttack] = {}
+            for attack in attacks:
+                structural = (attack.secret_source.name, attack.delay_mechanism.name)
+                if structural not in self._synth_verdicts and structural not in missing:
+                    missing[structural] = attack
+            if missing:
+                computed = self._run_sharded(
+                    _synth_shard_worker,
+                    [attack.key for attack in missing.values()],
+                    workers,
+                )
+                for row in computed:
+                    structural = (row["source"], row["delay"])
+                    if structural not in self._synth_verdicts:
+                        self._store(
+                            self._synth_verdicts,
+                            structural,
+                            {name: row[name] for name in _VERDICT_FIELDS},
+                        )
+        rows = [self._synth_row(attack) for attack in attacks]
+        data = {
+            "combinations": len(rows),
+            "published": sum(1 for row in rows if row["published"]),
+            "novel": sum(1 for row in rows if not row["published"]),
+            "leaking": sum(1 for row in rows if row["leaks"]),
+            "rows": rows,
+        }
+        return Result(
+            kind="synthesize",
+            subject="attack-space",
+            ok=True,
+            cache="none",
+            data=data,
+            payload=attacks,
+        )
+
+    def novel_combinations(
+        self,
+        sources: Optional[Sequence[SecretSource]] = None,
+        delays: Optional[Sequence[DelayMechanism]] = None,
+        channels: Optional[Sequence[CovertChannelKind]] = None,
+        parallel: Optional[int] = None,
+    ) -> List[SynthesizedAttack]:
+        """Unpublished combinations, key-sorted, sharded over the pool."""
+        attacks = sorted(
+            enumerate_attack_space(sources, delays, channels), key=lambda a: a.key
+        )
+        keys = [attack.key for attack in attacks]
+        novel = set(self._run_sharded(_novel_shard_worker, keys, parallel))
+        return [attack for attack in attacks if attack.key in novel]
+
+    # -- end-to-end exploits -------------------------------------------------
+    def exploit(
+        self,
+        name: str,
+        config: Optional[object] = None,
+        secret: Optional[int] = None,
+    ) -> Result:
+        """Run one end-to-end exploit on the simulator (never cached)."""
+        from .exploits.harness import DEFAULT_SECRET, EXPLOITS
+        from .uarch.config import DEFAULT_CONFIG
+
+        if name not in EXPLOITS:
+            raise KeyError(
+                f"unknown exploit {name!r}; known: {', '.join(sorted(EXPLOITS))}"
+            )
+        planted = DEFAULT_SECRET if secret is None else secret
+        result = EXPLOITS[name](config if config is not None else DEFAULT_CONFIG, planted)
+        return Result(
+            kind="exploit",
+            subject=name,
+            ok=result.success,
+            cache="none",
+            data=_exploit_row(result),
+            payload=result,
+        )
+
+    def run_exploits(
+        self,
+        names: Optional[Sequence[str]] = None,
+        config: Optional[object] = None,
+        secret: Optional[int] = None,
+        parallel: Optional[int] = None,
+    ) -> Result:
+        """Run a set of exploits (all by default), sharded over the pool."""
+        from .exploits.harness import DEFAULT_SECRET, EXPLOITS
+
+        chosen = list(names) if names is not None else list(EXPLOITS)
+        if len(set(chosen)) != len(chosen):
+            raise ValueError("duplicate exploit names in run_exploits")
+        planted = DEFAULT_SECRET if secret is None else secret
+        items = [(name, config, planted) for name in chosen]
+        results = self._run_sharded(_exploit_shard_worker, items, parallel)
+        by_name = dict(zip(chosen, results))
+        data = {
+            "exploits": len(chosen),
+            "leaked": sum(1 for result in results if result.success),
+            "rows": [_exploit_row(result) for result in results],
+        }
+        return Result(
+            kind="exploit",
+            subject=f"suite ({len(chosen)} exploits)",
+            ok=all(result.success for result in results),
+            cache="none",
+            data=data,
+            payload=by_name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Row serializers shared by the sweeps and the reporting layer
+# ---------------------------------------------------------------------------
+def _evaluation_row(evaluation: "DefenseEvaluation") -> Dict[str, object]:
+    return {
+        "defense": evaluation.defense_key,
+        "attack": evaluation.attack_key,
+        "strategy": evaluation.strategy.value,
+        "applicable": evaluation.applicable,
+        "leaked_before": evaluation.leaked_before,
+        "leaked_after": evaluation.leaked_after,
+        "effective": evaluation.effective,
+        "security_edges_added": evaluation.security_edges_added,
+        "notes": evaluation.notes,
+    }
+
+
+def _exploit_row(result: "ExploitResult") -> Dict[str, object]:
+    return {
+        "attack": result.attack,
+        "secret": result.secret,
+        "recovered": result.recovered,
+        "success": result.success,
+        "speculative_windows": result.stats.speculative_windows,
+        "transient_instructions": result.stats.transient_instructions,
+        "squashes": result.stats.squashes,
+        "faults": result.stats.faults,
+        "notes": result.notes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The default session shared by the legacy free functions
+# ---------------------------------------------------------------------------
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The module-wide engine the legacy free functions delegate to."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Swap the default engine (tests, custom pool sizes); returns the old one."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

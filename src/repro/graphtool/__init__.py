@@ -1,6 +1,6 @@
 """The Section V-C tool: construct attack graphs from programs, find and patch races."""
 
-from .analyzer import AnalysisReport, Finding, analyze_program
+from .analyzer import AnalysisReport, Finding, analyze_build, analyze_program
 from .builder import (
     AttackGraphBuilder,
     BuildResult,
@@ -28,6 +28,7 @@ __all__ = [
     "Finding",
     "PatchResult",
     "SecretAccessSite",
+    "analyze_build",
     "analyze_program",
     "build_attack_graph",
     "expansion_for",

@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.attack_graph import Vulnerability
 from ..core.security_dependency import ProtectionPoint
 from ..isa.program import Program
-from .builder import BuildResult, build_attack_graph
+from .builder import BuildResult
 from .classify import AuthorizationKind, MICROARCH_KINDS
 
 
@@ -99,13 +99,11 @@ def _software_patchable(build: BuildResult, vulnerability: Vulnerability) -> boo
     return bool(software_kinds) and "::" not in vulnerability.dependency.authorization
 
 
-def analyze_program(
-    program: Program,
-    protected_symbols: Optional[Sequence[str]] = None,
+def analyze_build(
+    build: BuildResult,
     points: Optional[Sequence[ProtectionPoint]] = None,
 ) -> AnalysisReport:
-    """Run the full Figure 9 flow on a program and report its vulnerabilities."""
-    build = build_attack_graph(program, protected_symbols)
+    """Analyse an already-constructed attack graph (the engine's cold path)."""
     selected_points = list(points) if points is not None else None
     vulnerabilities = build.graph.find_vulnerabilities(points=selected_points)
     findings = [
@@ -119,8 +117,25 @@ def analyze_program(
         for vulnerability in vulnerabilities
     ]
     return AnalysisReport(
-        program_name=program.name,
+        program_name=build.program.name,
         build=build,
         findings=findings,
         total_racing_pairs=len(build.graph.all_racing_pairs()),
     )
+
+
+def analyze_program(
+    program: Program,
+    protected_symbols: Optional[Sequence[str]] = None,
+    points: Optional[Sequence[ProtectionPoint]] = None,
+) -> AnalysisReport:
+    """Run the full Figure 9 flow on a program and report its vulnerabilities.
+
+    Thin wrapper over :meth:`repro.engine.Engine.analyze` on the default
+    engine: repeated analyses of content-identical programs are served from
+    the content-addressed cache.  The returned report is the shared cached
+    artifact -- treat it as immutable.
+    """
+    from ..engine import default_engine
+
+    return default_engine().analyze(program, protected_symbols, points).payload

@@ -294,8 +294,16 @@ class AttackGraphBuilder:
 def build_attack_graph(
     program: Program, protected_symbols: Optional[Sequence[str]] = None
 ) -> BuildResult:
-    """Convenience wrapper: construct the attack graph of a program."""
-    return AttackGraphBuilder(program, protected_symbols).build()
+    """Convenience wrapper: construct the attack graph of a program.
+
+    Delegates to the default :class:`repro.engine.Engine`, which memoizes
+    builds on ``Program.content_hash()`` -- callers re-building the same
+    program share one construction.  Use :class:`AttackGraphBuilder` directly
+    for an uncached build.
+    """
+    from ..engine import default_engine
+
+    return default_engine().build(program, protected_symbols)
 
 
 def _is_intra_instruction(site: SecretAccessSite) -> bool:

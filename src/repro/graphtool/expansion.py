@@ -10,6 +10,7 @@ break down such instructions into their micro-architectural level").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Tuple
 
 from ..core.edges import DependencyKind
@@ -184,8 +185,14 @@ ACCESS_SUFFIX = {
 }
 
 
+@lru_cache(maxsize=None)
 def expansion_for(kind: AuthorizationKind) -> Expansion:
-    """The micro-op expansion for an intra-instruction authorization kind."""
+    """The micro-op expansion for an intra-instruction authorization kind.
+
+    Memoized per authorization kind: :class:`Expansion` and :class:`MicroOp`
+    are frozen (hashable) dataclasses, so the cached objects are safe to
+    share between every builder invocation and across engine sessions.
+    """
     try:
         return _EXPANSIONS[kind]
     except KeyError as exc:

@@ -13,11 +13,14 @@ mapping-removal defense such as KPTI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set, Tuple
 
 from ..isa.instructions import Branch, Fence, IndirectJmp, Instruction, Ret
 from ..isa.program import Program
-from .analyzer import AnalysisReport, analyze_program
+from .analyzer import AnalysisReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine import Engine
 from .classify import MICROARCH_KINDS
 
 
@@ -81,12 +84,21 @@ def _rebuild_with_fences(program: Program, positions: Sequence[int]) -> Program:
 def patch_program(
     program: Program,
     protected_symbols: Optional[Sequence[str]] = None,
+    engine: Optional["Engine"] = None,
 ) -> PatchResult:
-    """Analyze, patch (insert fences) and re-analyze a program."""
-    report_before = analyze_program(program, protected_symbols)
+    """Analyze, patch (insert fences) and re-analyze a program.
+
+    Both analyses run through the (given or default) engine session, so the
+    pre-patch report is shared with any earlier ``analyze`` of the same
+    program content, and re-patching is a pure cache hit.
+    """
+    from ..engine import default_engine
+
+    session = engine if engine is not None else default_engine()
+    report_before = session.analyze(program, protected_symbols).payload
     positions = sorted(_fence_positions(report_before))
     patched = _rebuild_with_fences(program, positions) if positions else program
-    report_after = analyze_program(patched, protected_symbols)
+    report_after = session.analyze(patched, protected_symbols).payload
     unpatchable = tuple(
         str(finding)
         for finding in report_before.findings

@@ -9,6 +9,7 @@ or sensitive, which is the starting point of the Section V-C tool flow.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,14 +54,29 @@ class Program:
         instructions: Optional[Iterable[Instruction]] = None,
         symbols: Optional[Iterable[DataSymbol]] = None,
     ) -> None:
-        self.name = name
+        self._name = name
         self._instructions: List[Instruction] = []
         self._labels: Dict[str, int] = {}
         self._symbols: Dict[str, DataSymbol] = {}
+        #: Bumped on every mutation; invalidates the cached content hash.
+        self._version = 0
+        self._hash_version = -1
+        self._hash_cache: Optional[str] = None
         for symbol in symbols or ():
             self.add_symbol(symbol)
         for instruction in instructions or ():
             self.append(instruction)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        # Renames count as mutations: the name is part of the fingerprint,
+        # so the cached content hash must be invalidated.
+        self._name = value
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,6 +89,7 @@ class Program:
                 raise ProgramError(f"duplicate label {instruction.label!r}")
             self._labels[instruction.label] = index
         self._instructions.append(instruction)
+        self._version += 1
         return index
 
     def extend(self, instructions: Iterable[Instruction]) -> None:
@@ -92,6 +109,7 @@ class Program:
                     f"symbol {symbol.name!r} overlaps {existing.name!r}"
                 )
         self._symbols[symbol.name] = symbol
+        self._version += 1
         return symbol
 
     def declare(
@@ -165,6 +183,36 @@ class Program:
     def protected_symbols(self) -> List[DataSymbol]:
         """Symbols the user marked as secret / sensitive."""
         return [symbol for symbol in self._symbols.values() if symbol.protected]
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> Tuple[object, ...]:
+        """Canonical structural identity: name, data layout, instruction stream.
+
+        Instructions and symbols are frozen dataclasses, so their ``repr`` is
+        a deterministic rendering of the full field tree (class names
+        included) -- two programs have equal fingerprints exactly when they
+        are structurally identical.
+        """
+        return (
+            self.name,
+            tuple(repr(symbol) for symbol in self._symbols.values()),
+            tuple(repr(instruction) for instruction in self._instructions),
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the fingerprint; the key of every engine-level cache.
+
+        The hash is cached and invalidated on mutation (:meth:`append` /
+        :meth:`add_symbol`), so repeated cache lookups on a stable program
+        cost one integer comparison.
+        """
+        if self._hash_cache is None or self._hash_version != self._version:
+            digest = hashlib.sha256(repr(self.fingerprint()).encode("utf-8"))
+            self._hash_cache = digest.hexdigest()
+            self._hash_version = self._version
+        return self._hash_cache
 
     # ------------------------------------------------------------------
     # Address resolution

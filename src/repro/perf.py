@@ -1,11 +1,17 @@
-"""Timing harness for the reachability-indexed TSG core.
+"""Timing harness for the reachability-indexed TSG core and the engine.
 
-Measures the two hot analyses the repo's upper layers bottom out in --
-all-pairs race detection (Theorem 1 over every vertex pair) and valid-
-ordering counts -- on synthetic layered DAGs of 50 / 200 / 500 vertices,
-comparing the bitset-closure fast paths against the seed's BFS-per-query
-baseline.  Results are appended as one commit-stamped run to a
-``BENCH_core.json`` trajectory so future PRs can track regressions.
+Measures the hot analyses the repo's upper layers bottom out in:
+
+* all-pairs race detection (Theorem 1 over every vertex pair) and valid-
+  ordering counts on synthetic layered DAGs of 50 / 200 / 500 vertices,
+  comparing the bitset-closure fast paths against the seed's BFS-per-query
+  baseline (PR 1), and
+* the :class:`repro.engine.Engine` session API (PR 2): warm-cache
+  ``analyze`` against a cold attack-graph build, and the sharded
+  attack-space sweep against the per-combination free-function baseline.
+
+Results are appended as one commit-stamped run to a ``BENCH_core.json``
+trajectory so future PRs can track regressions.
 
 Used by ``benchmarks/run_perf.py``, the ``repro perf`` CLI subcommand, and
 (with smaller budgets) by ``benchmarks/bench_perf_core.py``.
@@ -185,10 +191,137 @@ def measure_graph(
     return record
 
 
+# ----------------------------------------------------------------------
+# Engine benchmarks (PR 2): warm-cache analyze, sharded attack space
+# ----------------------------------------------------------------------
+def build_analysis_program(gadgets: int = 8):
+    """A synthetic victim: ``gadgets`` independent Listing-1 style gadgets.
+
+    Each gadget has its own bounds check, victim array and protected secret,
+    so the attack graph grows linearly with ``gadgets`` -- a realistic cold
+    ``Engine.analyze`` workload for the warm-cache comparison.
+    """
+    from .isa.assembler import assemble
+
+    lines = [".data", "probe_array: address=0x1000000 size=1048576 shared"]
+    for g in range(gadgets):
+        base = 0x200000 + g * 0x1000
+        lines.append(f"victim_{g}: address={base:#x} size=16")
+        lines.append(f"secret_{g}: address={base + 0x48:#x} size=1 protected")
+        lines.append(f"size_{g}:   address={0x400000 + g * 0x100:#x} size=8")
+    lines.append(".text")
+    lines.append("    clflush [probe_array]")
+    for g in range(gadgets):
+        lines.extend(
+            [
+                f"    cmp rdx, [size_{g}]",
+                f"    ja done_{g}",
+                f"    mov rax, byte [victim_{g} + rdx]",
+                "    shl rax, 12",
+                "    mov rbx, [probe_array + rax]",
+                f"done_{g}:",
+            ]
+        )
+    lines.append("    hlt")
+    return assemble("\n".join(lines), name=f"engine-analyze-{gadgets}gadgets")
+
+
+def measure_engine_analyze(gadgets: int = 8, repeats: int = 3) -> Dict[str, object]:
+    """Cold attack-graph build vs warm content-hash cache hit on one program."""
+    from .engine import Engine
+
+    program = build_analysis_program(gadgets)
+    cold_seconds, cold_result = _best_of(lambda: Engine().analyze(program), repeats)
+    engine = Engine()
+    engine.analyze(program)  # prime the session cache
+    warm_seconds, warm_result = _best_of(
+        lambda: engine.analyze(program), max(repeats, 5)
+    )
+    if warm_result.cache != "warm" or warm_result.data != cold_result.data:
+        raise RuntimeError("warm Engine.analyze diverged from the cold build")
+    report = cold_result.payload
+    return {
+        "benchmark": "engine-analyze-warm-cache",
+        "gadgets": gadgets,
+        "vertices": len(report.build.graph),
+        "edges": len(report.build.graph.edges),
+        "findings": len(report.findings),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_warm": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+    }
+
+
+def _legacy_attack_space_rows() -> List[Tuple]:
+    """The pre-engine sweep: one graph build + full analysis per combination."""
+    from .attacks.generator import enumerate_attack_space
+    from .defenses.evaluation import attack_succeeds
+
+    rows = []
+    for attack in sorted(enumerate_attack_space(), key=lambda a: a.key):
+        graph = attack.build_graph()
+        rows.append(
+            (
+                attack.key,
+                attack.is_published,
+                attack_succeeds(graph),
+                len(graph.find_vulnerabilities()),
+                len(graph.all_racing_pairs()),
+            )
+        )
+    return rows
+
+
+def measure_engine_attack_space(workers: int = 2, repeats: int = 3) -> Dict[str, object]:
+    """Serial free-function sweep vs the engine's sharded attack-space sweep.
+
+    The engine wins twice over: structurally identical ``(source, delay)``
+    combinations share one graph build + leak analysis via the verdict
+    cache, and the remaining work is sharded over the session's process
+    pool.  The serial baseline is the pre-engine per-combination sweep.
+    """
+    from .engine import Engine
+
+    legacy_seconds, legacy_rows = _best_of(_legacy_attack_space_rows, repeats)
+    serial_seconds, serial_result = _best_of(lambda: Engine().synthesize(), repeats)
+    with Engine() as engine:
+        engine.map(abs, [-1, 1], parallel=workers)  # spin up the session pool
+
+        def sharded_cold_sweep():
+            # Drop the session's synth caches so every repeat measures a
+            # cold sharded sweep (with a warm pool), not a cache replay.
+            engine.invalidate("synth_verdicts")
+            engine.invalidate("synth_graphs")
+            return engine.synthesize(parallel=workers)
+
+        sharded_seconds, sharded_result = _best_of(sharded_cold_sweep, repeats)
+    if sharded_result.data != serial_result.data:
+        raise RuntimeError("sharded attack-space sweep diverged from serial")
+    legacy_leaks = sum(1 for row in legacy_rows if row[2])
+    if legacy_leaks != sharded_result.data["leaking"]:
+        raise RuntimeError("engine sweep diverged from the legacy baseline")
+    return {
+        "benchmark": "engine-attack-space-sharded",
+        "combinations": sharded_result.data["combinations"],
+        "workers": workers,
+        "serial_seconds": legacy_seconds,
+        "engine_serial_seconds": serial_seconds,
+        "engine_sharded_seconds": sharded_seconds,
+        "speedup_sharded_vs_serial": (
+            legacy_seconds / sharded_seconds if sharded_seconds > 0 else float("inf")
+        ),
+        "speedup_engine_serial_vs_serial": (
+            legacy_seconds / serial_seconds if serial_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def run_perf_suite(
     sizes: Sequence[Tuple[int, int, int]] = DEFAULT_SIZES,
     baseline_pair_budget: int = 4000,
     repeats: int = 3,
+    include_engine: bool = True,
+    engine_workers: int = 2,
 ) -> Dict[str, object]:
     """Run the full suite and return one commit-stamped run record."""
     results = []
@@ -201,11 +334,17 @@ def run_perf_suite(
                 repeats=repeats,
             )
         )
-    return {
+    run: Dict[str, object] = {
         "commit": _git_commit(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "results": results,
     }
+    if include_engine:
+        run["engine_results"] = [
+            measure_engine_analyze(repeats=repeats),
+            measure_engine_attack_space(workers=engine_workers, repeats=repeats),
+        ]
+    return run
 
 
 def _git_commit() -> str:
@@ -247,3 +386,24 @@ def main(output: str = "BENCH_core.json", quick: bool = False) -> Dict[str, obje
     run = run_perf_suite(baseline_pair_budget=budget, repeats=repeats)
     append_run(output, run)
     return run
+
+
+def format_engine_records(run: Dict[str, object]) -> List[str]:
+    """Human-readable lines for the engine benchmark records of one run."""
+    lines = []
+    for record in run.get("engine_results", ()):  # type: ignore[union-attr]
+        if record["benchmark"] == "engine-analyze-warm-cache":
+            lines.append(
+                f"engine analyze ({record['gadgets']} gadgets, {record['vertices']}v): "
+                f"cold {record['cold_seconds'] * 1e3:.2f} ms vs warm "
+                f"{record['warm_seconds'] * 1e6:.1f} us -> "
+                f"{record['speedup_warm']:.0f}x warm-cache speedup"
+            )
+        elif record["benchmark"] == "engine-attack-space-sharded":
+            lines.append(
+                f"attack space ({record['combinations']} combos): serial sweep "
+                f"{record['serial_seconds'] * 1e3:.1f} ms vs engine sharded "
+                f"(x{record['workers']}) {record['engine_sharded_seconds'] * 1e3:.1f} ms "
+                f"-> {record['speedup_sharded_vs_serial']:.1f}x"
+            )
+    return lines

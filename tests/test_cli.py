@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -79,6 +81,22 @@ class TestCommands:
     def test_analyze_vulnerable_program_returns_one(self, listing_file, capsys):
         assert main(["analyze", listing_file]) == 1
         assert "missing security dependencies" in capsys.readouterr().out
+
+    def test_analyze_json_emits_result_envelope(self, listing_file, capsys):
+        assert main(["analyze", "--json", listing_file]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "analyze"
+        assert envelope["ok"] is False
+        assert envelope["data"]["vulnerable"] is True
+        assert envelope["data"]["findings"]
+
+    def test_evaluate_json_emits_result_envelope(self, capsys):
+        assert main(["evaluate", "--json", "lfence", "spectre_v1"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "evaluate"
+        assert envelope["ok"] is True
+        assert envelope["data"]["defense"] == "lfence"
+        assert envelope["data"]["attack"] == "spectre_v1"
 
     def test_patch_program(self, listing_file, capsys):
         assert main(["patch", listing_file]) == 0

@@ -1,0 +1,350 @@
+"""Tests for the unified Engine session API (cache + execution plane + envelope)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks import (
+    CovertChannelKind,
+    DelayMechanism,
+    SecretSource,
+    get as get_attack,
+    novel_combinations,
+)
+from repro.defenses import evaluate_matrix, get as get_defense
+from repro.engine import Engine, Result, default_engine, set_default_engine
+from repro.graphtool import AttackGraphBuilder, analyze_program
+from repro.graphtool.classify import AuthorizationKind
+from repro.graphtool.expansion import expansion_for
+from repro.isa import assemble
+from repro.isa.instructions import Nop
+
+
+@pytest.fixture
+def engine():
+    with Engine() as session:
+        yield session
+
+
+def _reciprocal(value):
+    return 1 / value
+
+
+# ---------------------------------------------------------------------------
+# Program content hashing
+# ---------------------------------------------------------------------------
+class TestContentHash:
+    def test_structurally_identical_programs_share_a_hash(self):
+        one = assemble(LISTING1_TEXT, name="victim")
+        two = assemble(LISTING1_TEXT, name="victim")
+        assert one is not two
+        assert one.content_hash() == two.content_hash()
+
+    def test_hash_is_stable_across_calls(self, listing1_program):
+        assert listing1_program.content_hash() == listing1_program.content_hash()
+
+    def test_appending_an_instruction_changes_the_hash(self, listing1_program):
+        before = listing1_program.content_hash()
+        listing1_program.append(Nop())
+        assert listing1_program.content_hash() != before
+
+    def test_declaring_a_symbol_changes_the_hash(self):
+        program = assemble(".data\na: address=0x1000 size=8\n.text\nhlt")
+        before = program.content_hash()
+        program.declare("b", 0x2000, 8)
+        assert program.content_hash() != before
+
+    def test_renaming_changes_the_hash(self):
+        one = assemble(".text\nhlt", name="one")
+        two = assemble(".text\nhlt", name="two")
+        assert one.content_hash() != two.content_hash()
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed analysis cache
+# ---------------------------------------------------------------------------
+class TestAnalysisCache:
+    def test_warm_hit_returns_the_cold_result(self, engine, listing1_program):
+        cold = engine.analyze(listing1_program)
+        warm = engine.analyze(listing1_program)
+        assert (cold.cache, warm.cache) == ("cold", "warm")
+        assert warm.payload is cold.payload
+        assert warm.data == cold.data
+        stats = engine.stats()["analyses"]
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+
+    @pytest.mark.parametrize("text_name", ["listing1", "listing2"])
+    def test_cache_hits_equal_cold_builds(self, engine, text_name, request):
+        """Property: a warm engine report equals a fresh uncached analysis."""
+        program = request.getfixturevalue(f"{text_name}_program")
+        engine.analyze(program)  # prime
+        warm = engine.analyze(program).payload
+        from repro.graphtool.analyzer import analyze_build
+
+        fresh = analyze_build(AttackGraphBuilder(program, None).build())
+        assert warm.vulnerable == fresh.vulnerable
+        assert warm.total_racing_pairs == fresh.total_racing_pairs
+        assert [str(f) for f in warm.findings] == [str(f) for f in fresh.findings]
+
+    def test_mutating_envelope_data_does_not_poison_the_cache(
+        self, engine, listing1_program
+    ):
+        cold = engine.analyze(listing1_program)
+        pristine_findings = len(cold.data["findings"])
+        cold.data["findings"].clear()
+        cold.data["vulnerable"] = "tampered"
+        warm = engine.analyze(listing1_program)
+        assert len(warm.data["findings"]) == pristine_findings
+        assert warm.data["vulnerable"] is True
+
+    def test_customized_defense_does_not_alias_catalog_cache_entry(self, engine):
+        import dataclasses
+
+        from repro.defenses import DefenseStrategy
+
+        lfence = get_defense("lfence")
+        attack = get_attack("spectre_v1")
+        assert engine.evaluate(lfence, attack).ok
+        tweaked = dataclasses.replace(
+            lfence, strategy=DefenseStrategy.CLEAR_PREDICTIONS
+        )
+        tweaked_result = engine.evaluate(tweaked, attack)
+        assert tweaked_result.cache == "cold"  # not served from lfence's entry
+        assert tweaked_result.data["strategy"] == DefenseStrategy.CLEAR_PREDICTIONS.value
+
+    def test_content_identical_programs_share_cache_entries(self, engine):
+        one = assemble(LISTING1_TEXT, name="victim")
+        two = assemble(LISTING1_TEXT, name="victim")
+        assert engine.analyze(one).cache == "cold"
+        assert engine.analyze(two).cache == "warm"
+
+    def test_mutation_misses_the_cache(self, engine):
+        program = assemble(LISTING1_TEXT, name="victim")
+        engine.analyze(program)
+        program.append(Nop())
+        assert engine.analyze(program).cache == "cold"
+        assert engine.stats()["analyses"]["entries"] == 2
+
+    def test_protected_symbols_key_the_cache(self, engine):
+        program = assemble(
+            ".data\ndata: address=0x1000 size=8\n.text\nmov rax, [data]\nhlt"
+        )
+        assert engine.analyze(program).ok
+        widened = engine.analyze(program, protected_symbols=["data"])
+        assert widened.cache == "cold" and not widened.ok
+
+    def test_invalidate_drops_entries(self, engine, listing1_program):
+        engine.analyze(listing1_program)
+        assert engine.invalidate() > 0
+        assert engine.stats()["analyses"]["entries"] == 0
+        assert engine.analyze(listing1_program).cache == "cold"
+
+    def test_invalidate_single_cache_and_unknown_cache(self, engine, listing1_program):
+        engine.analyze(listing1_program)
+        assert engine.invalidate("analyses") == 1
+        assert engine.stats()["builds"]["entries"] == 1  # untouched
+        with pytest.raises(KeyError):
+            engine.invalidate("nonsense")
+
+    def test_cache_limit_evicts_oldest_entries(self):
+        with Engine(cache_limit=2) as engine:
+            programs = [
+                assemble(".text\nhlt", name=f"p{i}") for i in range(3)
+            ]
+            for program in programs:
+                engine.analyze(program)
+            assert engine.stats()["analyses"]["entries"] == 2
+            assert engine.analyze(programs[0]).cache == "cold"  # evicted
+            assert engine.analyze(programs[2]).cache == "warm"  # retained
+
+    def test_evaluation_cache(self, engine):
+        defense, attack = get_defense("lfence"), get_attack("spectre_v1")
+        cold = engine.evaluate(defense, attack)
+        warm = engine.evaluate(defense, attack)
+        assert (cold.cache, warm.cache) == ("cold", "warm")
+        assert cold.ok and warm.payload is cold.payload
+
+
+# ---------------------------------------------------------------------------
+# Execution plane: parallel == serial, byte for byte
+# ---------------------------------------------------------------------------
+class TestExecutionPlane:
+    SOURCES = [SecretSource.MAIN_MEMORY, SecretSource.L1_CACHE, SecretSource.STORE_BUFFER]
+    DELAYS = [
+        DelayMechanism.CONDITIONAL_BRANCH,
+        DelayMechanism.KERNEL_PRIVILEGE_CHECK,
+        DelayMechanism.TSX_ABORT,
+    ]
+    CHANNELS = [CovertChannelKind.FLUSH_RELOAD, CovertChannelKind.PRIME_PROBE]
+
+    def test_map_preserves_order_serial_and_parallel(self, engine):
+        items = list(range(20))
+        assert engine.map(abs, items) == items
+        assert engine.map(abs, items, parallel=4) == items
+
+    def test_sharded_attack_space_is_byte_identical_to_serial(self, engine):
+        serial = engine.synthesize(self.SOURCES, self.DELAYS, self.CHANNELS)
+        parallel = engine.synthesize(
+            self.SOURCES, self.DELAYS, self.CHANNELS, parallel=4
+        )
+        assert serial.data["combinations"] == 18
+        assert parallel.to_json() == serial.to_json()
+
+    def test_sharded_matrix_is_byte_identical_to_serial(self, engine):
+        defenses = [get_defense(k) for k in ("lfence", "kpti", "invisispec")]
+        attacks = [get_attack(k) for k in ("spectre_v1", "meltdown", "fallout")]
+        serial = engine.evaluate_matrix(defenses, attacks)
+        parallel = engine.evaluate_matrix(defenses, attacks, parallel=2)
+        assert parallel.to_json() == serial.to_json()
+        assert len(serial.payload) == 9
+
+    def test_matrix_rows_are_key_sorted(self, engine):
+        defenses = [get_defense(k) for k in ("ssbb", "lfence")]
+        attacks = [get_attack(k) for k in ("spectre_v4", "spectre_v1")]
+        rows = engine.evaluate_matrix(defenses, attacks).payload
+        keys = [(row.defense_key, row.attack_key) for row in rows]
+        assert keys == sorted(keys)
+
+    def test_legacy_matrix_wrapper_matches_engine(self):
+        defenses = [get_defense(k) for k in ("lfence", "kpti")]
+        attacks = [get_attack(k) for k in ("spectre_v1", "meltdown")]
+        legacy = evaluate_matrix(defenses, attacks)
+        engine_rows = default_engine().evaluate_matrix(defenses, attacks).payload
+        assert [(r.defense_key, r.attack_key, r.effective) for r in legacy] == [
+            (r.defense_key, r.attack_key, r.effective) for r in engine_rows
+        ]
+
+    def test_novel_combinations_parallel_matches_serial(self):
+        serial = novel_combinations(self.SOURCES, self.DELAYS, self.CHANNELS)
+        parallel = novel_combinations(
+            self.SOURCES, self.DELAYS, self.CHANNELS, parallel=3
+        )
+        assert serial == parallel
+        assert all(not attack.is_published for attack in serial)
+
+    def test_serial_matrix_warms_the_session_cache(self, engine):
+        defenses = [get_defense(k) for k in ("lfence", "kpti")]
+        attacks = [get_attack(k) for k in ("spectre_v1", "meltdown")]
+        engine.evaluate_matrix(defenses, attacks)
+        assert engine.stats()["evaluations"]["entries"] == 4
+        assert engine.evaluate(defenses[0], attacks[0]).cache == "warm"
+
+    def test_map_propagates_worker_exceptions(self, engine):
+        with pytest.raises(ZeroDivisionError):
+            engine.map(_reciprocal, [1, 2, 0, 4], parallel=2)
+
+    def test_unpicklable_work_falls_back_to_serial(self, engine):
+        double = lambda value: value * 2  # noqa: E731 - deliberately unpicklable
+        assert engine.map(double, [1, 2, 3], parallel=2) == [2, 4, 6]
+
+    def test_run_exploits_rejects_duplicate_names(self, engine):
+        with pytest.raises(ValueError):
+            engine.run_exploits(names=["spectre_v1", "spectre_v1"])
+
+    def test_sharded_exploits_match_serial(self, engine):
+        names = ["spectre_v1", "meltdown"]
+        serial = engine.run_exploits(names=names)
+        parallel = engine.run_exploits(names=names, parallel=2)
+        assert serial.data["rows"] == parallel.data["rows"]
+        assert serial.ok and parallel.ok  # both leak without defenses
+        assert list(parallel.payload) == names
+
+    def test_synth_verdicts_dedupe_structural_twins(self, engine):
+        engine.synthesize(self.SOURCES, self.DELAYS, self.CHANNELS)
+        stats = engine.stats()["synth_verdicts"]
+        # 3 sources x 3 delays = 9 structures for 18 combinations.
+        assert stats["misses"] == 9 and stats["hits"] == 9
+
+
+# ---------------------------------------------------------------------------
+# The Result envelope
+# ---------------------------------------------------------------------------
+class TestResultEnvelope:
+    def test_analyze_envelope_round_trips_through_json(self, engine, listing1_program):
+        result = engine.analyze(listing1_program)
+        decoded = json.loads(result.to_json())
+        assert decoded["kind"] == "analyze"
+        assert decoded["ok"] is False
+        assert decoded["data"]["classification"] == "spectre-type"
+        assert decoded["data"]["findings"]
+
+    def test_evaluate_envelope(self, engine):
+        result = engine.evaluate(get_defense("lfence"), get_attack("meltdown"))
+        decoded = json.loads(result.to_json())
+        assert decoded["kind"] == "evaluate" and decoded["ok"] is False
+        assert decoded["data"]["applicable"] is False
+
+    def test_exploit_envelope(self, engine):
+        result = engine.exploit("spectre_v1")
+        decoded = json.loads(result.to_json())
+        assert decoded["kind"] == "exploit"
+        assert decoded["ok"] is True
+        assert decoded["data"]["recovered"] == decoded["data"]["secret"]
+
+    def test_unknown_exploit_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.exploit("rowhammer")
+
+    def test_result_is_plain_data(self):
+        result = Result(kind="analyze", subject="x", ok=True, cache="none", data={})
+        assert result.to_dict() == {
+            "kind": "analyze", "subject": "x", "ok": True, "cache": "none", "data": {},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Legacy wrappers share the default engine
+# ---------------------------------------------------------------------------
+class TestDefaultEngine:
+    def test_analyze_program_routes_through_default_engine(self):
+        fresh = Engine()
+        previous = set_default_engine(fresh)
+        try:
+            program = assemble(LISTING1_TEXT, name="victim")
+            report = analyze_program(program)
+            assert report.vulnerable
+            assert fresh.stats()["analyses"]["misses"] == 1
+            assert analyze_program(program) is report  # warm hit
+            assert fresh.stats()["analyses"]["hits"] == 1
+        finally:
+            set_default_engine(previous)
+
+    def test_default_engine_is_a_singleton(self):
+        assert default_engine() is default_engine()
+
+
+# ---------------------------------------------------------------------------
+# Memoized micro-op expansion
+# ---------------------------------------------------------------------------
+class TestExpansionCache:
+    def test_expansion_is_memoized_and_hashable(self):
+        one = expansion_for(AuthorizationKind.PAGE_PRIVILEGE_CHECK)
+        two = expansion_for(AuthorizationKind.PAGE_PRIVILEGE_CHECK)
+        assert one is two
+        assert hash(one) == hash(two)
+        assert {one, two} == {one}
+
+    def test_software_authorization_still_rejected(self):
+        with pytest.raises(ValueError):
+            expansion_for(AuthorizationKind.BOUNDS_CHECK_BRANCH)
+
+
+LISTING1_TEXT = """
+.data
+probe_array:  address=0x1000000 size=1048576 shared
+victim_array: address=0x200000  size=16
+victim_size:  address=0x210000  size=8
+secret:       address=0x200048  size=1 protected
+.text
+    clflush [probe_array]
+    mov rdx, 0x48
+    cmp rdx, [victim_size]
+    ja done
+    mov rax, byte [victim_array + rdx]
+    shl rax, 12
+    mov rbx, [probe_array + rax]
+done:
+    hlt
+"""
