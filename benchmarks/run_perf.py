@@ -33,7 +33,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller baseline budget, single repeat"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="do not benchmark; check the recorded trajectory against the "
+        "ROADMAP regression thresholds and exit non-zero on failure",
+    )
     args = parser.parse_args(argv)
+    if args.check:
+        return perf.run_check(args.output)
     run = perf.main(output=args.output, quick=args.quick)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:

@@ -19,6 +19,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine import Engine
 
 
+def _attack_section_for_key(key: str) -> str:
+    """Module-level shard worker: render one attack section by registry key.
+
+    Picklable by reference, so :func:`full_report` can fan the per-variant
+    graph builds out over :meth:`Engine.map`.
+    """
+    return attack_section(ALL_VARIANTS[key])
+
+
 def attack_section(variant: AttackVariant) -> str:
     """A Markdown section describing one attack variant and its graph."""
     graph = variant.build_graph()
@@ -84,7 +93,15 @@ def full_report(
     engine: Optional["Engine"] = None,
     parallel: Optional[int] = None,
 ) -> str:
-    """The complete Markdown report."""
+    """The complete Markdown report.
+
+    The per-attack graph sections and the defense matrix both run on the
+    engine's execution plane; pass ``parallel`` to shard them over the
+    session's process pool (output is byte-identical to a serial run).
+    """
+    from ..engine import default_engine
+
+    session = engine if engine is not None else default_engine()
     sections = [
         "# Speculative execution attack-graph model — full report",
         "",
@@ -115,8 +132,10 @@ def full_report(
         "## Attack graphs",
         "",
     ]
-    for variant in ALL_VARIANTS.values():
-        sections.append(attack_section(variant))
+    for section in session.map(
+        _attack_section_for_key, list(ALL_VARIANTS), parallel=parallel
+    ):
+        sections.append(section)
         sections.append("")
     if include_matrix:
         sections.extend(
@@ -124,7 +143,7 @@ def full_report(
                 "## Defense x attack evaluation",
                 "",
                 "```",
-                defense_matrix_section(engine=engine, parallel=parallel),
+                defense_matrix_section(engine=session, parallel=parallel),
                 "```",
                 "",
             ]

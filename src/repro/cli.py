@@ -17,11 +17,14 @@ Subcommands::
     repro evaluate --json lfence ...   # ... as a JSON Result envelope
     repro analyze victim.s             # run the Figure 9 tool on a program
     repro analyze --json victim.s      # ... as a JSON Result envelope
-    repro patch victim.s               # analyze + insert fences
+    repro patch victim.s [--json]      # analyze + insert fences
     repro exploit spectre_v1           # run an exploit on the simulator
-    repro ablation meltdown            # defense ablation on the simulator
+    repro ablation meltdown [--json]   # defense ablation on the simulator
+    repro simulate spectre_v1          # cycle-accurate timing run (OoO core)
+    repro simulate --sweep             # sharded (attack x defense) timing grid
+    repro simulate --validate          # Theorem 1: timing race vs TSG verdict
     repro report                       # full Markdown report
-    repro perf                         # core + engine perf -> BENCH_core.json
+    repro perf [--check]               # core + engine + timing perf -> BENCH_core.json
 
 Everything the CLI prints can be reproduced programmatically:
 ``Engine().analyze(program)`` / ``.evaluate(defense, variant)`` /
@@ -39,8 +42,7 @@ from .analysis.report import full_report
 from .attacks import ALL_VARIANTS, get as get_attack
 from .defenses import ALL_DEFENSES, get as get_defense
 from .engine import default_engine
-from .exploits import EXPLOITS, defense_ablation
-from .graphtool import patch_program
+from .exploits import EXPLOITS
 from .isa import assemble
 from .uarch import SimDefense, UarchConfig
 
@@ -115,10 +117,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
-    result = patch_program(_load_program(args.program))
-    print(result.summary())
+    result = default_engine().patch(_load_program(args.program))
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    patch = result.payload
+    print(patch.summary())
     print()
-    print(result.patched.listing())
+    print(patch.patched.listing())
     return 0
 
 
@@ -151,13 +157,74 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    rows = defense_ablation(args.name, secret=args.secret)
+    result = default_engine().ablation(args.name, secret=args.secret)
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
     table_rows = [
         (row.defense_name, row.strategy_name, "LEAKS" if row.leaked else "defeated")
-        for row in rows
+        for row in result.payload
     ]
     print(analysis.format_table(("defense", "strategy", "outcome"), table_rows))
     return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    if args.validate:
+        result = engine.validate_timing(parallel=args.parallel)
+        if args.json:
+            print(result.to_json())
+        else:
+            from .uarch.timing.validate import validation_report
+
+            print(validation_report(result.payload))
+        return 0 if result.ok else 1
+    if args.sweep:
+        result = engine.simulate_sweep(parallel=args.parallel, secret=args.secret)
+        if args.json:
+            print(result.to_json())
+        else:
+            table_rows = [
+                (
+                    row["attack"],
+                    ",".join(row["defenses"]) or "(none)",
+                    "LEAKS" if row["transmit_beats_squash"] else "defended",
+                    row["transmit_cycle"] if row["transmit_cycle"] is not None else "-",
+                    row["squash_cycle"] if row["squash_cycle"] is not None else "-",
+                )
+                for row in result.data["rows"]
+            ]
+            print(analysis.format_table(
+                ("attack", "defenses", "race", "transmit", "squash"), table_rows
+            ))
+        return 0
+    if not args.name:
+        raise SystemExit("simulate needs an attack name (or --sweep / --validate)")
+    defenses = _parse_defenses(args.defense) or ()
+    result = engine.simulate(args.name, defenses, secret=args.secret)
+    if args.json:
+        print(result.to_json())
+        return 0 if result.ok else 1
+    data = result.data
+    trace = result.payload.timing
+    print(f"attack:    {data['attack']} (scenario {data['scenario']})")
+    print(f"defenses:  {', '.join(data['defenses']) or '(none)'}")
+    print(f"cycles:    {data['cycles']} ({data['windows']} speculation window(s))")
+    transmit = data["transmit_cycle"]
+    squash = data["squash_cycle"]
+    if transmit is None:
+        print("race:      no covert transmit issued -> no leak")
+    else:
+        print(f"race:      transmit @{transmit} vs squash @{squash} "
+              f"-> {'TRANSMIT WINS (leak)' if data['transmit_beats_squash'] else 'squash wins (no leak)'}")
+    if "tsg_leaks" in data:
+        print(f"theorem 1: TSG says {'leaks' if data['tsg_leaks'] else 'safe'} "
+              f"-> {'agrees' if data['theorem1_agrees'] else 'DISAGREES'}")
+    print("key events:")
+    for event in trace.key_events():
+        print(f"  cycle {event.cycle:>5}: {event.kind:<12} (op {event.seq}) {event.detail}")
+    return 0 if result.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -174,6 +241,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_perf(args: argparse.Namespace) -> int:
     from . import perf
 
+    if args.check:
+        return perf.run_check(args.output)
     run = perf.main(output=args.output, quick=args.quick)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:
@@ -227,6 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     patch_parser = subparsers.add_parser("patch", help="analyze a program and insert fences")
     patch_parser.add_argument("program", help="path to an assembly file")
+    patch_parser.add_argument("--json", action="store_true",
+                              help="emit the engine Result envelope as JSON")
     patch_parser.set_defaults(handler=_cmd_patch)
 
     exploit_parser = subparsers.add_parser("exploit", help="run an exploit on the simulator")
@@ -242,7 +313,31 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser = subparsers.add_parser("ablation", help="defense ablation for one exploit")
     ablation_parser.add_argument("name", help=f"one of: {', '.join(sorted(EXPLOITS))}")
     ablation_parser.add_argument("--secret", type=lambda v: int(v, 0), default=0x5A)
+    ablation_parser.add_argument("--json", action="store_true",
+                                 help="emit the engine Result envelope as JSON")
     ablation_parser.set_defaults(handler=_cmd_ablation)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run an attack on the cycle-accurate OoO timing core"
+    )
+    simulate_parser.add_argument(
+        "name", nargs="?", help="attack registry key or exploit name, e.g. spectre_v1"
+    )
+    simulate_parser.add_argument("--secret", type=lambda v: int(v, 0), default=None)
+    simulate_parser.add_argument(
+        "--defense",
+        action="append",
+        help="simulator defense to enable (may be repeated), e.g. kernel_isolation",
+    )
+    simulate_parser.add_argument("--sweep", action="store_true",
+                                 help="sweep every (attack, defense) combination")
+    simulate_parser.add_argument("--validate", action="store_true",
+                                 help="cross-check Theorem 1 over the attack registry")
+    simulate_parser.add_argument("--parallel", type=int, default=None,
+                                 help="shard the sweep/validation over N workers")
+    simulate_parser.add_argument("--json", action="store_true",
+                                 help="emit the engine Result envelope as JSON")
+    simulate_parser.set_defaults(handler=_cmd_simulate)
 
     report_parser = subparsers.add_parser("report", help="emit the full Markdown report")
     report_parser.add_argument("--output", "-o", help="write the report to a file")
@@ -257,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trajectory file to append to")
     perf_parser.add_argument("--quick", action="store_true",
                              help="smaller baseline budget, single repeat")
+    perf_parser.add_argument("--check", action="store_true",
+                             help="check the trajectory against the ROADMAP "
+                                  "regression thresholds instead of benchmarking")
     perf_parser.set_defaults(handler=_cmd_perf)
 
     return parser

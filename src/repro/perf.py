@@ -1,17 +1,22 @@
-"""Timing harness for the reachability-indexed TSG core and the engine.
+"""Timing harness for the reachability-indexed TSG core, engine and OoO core.
 
 Measures the hot analyses the repo's upper layers bottom out in:
 
 * all-pairs race detection (Theorem 1 over every vertex pair) and valid-
   ordering counts on synthetic layered DAGs of 50 / 200 / 500 vertices,
   comparing the bitset-closure fast paths against the seed's BFS-per-query
-  baseline (PR 1), and
+  baseline (PR 1),
 * the :class:`repro.engine.Engine` session API (PR 2): warm-cache
   ``analyze`` against a cold attack-graph build, and the sharded
-  attack-space sweep against the per-combination free-function baseline.
+  attack-space sweep against the per-combination free-function baseline, and
+* the event-driven OoO timing scheduler (PR 3): the heap-based wakeup engine
+  against the naive every-instruction-per-cycle rescan baseline on a
+  500-instruction serialized-miss program.
 
 Results are appended as one commit-stamped run to a ``BENCH_core.json``
-trajectory so future PRs can track regressions.
+trajectory so future PRs can track regressions; :func:`check_thresholds`
+turns the ROADMAP's regression limits into a pass/fail gate
+(``benchmarks/run_perf.py --check`` / ``repro perf --check``).
 
 Used by ``benchmarks/run_perf.py``, the ``repro perf`` CLI subcommand, and
 (with smaller budgets) by ``benchmarks/bench_perf_core.py``.
@@ -316,12 +321,82 @@ def measure_engine_attack_space(workers: int = 2, repeats: int = 3) -> Dict[str,
     }
 
 
+# ----------------------------------------------------------------------
+# Timing-core benchmarks (PR 3): event-driven scheduler vs per-cycle rescan
+# ----------------------------------------------------------------------
+def build_timing_program(instructions: int = 500, load_every: int = 7):
+    """A straight-line program of ``instructions`` ops with serialized misses.
+
+    Every ``load_every``-th instruction starts a load whose address depends
+    on the previous load's value, so the miss chain serializes (~200 cycles
+    per link) and the schedule stretches to thousands of mostly idle cycles
+    -- the workload shape that separates an event queue (skips idle cycles)
+    from a per-cycle rescan (pays for every one of them).
+    """
+    from .isa.instructions import Alu, Halt, Load, Mov
+    from .isa.operands import imm, mem, reg
+    from .isa.program import Program
+
+    program = Program(name=f"timing-{instructions}i")
+    program.declare("workload", 0x0200_0000, 1 << 23)
+    program.append(Mov(reg("rbx"), imm(0)))
+    while len(program) < instructions - 1:
+        if len(program) % load_every == 0:
+            # rax <- mem[workload + rbx] (miss: a fresh page each time), then
+            # rbx <- rbx + rax + 4096: the next load depends on this one.
+            program.append(Load(reg("rax"), mem(base="rbx", symbol="workload")))
+            program.append(Alu("add", reg("rax"), imm(4096)))
+            program.append(Alu("add", reg("rbx"), reg("rax")))
+        else:
+            program.append(Alu("xor", reg("rcx"), imm(len(program) & 0xFF)))
+    program.append(Halt())
+    return program
+
+
+def measure_timing_scheduler(
+    instructions: int = 500, repeats: int = 3
+) -> Dict[str, object]:
+    """Event-driven OoO scheduler vs the naive rescan baseline on one stream.
+
+    The dynamic-op stream is recorded once by the functional front-end; both
+    schedulers then assign cycles to the *same* stream and must produce
+    identical schedules (the differential check below), so the speedup is a
+    pure scheduling-engine comparison.
+    """
+    from .uarch.timing import DEFAULT_MODEL, EventScheduler, RescanScheduler, TimingCPU
+
+    program = build_timing_program(instructions)
+    cpu = TimingCPU(program)
+    cpu.run()
+    ops = cpu.last_ops
+    event_seconds, event_schedule = _best_of(
+        lambda: EventScheduler(DEFAULT_MODEL).schedule(ops), repeats
+    )
+    rescan_seconds, rescan_schedule = _best_of(
+        lambda: RescanScheduler(DEFAULT_MODEL).schedule(ops), max(1, repeats - 2)
+    )
+    if event_schedule != rescan_schedule:
+        raise RuntimeError("event-driven and rescan schedulers diverged")
+    return {
+        "benchmark": "timing-event-queue",
+        "instructions": len(ops),
+        "cycles": event_schedule.cycles,
+        "event_seconds": event_seconds,
+        "rescan_seconds": rescan_seconds,
+        "speedup_event_vs_rescan": (
+            rescan_seconds / event_seconds if event_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def run_perf_suite(
     sizes: Sequence[Tuple[int, int, int]] = DEFAULT_SIZES,
     baseline_pair_budget: int = 4000,
     repeats: int = 3,
     include_engine: bool = True,
     engine_workers: int = 2,
+    include_timing: bool = True,
+    timing_instructions: int = 500,
 ) -> Dict[str, object]:
     """Run the full suite and return one commit-stamped run record."""
     results = []
@@ -343,6 +418,10 @@ def run_perf_suite(
         run["engine_results"] = [
             measure_engine_analyze(repeats=repeats),
             measure_engine_attack_space(workers=engine_workers, repeats=repeats),
+        ]
+    if include_timing:
+        run["timing_results"] = [
+            measure_timing_scheduler(instructions=timing_instructions, repeats=repeats)
         ]
     return run
 
@@ -374,23 +453,136 @@ def append_run(path: str, run: Dict[str, object]) -> Dict[str, object]:
     return trajectory
 
 
+#: ROADMAP regression thresholds enforced by :func:`check_thresholds`.
+THRESHOLDS = {
+    "all_pairs_speedup_min": 10.0,  # closure vs seed BFS, every graph size
+    "warm_analyze_speedup_min": 5.0,  # warm Engine.analyze vs cold build
+    "sharded_sweep_speedup_min": 1.0,  # sharded sweep not slower than serial
+    "timing_event_speedup_min": 5.0,  # event queue vs per-cycle rescan
+}
+
+
+def _latest_run_with(trajectory: Dict[str, object], key: str) -> Optional[Dict]:
+    for run in reversed(trajectory.get("runs", [])):  # type: ignore[union-attr]
+        if run.get(key):
+            return run
+    return None
+
+
+def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
+    """Check the latest trajectory records against the ROADMAP thresholds.
+
+    Returns a list of human-readable failures (empty when everything holds).
+    Each benchmark family is checked on the most recent run that contains it,
+    so quick smoke runs (which skip the engine benchmarks) do not mask a
+    previously recorded full run.
+    """
+    failures: List[str] = []
+
+    graph_run = _latest_run_with(trajectory, "results")
+    if graph_run is None:
+        failures.append("no core (all-pairs race) benchmark recorded")
+    else:
+        for record in graph_run["results"]:
+            speedup = record["speedup_all_pairs"]
+            if speedup < THRESHOLDS["all_pairs_speedup_min"]:
+                failures.append(
+                    f"{record['graph']}: all-pairs race speedup {speedup:.1f}x "
+                    f"below the {THRESHOLDS['all_pairs_speedup_min']:.0f}x floor"
+                )
+
+    engine_run = _latest_run_with(trajectory, "engine_results")
+    if engine_run is None:
+        failures.append("no engine benchmark recorded")
+    else:
+        for record in engine_run["engine_results"]:
+            if record["benchmark"] == "engine-analyze-warm-cache":
+                if record["speedup_warm"] < THRESHOLDS["warm_analyze_speedup_min"]:
+                    failures.append(
+                        f"warm Engine.analyze speedup {record['speedup_warm']:.1f}x "
+                        f"below the {THRESHOLDS['warm_analyze_speedup_min']:.0f}x floor"
+                    )
+            elif record["benchmark"] == "engine-attack-space-sharded":
+                speedup = record["speedup_sharded_vs_serial"]
+                if speedup < THRESHOLDS["sharded_sweep_speedup_min"]:
+                    failures.append(
+                        f"sharded attack-space sweep {speedup:.2f}x: slower than "
+                        "the serial free-function baseline"
+                    )
+
+    timing_run = _latest_run_with(trajectory, "timing_results")
+    if timing_run is None:
+        failures.append("no timing-scheduler benchmark recorded")
+    else:
+        for record in timing_run["timing_results"]:
+            speedup = record["speedup_event_vs_rescan"]
+            if speedup < THRESHOLDS["timing_event_speedup_min"]:
+                failures.append(
+                    f"event-queue scheduler {speedup:.1f}x over rescan on "
+                    f"{record['instructions']} instructions, below the "
+                    f"{THRESHOLDS['timing_event_speedup_min']:.0f}x floor"
+                )
+
+    return failures
+
+
+def check_trajectory(path: str) -> List[str]:
+    """Load a ``BENCH_core.json`` file and run :func:`check_thresholds`."""
+    target = Path(path)
+    if not target.exists():
+        return [f"trajectory file {path!r} does not exist"]
+    return check_thresholds(json.loads(target.read_text(encoding="utf-8")))
+
+
+def run_check(path: str) -> int:
+    """CLI body shared by ``repro perf --check`` and ``run_perf.py --check``.
+
+    Prints one ``FAIL: ...`` line per violated threshold (or the all-clear)
+    and returns the process exit code.
+    """
+    failures = check_trajectory(path)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(f"{path}: all perf thresholds hold")
+    return 1 if failures else 0
+
+
 def main(output: str = "BENCH_core.json", quick: bool = False) -> Dict[str, object]:
-    """Entry point shared by ``benchmarks/run_perf.py`` and ``repro perf``."""
+    """Entry point shared by ``benchmarks/run_perf.py`` and ``repro perf``.
+
+    ``quick`` is the CI smoke path: two graph sizes, one repeat, a shorter
+    timing program, and no engine benchmarks (spawning the process pool
+    dominates on small budgets); the full run remains the record of note for
+    :func:`check_thresholds`.
+    """
     parent = Path(output).resolve().parent
     if not parent.is_dir():
         raise SystemExit(
             f"cannot write {output!r}: directory {str(parent)!r} does not exist"
         )
-    budget = 1500 if quick else 4000
-    repeats = 1 if quick else 3
-    run = run_perf_suite(baseline_pair_budget=budget, repeats=repeats)
+    run = run_perf_suite(
+        sizes=DEFAULT_SIZES[:2] if quick else DEFAULT_SIZES,
+        baseline_pair_budget=1500 if quick else 4000,
+        repeats=1 if quick else 3,
+        include_engine=not quick,
+        timing_instructions=200 if quick else 500,
+    )
     append_run(output, run)
     return run
 
 
 def format_engine_records(run: Dict[str, object]) -> List[str]:
-    """Human-readable lines for the engine benchmark records of one run."""
+    """Human-readable lines for the engine + timing benchmark records of one run."""
     lines = []
+    for record in run.get("timing_results", ()):  # type: ignore[union-attr]
+        lines.append(
+            f"timing scheduler ({record['instructions']} instructions, "
+            f"{record['cycles']} cycles): event queue "
+            f"{record['event_seconds'] * 1e3:.2f} ms vs rescan "
+            f"{record['rescan_seconds'] * 1e3:.1f} ms -> "
+            f"{record['speedup_event_vs_rescan']:.1f}x"
+        )
     for record in run.get("engine_results", ()):  # type: ignore[union-attr]
         if record["benchmark"] == "engine-analyze-warm-cache":
             lines.append(

@@ -14,6 +14,7 @@ from .predictor import (
 )
 from .registers import FPUState, Flags, RegisterFile, SpecialRegisters
 from .stats import SimStats
+from .timing import TimingCPU, TimingModel, TimingResult, TimingTrace
 
 __all__ = [
     "BranchTargetBuffer",
@@ -42,6 +43,10 @@ __all__ = [
     "SpeculativeCPU",
     "StoreBuffer",
     "StoreBufferEntry",
+    "TimingCPU",
+    "TimingModel",
+    "TimingResult",
+    "TimingTrace",
     "TwoBitPredictor",
     "UarchConfig",
 ]

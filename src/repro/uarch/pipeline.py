@@ -242,16 +242,27 @@ class SpeculativeCPU:
             executed += 1
             self.stats.instructions_retired += 1
             self.stats.cycles += 1
-            if isinstance(instruction, Halt):
+            next_pc = self._execute_instruction(pc, instruction)
+            if next_pc is None:
                 halted = True
                 break
-            pc = self._step(pc, instruction)
+            pc = next_pc
         return ExecutionResult(
             halted=halted,
             instructions=executed,
             stats=self.stats,
             faults=list(self.stats.fault_log),
         )
+
+    def _execute_instruction(self, pc: int, instruction: Instruction) -> Optional[int]:
+        """Execute one fetched instruction; ``None`` means the program halted.
+
+        The per-instruction hook subclasses wrap to observe the architectural
+        stream (the timing core records its dynamic-op trace here).
+        """
+        if isinstance(instruction, Halt):
+            return None
+        return self._step(pc, instruction)
 
     # ------------------------------------------------------------------
     def _step(self, pc: int, instruction: Instruction) -> int:

@@ -1,0 +1,91 @@
+"""Cycle-accurate, event-driven out-of-order timing core.
+
+Why this subsystem exists
+-------------------------
+The paper models a speculative attack as a *race* on a dependency graph:
+Theorem 1 says the covert send and the delayed authorization race exactly
+when no path orders them.  The functional interpreter
+(:class:`~repro.uarch.pipeline.SpeculativeCPU`) reproduces the *semantics* of
+that race -- transient windows, rollback, persistent cache state -- but
+counts windows in instructions, so it cannot say *when* the squash lands
+relative to the transmit.  This package measures the race in cycles.
+
+The event-queue design
+----------------------
+The timing plane is a Tomasulo machine driven by a single heap of
+cycle-stamped events (:class:`~repro.uarch.timing.scheduler.EventScheduler`):
+
+* instructions **dispatch** in order into a reorder buffer and a reservation
+  -station pool, renaming their sources through a register alias table;
+* an instruction **wakes up** only when a producer's completion event
+  broadcasts on the common data bus -- there is no per-cycle re-scan of every
+  in-flight instruction (the ROADMAP item this subsystem closes); idle
+  stretches of a 200-cycle cache miss cost nothing because the scheduler
+  jumps straight to the next event;
+* completion events free reservation stations, retirement events drain the
+  ROB in order, and both re-arm stalled dispatch in the same cycle.
+
+:class:`~repro.uarch.timing.scheduler.RescanScheduler` keeps the naive
+cycle-by-cycle re-scanning loop alive as a measured baseline; both schedulers
+are property-tested to produce identical cycle assignments, and
+``benchmarks/run_perf.py`` tracks the event engine's speedup in
+``BENCH_core.json``.
+
+How measured windows map onto TSG races
+---------------------------------------
+Each speculation window the functional plane opens becomes a
+:class:`~repro.uarch.timing.trace.WindowTiming`:
+
+* the window's *trigger* is the instruction whose delayed authorization the
+  TSG models as the authorization/resolution vertex; its completion (plus an
+  explicit resolution delay for permission/ownership checks that are not
+  register dependencies) is the **resolve cycle**, and resolve + recovery
+  penalty is the **squash cycle**;
+* a transient load that touches a ``shared`` data symbol is the TSG's *send*
+  vertex; the cycle its memory request issues is the **transmit cycle**
+  (in-flight fills are not recalled by a squash -- the persistence property
+  the paper builds covert channels from);
+* ``transmit <= squash`` is the measured race outcome.  Theorem 1 predicts
+  it equals the TSG verdict (send reachable from no authorization), and
+  :func:`~repro.uarch.timing.validate.cross_validate` checks that for every
+  attack in the registry.
+
+Entry points
+------------
+:class:`TimingCPU` is a drop-in :class:`SpeculativeCPU` (same harness
+helpers, same exploit corpus) whose :meth:`run` returns a
+:class:`TimingResult` carrying the :class:`TimingTrace`.
+``Engine.simulate`` / ``repro simulate`` expose it with content-hash caching
+and sharded (attack x defense) sweeps.
+"""
+
+from .core import SCHEDULERS, TimingCPU, TimingResult
+from .ops import DynamicOp, WindowRecord, instruction_kind, window_kind
+from .scheduler import (
+    DEFAULT_MODEL,
+    EventScheduler,
+    RescanScheduler,
+    Schedule,
+    TimingModel,
+)
+from .trace import ScheduledOp, TimingTrace, TraceEvent, WindowTiming, build_trace
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "DynamicOp",
+    "EventScheduler",
+    "RescanScheduler",
+    "SCHEDULERS",
+    "Schedule",
+    "ScheduledOp",
+    "TimingCPU",
+    "TimingModel",
+    "TimingResult",
+    "TimingTrace",
+    "TraceEvent",
+    "WindowRecord",
+    "WindowTiming",
+    "build_trace",
+    "instruction_kind",
+    "window_kind",
+]

@@ -1,0 +1,131 @@
+"""Dynamic operations: the unit of work the timing schedulers reason about.
+
+The functional front-end (:class:`repro.uarch.timing.core.TimingCPU`) records
+one :class:`DynamicOp` per executed instruction -- architectural or transient
+-- annotated with everything the timing plane needs and nothing it does not:
+the registers the instruction reads and writes (the ISA's own dataflow
+interface, which is how a decoder fills reservation-station source fields),
+the measured memory latency of its cache accesses (hit or miss, straight from
+the :class:`~repro.uarch.cache.SetAssociativeCache`), whether it ran inside a
+speculation window, and whether it transmitted on the covert channel (a
+speculative access to a ``shared`` data symbol -- the *send* vertex of the
+attack graph).
+
+The flags register is modelled as an ordinary renamable register (``FLAGS``)
+produced by ``cmp`` / ALU instructions and consumed by conditional branches,
+so the delayed bounds check of Listing 1 appears to the scheduler as a plain
+long-latency data dependency -- exactly the delayed authorization the paper's
+race is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...isa.instructions import (
+    Branch,
+    Call,
+    Fence,
+    FpLoad,
+    Halt,
+    IndirectJmp,
+    Instruction,
+    Jmp,
+    Load,
+    Nop,
+    Ret,
+    Store,
+)
+
+
+def instruction_kind(instruction: Instruction) -> str:
+    """Scheduler kind of the instruction (selects latency and fence handling)."""
+    if isinstance(instruction, (Load, FpLoad)):
+        return "load"
+    if isinstance(instruction, Store):
+        return "store"
+    if isinstance(instruction, Branch):
+        return "branch"
+    if isinstance(instruction, (Jmp, IndirectJmp, Call, Ret)):
+        return "jump"
+    if isinstance(instruction, Fence):
+        return "fence"
+    if isinstance(instruction, (Halt, Nop)):
+        return "nop"
+    return "alu"
+
+
+def window_kind(instruction: Instruction) -> str:
+    """Classify the speculation trigger that opened a window.
+
+    ``branch`` / ``indirect`` windows resolve through the trigger's own data
+    dependencies (the slow flags / target register); ``return`` windows wait
+    on the architectural return-address read; every other trigger models a
+    delayed authorization check (page permission, MSR privilege, FPU owner,
+    store-address disambiguation) that completes well after the data path.
+    """
+    if isinstance(instruction, Branch):
+        return "branch"
+    if isinstance(instruction, IndirectJmp):
+        return "indirect"
+    if isinstance(instruction, Ret):
+        return "return"
+    return "fault"
+
+
+@dataclass
+class DynamicOp:
+    """One executed instruction, annotated for the timing plane."""
+
+    seq: int
+    pc: int
+    text: str
+    kind: str
+    reads: Tuple[str, ...]
+    writes: Tuple[str, ...]
+    #: Execution latency in cycles; memory ops carry the measured cache
+    #: latency of their (deepest) access, everything else a fixed unit cost.
+    latency: int = 1
+    transient: bool = False
+    window: Optional[int] = None
+    #: Speculative access to a ``shared`` symbol: the covert-channel transmit.
+    is_send: bool = False
+    #: Transient op whose source value was withheld by a defense -- it never
+    #: issued to a functional unit.
+    blocked: bool = False
+    faulted: bool = False
+
+    @classmethod
+    def from_instruction(
+        cls,
+        seq: int,
+        pc: int,
+        instruction: Instruction,
+        *,
+        transient: bool = False,
+        window: Optional[int] = None,
+    ) -> "DynamicOp":
+        """Decode an instruction into a dynamic op (deps from the ISA layer)."""
+        return cls(
+            seq=seq,
+            pc=pc,
+            text=instruction.mnemonic,
+            kind=instruction_kind(instruction),
+            reads=tuple(sorted(instruction.reads_registers())),
+            writes=tuple(sorted(instruction.writes_registers())),
+            transient=transient,
+            window=window,
+        )
+
+
+@dataclass
+class WindowRecord:
+    """One speculation window as recorded by the functional front-end."""
+
+    window_id: int
+    trigger_seq: int
+    kind: str
+    transient_seqs: List[int] = field(default_factory=list)
+    #: ``squash`` (mis-speculation) or ``commit`` (speculation validated).
+    outcome: Optional[str] = None

@@ -1,0 +1,267 @@
+"""Cycle-stamped timing traces: the measured side of the paper's race.
+
+A :class:`TimingTrace` combines the per-op cycle assignments of a scheduler
+(:class:`~repro.uarch.timing.scheduler.Schedule`) with the speculation
+windows the functional front-end recorded, and answers the question Theorem 1
+poses about every attack: *did the covert-channel transmit issue before the
+squash landed?*
+
+For each window the trace derives:
+
+* ``open_cycle`` -- when the first transient op entered the machine,
+* ``resolve_cycle`` -- when the delayed authorization resolved (the trigger's
+  completion, plus an explicit resolution delay for authorizations that are
+  not carried by a register dependency: permission checks, MSR privilege,
+  FPU ownership, return-address reads),
+* ``squash_cycle`` -- resolution plus the recovery penalty; transient memory
+  requests issued up to this cycle still perturb the cache (in-flight fills
+  are not recalled -- the paper's persistence property),
+* ``transmit_cycle`` -- the earliest issue of a *send* op (a speculative
+  access to a ``shared`` symbol), and
+* ``leaked_in_time`` -- the measured race outcome: transmit beat squash.
+
+``transmit_beats_squash`` over the whole trace is what the validation layer
+(:mod:`repro.uarch.timing.validate`) cross-checks against the TSG verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .ops import DynamicOp, WindowRecord
+from .scheduler import Schedule, TimingModel
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One key moment of the run, cycle-stamped for reports and JSON."""
+
+    cycle: int
+    kind: str  # dispatch | issue | complete | retire | window_open | transmit | squash | resolve
+    seq: int
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"cycle": self.cycle, "kind": self.kind, "seq": self.seq, "detail": self.detail}
+
+
+@dataclass
+class WindowTiming:
+    """Measured timing of one speculation window."""
+
+    window_id: int
+    kind: str
+    outcome: str  # squash | commit
+    trigger_seq: int
+    open_cycle: int
+    resolve_cycle: int
+    squash_cycle: Optional[int]
+    transient_ops: int
+    #: (seq, issue cycle) of every covert send in the window.
+    sends: Tuple[Tuple[int, int], ...]
+    #: Transient ops that had not issued when the squash landed.
+    killed_ops: int = 0
+
+    @property
+    def transmit_cycle(self) -> Optional[int]:
+        issues = [cycle for _, cycle in self.sends]
+        return min(issues) if issues else None
+
+    @property
+    def window_cycles(self) -> int:
+        """Measured transient-window length in cycles (open to squash/resolve)."""
+        end = self.squash_cycle if self.squash_cycle is not None else self.resolve_cycle
+        return max(0, end - self.open_cycle)
+
+    @property
+    def leaked_in_time(self) -> bool:
+        """The race outcome: a covert send issued before the squash landed."""
+        transmit = self.transmit_cycle
+        if transmit is None:
+            return False
+        return self.squash_cycle is None or transmit <= self.squash_cycle
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "window": self.window_id,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "trigger_seq": self.trigger_seq,
+            "open_cycle": self.open_cycle,
+            "resolve_cycle": self.resolve_cycle,
+            "squash_cycle": self.squash_cycle,
+            "transient_ops": self.transient_ops,
+            "killed_ops": self.killed_ops,
+            "transmit_cycle": self.transmit_cycle,
+            "window_cycles": self.window_cycles,
+            "leaked_in_time": self.leaked_in_time,
+        }
+
+
+@dataclass
+class ScheduledOp:
+    """One dynamic op with its assigned cycles (trace row)."""
+
+    op: DynamicOp
+    dispatch: int
+    issue: int
+    complete: int
+    retire: int
+    killed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.op.seq,
+            "pc": self.op.pc,
+            "text": self.op.text,
+            "kind": self.op.kind,
+            "transient": self.op.transient,
+            "window": self.op.window,
+            "is_send": self.op.is_send,
+            "blocked": self.op.blocked,
+            "latency": self.op.latency,
+            "dispatch": self.dispatch,
+            "issue": self.issue,
+            "complete": self.complete,
+            "retire": self.retire,
+            "killed": self.killed,
+        }
+
+
+@dataclass
+class TimingTrace:
+    """The cycle-accurate record of one :meth:`TimingCPU.run` call."""
+
+    ops: List[ScheduledOp]
+    windows: List[WindowTiming]
+    cycles: int
+    scheduler: str = "event"
+
+    # ------------------------------------------------------------------
+    # Race verdicts
+    # ------------------------------------------------------------------
+    @property
+    def transmit_beats_squash(self) -> bool:
+        """Measured Theorem-1 race outcome over the whole run."""
+        return any(window.leaked_in_time for window in self.windows)
+
+    @property
+    def transmit_cycle(self) -> Optional[int]:
+        cycles = [w.transmit_cycle for w in self.windows if w.transmit_cycle is not None]
+        return min(cycles) if cycles else None
+
+    @property
+    def squash_cycle(self) -> Optional[int]:
+        cycles = [w.squash_cycle for w in self.windows if w.squash_cycle is not None]
+        return min(cycles) if cycles else None
+
+    @property
+    def window_cycles(self) -> Optional[int]:
+        """Measured length of the longest speculation window, in cycles."""
+        lengths = [w.window_cycles for w in self.windows]
+        return max(lengths) if lengths else None
+
+    def key_events(self) -> List[TraceEvent]:
+        """The load-bearing moments of the run, in cycle order."""
+        events: List[TraceEvent] = []
+        for window in self.windows:
+            events.append(
+                TraceEvent(window.open_cycle, "window_open", window.trigger_seq,
+                           f"window {window.window_id} ({window.kind})")
+            )
+            for seq, cycle in window.sends:
+                events.append(TraceEvent(cycle, "transmit", seq, "covert send issued"))
+            events.append(
+                TraceEvent(window.resolve_cycle, "resolve", window.trigger_seq,
+                           "authorization resolved")
+            )
+            if window.squash_cycle is not None:
+                events.append(
+                    TraceEvent(window.squash_cycle, "squash", window.trigger_seq,
+                               f"window {window.window_id} squashed")
+                )
+        return sorted(events, key=lambda event: (event.cycle, event.seq))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "scheduler": self.scheduler,
+            "cycles": self.cycles,
+            "ops": len(self.ops),
+            "transient_ops": sum(1 for row in self.ops if row.op.transient),
+            "windows": len(self.windows),
+            "squashes": sum(1 for w in self.windows if w.outcome == "squash"),
+            "transmit_cycle": self.transmit_cycle,
+            "squash_cycle": self.squash_cycle,
+            "window_cycles": self.window_cycles,
+            "transmit_beats_squash": self.transmit_beats_squash,
+        }
+
+    def to_dict(self, include_ops: bool = False) -> Dict[str, object]:
+        data = dict(self.summary())
+        data["window_timings"] = [window.to_dict() for window in self.windows]
+        data["events"] = [event.to_dict() for event in self.key_events()]
+        if include_ops:
+            data["op_rows"] = [row.to_dict() for row in self.ops]
+        return data
+
+
+def build_trace(
+    ops: Sequence[DynamicOp],
+    windows: Sequence[WindowRecord],
+    schedule: Schedule,
+    model: TimingModel,
+    miss_latency: int,
+    scheduler: str = "event",
+) -> TimingTrace:
+    """Assemble a :class:`TimingTrace` from the scheduler's cycle assignments."""
+    timings: List[WindowTiming] = []
+    killed: Dict[int, bool] = {}
+    for window in windows:
+        trigger = window.trigger_seq
+        resolve = schedule.complete[trigger] + model.resolution_delay(
+            window.kind, miss_latency
+        )
+        outcome = window.outcome or "squash"
+        squash = resolve + model.squash_penalty if outcome == "squash" else None
+        transient = window.transient_seqs
+        open_cycle = (
+            min(schedule.dispatch[seq] for seq in transient) if transient else resolve
+        )
+        sends = tuple(
+            (seq, schedule.issue[seq]) for seq in transient if ops[seq].is_send
+        )
+        killed_count = 0
+        if squash is not None:
+            for seq in transient:
+                if schedule.issue[seq] > squash:
+                    killed[seq] = True
+                    killed_count += 1
+        timings.append(
+            WindowTiming(
+                window_id=window.window_id,
+                kind=window.kind,
+                outcome=outcome,
+                trigger_seq=trigger,
+                open_cycle=open_cycle,
+                resolve_cycle=resolve,
+                squash_cycle=squash,
+                transient_ops=len(transient),
+                sends=sends,
+                killed_ops=killed_count,
+            )
+        )
+    rows = [
+        ScheduledOp(
+            op=op,
+            dispatch=schedule.dispatch[op.seq],
+            issue=schedule.issue[op.seq],
+            complete=schedule.complete[op.seq],
+            retire=schedule.retire[op.seq],
+            killed=killed.get(op.seq, False),
+        )
+        for op in ops
+    ]
+    return TimingTrace(
+        ops=rows, windows=timings, cycles=schedule.cycles, scheduler=scheduler
+    )

@@ -131,3 +131,118 @@ class TestCommands:
         assert "# Speculative execution attack-graph model" in text
         assert "### Spectre v1" in text
         assert "Table III" in text
+
+
+class TestSimulateCommand:
+    def test_simulate_leaking_attack_returns_one(self, capsys):
+        assert main(["simulate", "spectre_v1"]) == 1
+        out = capsys.readouterr().out
+        assert "TRANSMIT WINS" in out and "theorem 1" in out and "agrees" in out
+
+    def test_simulate_defended_returns_zero(self, capsys):
+        assert main(["simulate", "spectre_v1", "--defense",
+                     "prevent_speculative_loads"]) == 0
+        assert "no covert transmit" in capsys.readouterr().out
+
+    def test_simulate_json_envelope(self, capsys):
+        assert main(["simulate", "--json", "meltdown"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "simulate"
+        assert envelope["data"]["transmit_beats_squash"] is True
+        assert envelope["data"]["transmit_cycle"] < envelope["data"]["squash_cycle"]
+
+    def test_simulate_validate(self, capsys):
+        assert main(["simulate", "--validate"]) == 0
+        assert "attacks agree with Theorem 1" in capsys.readouterr().out
+
+    def test_simulate_validate_json(self, capsys):
+        assert main(["simulate", "--validate", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["data"]["disagreeing"] == []
+
+    def test_simulate_without_name_or_mode_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+
+    def test_simulate_unknown_defense_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "spectre_v1", "--defense", "tinfoil_hat"])
+
+    @pytest.mark.slow
+    def test_simulate_sweep_table(self, capsys):
+        assert main(["simulate", "--sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "spectre_v1" in out and "defended" in out and "LEAKS" in out
+
+
+class TestJsonEnvelopes:
+    def test_patch_json(self, listing_file, capsys):
+        assert main(["patch", "--json", listing_file]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "patch"
+        assert envelope["data"]["fences_inserted"]
+        assert "lfence" in envelope["data"]["patched_listing"]
+
+    def test_ablation_json(self, capsys):
+        assert main(["ablation", "--json", "spectre_v1"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "ablation"
+        assert envelope["data"]["baseline_leaks"] is True
+        assert envelope["data"]["rows"]
+
+
+class TestPerfCheck:
+    def test_perf_quick_smoke_and_check_roundtrip(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["perf", "--quick", "-o", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "timing scheduler" in out and "event queue" in out
+        trajectory = json.loads(output.read_text())
+        record = trajectory["runs"][-1]["timing_results"][0]
+        assert record["speedup_event_vs_rescan"] > 5
+
+    def test_perf_check_fails_on_regression(self, tmp_path, capsys):
+        bad = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 2.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 1.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 0.5},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 1.5},
+                ],
+            }]
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        assert main(["perf", "--check", "-o", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("FAIL") == 4
+
+    def test_perf_check_passes_on_healthy_trajectory(self, tmp_path, capsys):
+        good = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 4.0},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 100.0},
+                ],
+            }]
+        }
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(good))
+        assert main(["perf", "--check", "-o", str(path)]) == 0
+        assert "all perf thresholds hold" in capsys.readouterr().out
+
+    def test_perf_check_missing_file(self, tmp_path, capsys):
+        assert main(["perf", "--check", "-o", str(tmp_path / "absent.json")]) == 1
+        assert "does not exist" in capsys.readouterr().out

@@ -348,3 +348,128 @@ secret:       address=0x200048  size=1 protected
 done:
     hlt
 """
+
+
+# ---------------------------------------------------------------------------
+# Timing simulation (PR 3): cached simulate, sharded sweeps, new envelopes
+# ---------------------------------------------------------------------------
+class TestEngineSimulate:
+    def test_simulate_cold_then_warm(self, engine):
+        cold = engine.simulate("spectre_v1")
+        warm = engine.simulate("spectre_v1")
+        assert cold.cache == "cold" and warm.cache == "warm"
+        assert cold.data == warm.data
+        stats = engine.stats()["simulations"]
+        assert stats == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_simulate_envelope_reports_both_verdicts(self, engine):
+        result = engine.simulate("spectre_v1")
+        assert result.kind == "simulate"
+        assert result.data["leaked"] is True
+        assert result.data["transmit_beats_squash"] is True
+        assert result.data["tsg_leaks"] is True
+        assert result.data["theorem1_agrees"] is True
+        assert result.ok is False  # ok means the squash won
+        json.loads(result.to_json())
+
+    def test_simulate_key_includes_the_defenses(self, engine):
+        from repro.uarch import SimDefense
+
+        engine.simulate("spectre_v1")
+        defended = engine.simulate(
+            "spectre_v1", [SimDefense.PREVENT_SPECULATIVE_LOADS]
+        )
+        assert defended.cache == "cold"  # different config, different key
+        assert defended.data["transmit_beats_squash"] is False
+        assert defended.ok is True
+        assert "tsg_leaks" not in defended.data  # only stated for undefended runs
+        assert engine.stats()["simulations"]["entries"] == 2
+
+    def test_simulate_accepts_exploit_names(self, engine):
+        result = engine.simulate("mds")
+        assert result.data["scenario"] == "mds"
+        assert "tsg_leaks" not in result.data  # not a registry key
+
+    def test_aliased_attacks_share_one_timing_run(self, engine):
+        engine.simulate("ridl")
+        warm = engine.simulate("zombieload")  # same mds scenario
+        assert warm.cache == "warm"
+        assert warm.data["attack"] == "zombieload"  # row still names the alias
+        assert engine.stats()["simulations"]["entries"] == 1
+
+    def test_simulate_model_reaches_the_timing_plane(self, engine):
+        from repro.uarch.timing import TimingModel
+
+        default = engine.simulate("spectre_v1")
+        slow_recovery = engine.simulate(
+            "spectre_v1", model=TimingModel(squash_penalty=1000)
+        )
+        assert slow_recovery.cache == "cold"  # model is part of the key
+        assert (
+            slow_recovery.data["squash_cycle"]
+            == default.data["squash_cycle"] - 16 + 1000
+        )
+
+    def test_invalidate_simulations(self, engine):
+        engine.simulate("spectre_v1")
+        assert engine.invalidate("simulations") == 1
+        assert engine.stats()["simulations"]["entries"] == 0
+
+    def test_sweep_rows_are_key_sorted_and_cached(self, engine):
+        from repro.uarch import SimDefense
+
+        sweep = engine.simulate_sweep(
+            attacks=["meltdown", "spectre_v1"],
+            defenses=[None, SimDefense.PREVENT_SPECULATIVE_LOADS],
+        )
+        rows = sweep.data["rows"]
+        assert [(row["attack"], tuple(row["defenses"])) for row in rows] == sorted(
+            (row["attack"], tuple(row["defenses"])) for row in rows
+        )
+        assert sweep.data["runs"] == 4
+        # Re-sweeping the same grid is pure cache hits.
+        before = engine.stats()["simulations"]["misses"]
+        engine.simulate_sweep(
+            attacks=["meltdown", "spectre_v1"],
+            defenses=[None, SimDefense.PREVENT_SPECULATIVE_LOADS],
+        )
+        assert engine.stats()["simulations"]["misses"] == before
+
+    def test_sharded_sweep_matches_serial(self):
+        from repro.uarch import SimDefense
+
+        kwargs = dict(
+            attacks=["spectre_v1", "meltdown"],
+            defenses=[None, SimDefense.NO_SPECULATIVE_FORWARDING],
+        )
+        serial = Engine().simulate_sweep(**kwargs)
+        with Engine() as session:
+            sharded = session.simulate_sweep(parallel=2, **kwargs)
+        assert sharded.data == serial.data
+
+
+class TestEnginePatchAblation:
+    def test_patch_envelope(self, engine, listing1_program):
+        result = engine.patch(listing1_program)
+        assert result.kind == "patch"
+        assert result.ok is True
+        assert result.data["fences_inserted"]
+        assert "lfence" in result.data["patched_listing"]
+        json.loads(result.to_json())
+
+    def test_patch_runs_through_the_session_cache(self, engine, listing1_program):
+        engine.analyze(listing1_program)
+        engine.patch(listing1_program)
+        assert engine.stats()["analyses"]["hits"] >= 1
+
+    def test_ablation_envelope(self, engine):
+        result = engine.ablation("spectre_v1")
+        assert result.kind == "ablation"
+        assert result.data["baseline_leaks"] is True
+        assert result.data["effective"] >= 1
+        assert result.data["rows"][0]["defense"] == "(no defense)"
+        json.loads(result.to_json())
+
+    def test_ablation_unknown_exploit(self, engine):
+        with pytest.raises(KeyError):
+            engine.ablation("rowhammer")

@@ -1,0 +1,130 @@
+"""Functional/timing equivalence: TimingCPU must match SpeculativeCPU.
+
+The timing core adds a cycle-accurate plane on top of the interpreter's
+functional semantics; these property tests pin the contract that the timing
+plane never changes *what* executes -- final architectural state, simulator
+statistics and leak verdicts are identical across the exploit corpus and
+random straight-line programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exploits.harness import EXPLOITS
+from repro.isa.instructions import Alu, Clflush, Cmp, Fence, Halt, Load, Mov, Rdtsc, Store
+from repro.isa.operands import imm, mem, reg
+from repro.isa.program import Program
+from repro.uarch import SimDefense, SpeculativeCPU, TimingCPU, UarchConfig
+
+DATA_BASE = 0x0030_0000
+DATA_SIZE = 256
+
+CONFIGS = {
+    "undefended": UarchConfig(),
+    "no_spec_loads": UarchConfig().with_defenses(SimDefense.PREVENT_SPECULATIVE_LOADS),
+    "flush_predictors": UarchConfig().with_defenses(SimDefense.FLUSH_PREDICTORS),
+    "kernel_isolation": UarchConfig().with_defenses(SimDefense.KERNEL_ISOLATION),
+}
+
+
+def final_state(cpu):
+    """Everything architectural (and statistical) a run can be compared on."""
+    memory = [cpu.read_memory(DATA_BASE + offset) for offset in range(DATA_SIZE)]
+    return {
+        "registers": cpu.registers.as_dict(),
+        "flags": (cpu.flags.lhs, cpu.flags.rhs),
+        "memory": memory,
+        "stats": cpu.stats.summary(),
+        "cache_occupancy": cpu.cache.occupancy(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Exploit corpus equivalence
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(EXPLOITS))
+@pytest.mark.parametrize("config_key", sorted(CONFIGS))
+def test_exploit_corpus_equivalence(name, config_key):
+    config = CONFIGS[config_key]
+    functional = EXPLOITS[name](config, 0x5A, cpu_cls=SpeculativeCPU)
+    timed = EXPLOITS[name](config, 0x5A, cpu_cls=TimingCPU)
+    assert timed.success == functional.success
+    assert timed.recovered == functional.recovered
+    assert timed.stats.summary() == functional.stats.summary()
+    # The functional leak verdict (any speculative load executed) agrees.
+    leaked_functional = functional.stats.speculative_loads > 0
+    leaked_timed = timed.stats.speculative_loads > 0
+    assert leaked_timed == leaked_functional
+    # Only the timing run carries a trace.
+    assert functional.timing is None
+    assert timed.timing is not None
+
+
+# ---------------------------------------------------------------------------
+# Random straight-line programs
+# ---------------------------------------------------------------------------
+REGS = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi"]
+ALU_OPS = ["add", "sub", "and", "or", "xor", "imul"]
+
+
+def random_program(rng: random.Random, length: int) -> Program:
+    """A random straight-line program over a small data region."""
+    program = Program(name=f"random-{rng.random():.6f}")
+    program.declare("data", DATA_BASE, DATA_SIZE)
+    for _ in range(length):
+        choice = rng.random()
+        dst = reg(rng.choice(REGS))
+        offset = rng.randrange(0, DATA_SIZE - 8, 8)
+        if choice < 0.25:
+            program.append(Mov(dst, imm(rng.randrange(0, 1 << 16))))
+        elif choice < 0.45:
+            src = imm(rng.randrange(1, 64)) if rng.random() < 0.5 else reg(rng.choice(REGS))
+            program.append(Alu(rng.choice(ALU_OPS), dst, src))
+        elif choice < 0.62:
+            program.append(Load(dst, mem(symbol="data", displacement=offset)))
+        elif choice < 0.78:
+            src = imm(rng.randrange(0, 256)) if rng.random() < 0.5 else reg(rng.choice(REGS))
+            program.append(Store(mem(symbol="data", displacement=offset), src, size=8))
+        elif choice < 0.88:
+            rhs = (
+                reg(rng.choice(REGS))
+                if rng.random() < 0.5
+                else mem(symbol="data", displacement=offset)
+            )
+            program.append(Cmp(reg(rng.choice(REGS)), rhs))
+        elif choice < 0.94:
+            program.append(Clflush(mem(symbol="data", displacement=offset)))
+        elif choice < 0.97:
+            program.append(Fence(kind="lfence"))
+        else:
+            program.append(Rdtsc(dst))
+    program.append(Halt())
+    return program
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_program_equivalence(seed):
+    rng = random.Random(seed)
+    program = random_program(rng, rng.randint(1, 40))
+    seeds = [(name, rng.randrange(0, 1 << 32)) for name in REGS]
+
+    functional = SpeculativeCPU(program)
+    timed = TimingCPU(program)
+    for cpu in (functional, timed):
+        for name, value in seeds:
+            cpu.set_register(name, value)
+    result_functional = functional.run()
+    result_timed = timed.run()
+
+    assert result_timed.halted == result_functional.halted
+    assert result_timed.instructions == result_functional.instructions
+    assert result_timed.leaked_transiently == result_functional.leaked_transiently
+    assert final_state(timed) == final_state(functional)
+    # The timing plane produced a consistent schedule for every executed op.
+    trace = result_timed.trace
+    assert len(trace.ops) == result_timed.instructions
+    for row in trace.ops:
+        assert row.dispatch <= row.issue < row.complete < row.retire

@@ -1,0 +1,209 @@
+"""Tests for the OoO timing schedulers (event-driven vs rescan baseline)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.timing import (
+    DEFAULT_MODEL,
+    DynamicOp,
+    EventScheduler,
+    RescanScheduler,
+    TimingModel,
+    WindowRecord,
+    build_trace,
+)
+
+
+def op(seq, reads=(), writes=(), latency=1, kind="alu", **extra):
+    return DynamicOp(
+        seq=seq,
+        pc=seq,
+        text=kind,
+        kind=kind,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        latency=latency,
+        **extra,
+    )
+
+
+WIDE = TimingModel(dispatch_width=8, commit_width=8, rob_size=64, rs_entries=64)
+
+
+class TestEventSchedulerBasics:
+    def test_empty_stream(self):
+        schedule = EventScheduler().schedule([])
+        assert schedule.cycles == 0
+
+    def test_independent_ops_overlap(self):
+        ops = [op(0, writes=["a"]), op(1, writes=["b"]), op(2, writes=["c"])]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        assert schedule.dispatch == [0, 0, 0]
+        assert schedule.issue == [1, 1, 1]
+        assert schedule.complete == [2, 2, 2]
+
+    def test_dependency_chain_serializes(self):
+        ops = [
+            op(0, writes=["a"], latency=3),
+            op(1, reads=["a"], writes=["b"], latency=2),
+            op(2, reads=["b"], writes=["c"]),
+        ]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        # op0: issue 1, complete 4; op1 wakes at 5, completes 7; op2 at 8.
+        assert schedule.issue == [1, 5, 8]
+        assert schedule.complete == [4, 7, 9]
+
+    def test_long_latency_producer_delays_consumer(self):
+        ops = [op(0, writes=["x"], latency=200, kind="load"), op(1, reads=["x"])]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        assert schedule.complete[0] == 201
+        assert schedule.issue[1] == 202
+
+    def test_rat_renames_to_youngest_writer(self):
+        ops = [
+            op(0, writes=["a"], latency=50),
+            op(1, writes=["a"], latency=1),
+            op(2, reads=["a"]),
+        ]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        # op2 depends on op1 (the youngest writer), not the slow op0.
+        assert schedule.issue[2] == schedule.complete[1] + 1
+
+    def test_dispatch_width_limits_per_cycle(self):
+        model = TimingModel(dispatch_width=2, commit_width=8, rob_size=64, rs_entries=64)
+        ops = [op(i) for i in range(5)]
+        schedule = EventScheduler(model).schedule(ops)
+        assert schedule.dispatch == [0, 0, 1, 1, 2]
+
+    def test_rob_stall_blocks_dispatch(self):
+        model = TimingModel(dispatch_width=8, commit_width=1, rob_size=2, rs_entries=8)
+        ops = [op(i, latency=1) for i in range(4)]
+        schedule = EventScheduler(model).schedule(ops)
+        # Only two ops can be in flight; later dispatches wait for retirement.
+        assert schedule.dispatch[0] == 0 and schedule.dispatch[1] == 0
+        assert schedule.dispatch[2] >= schedule.retire[0]
+        assert schedule.dispatch[3] >= schedule.retire[1]
+
+    def test_rs_freed_at_completion_not_retirement(self):
+        model = TimingModel(dispatch_width=8, commit_width=1, rob_size=64, rs_entries=2)
+        ops = [op(i, latency=1) for i in range(4)]
+        schedule = EventScheduler(model).schedule(ops)
+        assert schedule.dispatch[2] == schedule.complete[0]
+
+    def test_fence_serializes_both_directions(self):
+        ops = [
+            op(0, writes=["a"], latency=10),
+            op(1, kind="fence"),
+            op(2, writes=["b"]),
+        ]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        assert schedule.issue[1] >= schedule.complete[0] + 1  # waits for older
+        assert schedule.issue[2] >= schedule.complete[1] + 1  # younger waits
+
+    def test_retirement_is_in_order(self):
+        ops = [op(0, latency=100), op(1, latency=1)]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        assert schedule.complete[1] < schedule.complete[0]
+        assert schedule.retire[1] > schedule.retire[0] or (
+            schedule.retire[1] == schedule.retire[0]
+        )
+        assert schedule.retire[0] >= schedule.complete[0] + 1
+
+
+class TestWindowTiming:
+    def test_squash_and_transmit_cycles(self):
+        ops = [
+            op(0, writes=["f"], latency=200, kind="load"),  # slow authorization data
+            op(1, reads=["f"], kind="branch"),  # trigger
+            op(2, writes=["s"], latency=4, kind="load", transient=True, window=0),
+            op(3, reads=["s"], kind="load", transient=True, window=0, is_send=True),
+        ]
+        window = WindowRecord(window_id=0, trigger_seq=1, kind="branch", outcome="squash")
+        window.transient_seqs = [2, 3]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        trace = build_trace(ops, [window], schedule, WIDE, miss_latency=200)
+        timing = trace.windows[0]
+        assert timing.resolve_cycle == schedule.complete[1]  # branch kind: no delay
+        assert timing.squash_cycle == timing.resolve_cycle + WIDE.squash_penalty
+        assert timing.transmit_cycle == schedule.issue[3]
+        assert timing.leaked_in_time  # send issued long before the late squash
+        assert trace.transmit_beats_squash
+
+    def test_fault_window_gets_resolution_delay(self):
+        ops = [op(0, writes=["x"], latency=4, kind="load")]
+        window = WindowRecord(window_id=0, trigger_seq=0, kind="fault", outcome="squash")
+        schedule = EventScheduler(WIDE).schedule(ops)
+        trace = build_trace(ops, [window], schedule, WIDE, miss_latency=200)
+        assert trace.windows[0].resolve_cycle == schedule.complete[0] + 200
+
+    def test_no_send_means_no_leak(self):
+        ops = [
+            op(0, kind="branch"),
+            op(1, transient=True, window=0, blocked=True),
+        ]
+        window = WindowRecord(window_id=0, trigger_seq=0, kind="branch", outcome="squash")
+        window.transient_seqs = [1]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        trace = build_trace(ops, [window], schedule, WIDE, miss_latency=200)
+        assert trace.windows[0].transmit_cycle is None
+        assert not trace.transmit_beats_squash
+
+    def test_committed_window_has_no_squash_cycle(self):
+        ops = [op(0, kind="branch"), op(1, transient=True, window=0)]
+        window = WindowRecord(window_id=0, trigger_seq=0, kind="branch", outcome="commit")
+        window.transient_seqs = [1]
+        schedule = EventScheduler(WIDE).schedule(ops)
+        trace = build_trace(ops, [window], schedule, WIDE, miss_latency=200)
+        assert trace.windows[0].squash_cycle is None
+
+
+# ---------------------------------------------------------------------------
+# Differential testing: the event engine must equal the rescan baseline
+# ---------------------------------------------------------------------------
+REGS = ["a", "b", "c", "d", "e", "FLAGS"]
+
+
+def random_stream(rng: random.Random, length: int):
+    ops = []
+    for seq in range(length):
+        kind = rng.choice(["alu", "alu", "alu", "load", "store", "fence", "nop"])
+        reads = tuple(rng.sample(REGS, rng.randint(0, 2)))
+        writes = tuple(rng.sample(REGS, rng.randint(0, 1)))
+        latency = rng.choice([1, 1, 2, 4, 200]) if kind == "load" else rng.randint(1, 3)
+        ops.append(op(seq, reads=reads, writes=writes, latency=latency, kind=kind))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_event_equals_rescan_on_random_streams(seed):
+    rng = random.Random(seed)
+    ops = random_stream(rng, rng.randint(1, 60))
+    model = TimingModel(
+        dispatch_width=rng.randint(1, 4),
+        commit_width=rng.randint(1, 4),
+        rob_size=rng.randint(4, 48),
+        rs_entries=rng.randint(2, 32),
+    )
+    assert EventScheduler(model).schedule(ops) == RescanScheduler(model).schedule(ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    length=st.integers(min_value=1, max_value=40),
+    width=st.integers(min_value=1, max_value=4),
+    rob=st.integers(min_value=2, max_value=24),
+    rs=st.integers(min_value=1, max_value=16),
+)
+def test_event_equals_rescan_property(seed, length, width, rob, rs):
+    rng = random.Random(seed)
+    ops = random_stream(rng, length)
+    model = TimingModel(dispatch_width=width, commit_width=width, rob_size=rob, rs_entries=rs)
+    event = EventScheduler(model).schedule(ops)
+    rescan = RescanScheduler(model).schedule(ops)
+    assert event == rescan
+    assert event.cycles == rescan.cycles
