@@ -30,8 +30,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output", "-o", default="BENCH_core.json", help="trajectory file to append to"
     )
-    parser.add_argument(
+    budget = parser.add_mutually_exclusive_group()
+    budget.add_argument(
         "--quick", action="store_true", help="smaller baseline budget, single repeat"
+    )
+    budget.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full 500-instruction rescan baseline (default: 200)",
     )
     parser.add_argument(
         "--check",
@@ -42,7 +48,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.check:
         return perf.run_check(args.output)
-    run = perf.main(output=args.output, quick=args.quick)
+    run = perf.main(output=args.output, quick=args.quick, full=args.full)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:
         print(

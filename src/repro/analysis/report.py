@@ -16,7 +16,7 @@ from ..defenses import ALL_DEFENSES, Defense
 from .tables import defense_strategy_table, format_table, table1, table2, table3
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..engine import Engine
+    from ..engine import Engine, Result
 
 
 def _attack_section_for_key(key: str) -> str:
@@ -50,6 +50,54 @@ def attack_section(variant: AttackVariant) -> str:
     ]
     lines.extend(f"  * {vulnerability.dependency}" for vulnerability in vulnerabilities)
     return "\n".join(lines)
+
+
+def window_ablation_section(result: "Result") -> str:
+    """Render an ``Engine.ablate_window`` envelope as text tables.
+
+    One row per (attack, ROB/RS point, port configuration) with the measured
+    window length and the transmit/squash race, followed by the
+    functional-unit contention channel's occupancy-delta transmissions under
+    each port configuration.
+    """
+    rows = [
+        (
+            row["attack"],
+            row["rob_size"],
+            row["rs_entries"],
+            row["ports"],
+            row["window_cycles"] if row["window_cycles"] is not None else "-",
+            row["transmit_cycle"] if row["transmit_cycle"] is not None else "-",
+            row["squash_cycle"] if row["squash_cycle"] is not None else "-",
+            "LEAKS" if row["transmit_beats_squash"] else "safe",
+            row["port_stall_cycles"],
+            row["cdb_stall_cycles"],
+        )
+        for row in result.data["rows"]
+    ]
+    sections = [
+        format_table(
+            ("attack", "rob", "rs", "ports", "window", "transmit", "squash",
+             "race", "port-stall", "cdb-stall"),
+            rows,
+        ),
+        "",
+        "FU-contention covert channel (occupancy delta per port config):",
+        format_table(
+            ("ports", "sent", "recovered", "cycle delta", "verdict"),
+            [
+                (
+                    row["ports"],
+                    row["value"],
+                    row["recovered"] if row["recovered"] is not None else "-",
+                    row["cycle_delta"],
+                    "TRANSMITS" if row["detected"] else "no signal",
+                )
+                for row in result.data["contention_channel"]
+            ],
+        ),
+    ]
+    return "\n".join(sections)
 
 
 def defense_matrix_section(

@@ -1,7 +1,10 @@
-"""Cache timing covert channels (Section II-C)."""
+"""Covert channels of Section II-C: the cache timing family plus the
+functional-unit contention channel (which runs on the OoO timing plane's
+port-occupancy surface instead of the cache)."""
 
 from .base import CacheTimingSurface, ChannelObservation, CovertChannel, TimingSurface
 from .collision import CacheCollisionChannel
+from .contention import ContentionChannel, PortContentionSurface
 from .evict_time import EvictTimeChannel, EvictTimeMeasurement
 from .flush_reload import FlushReloadChannel
 from .prime_probe import PrimeProbeChannel
@@ -20,11 +23,13 @@ __all__ = [
     "CacheTimingSurface",
     "ChannelClass",
     "ChannelObservation",
+    "ContentionChannel",
     "CovertChannel",
     "EvictTimeChannel",
     "EvictTimeMeasurement",
     "FlushReloadChannel",
     "Granularity",
+    "PortContentionSurface",
     "PrimeProbeChannel",
     "Signal",
     "TimingSurface",

@@ -23,8 +23,10 @@ Subcommands::
     repro simulate spectre_v1          # cycle-accurate timing run (OoO core)
     repro simulate --sweep             # sharded (attack x defense) timing grid
     repro simulate --validate          # Theorem 1: timing race vs TSG verdict
+    repro simulate --validate --contended   # ... with bounded FU ports + CDB
+    repro simulate --ablate-window     # ROB/RS/port window-length ablation
     repro report                       # full Markdown report
-    repro perf [--check]               # core + engine + timing perf -> BENCH_core.json
+    repro perf [--check] [--full]      # core + engine + timing perf -> BENCH_core.json
 
 Everything the CLI prints can be reproduced programmatically:
 ``Engine().analyze(program)`` / ``.evaluate(defense, variant)`` /
@@ -171,8 +173,13 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     engine = default_engine()
+    model = None
+    if args.contended:
+        from .uarch.timing.scheduler import CONTENDED_MODEL
+
+        model = CONTENDED_MODEL
     if args.validate:
-        result = engine.validate_timing(parallel=args.parallel)
+        result = engine.validate_timing(parallel=args.parallel, model=model)
         if args.json:
             print(result.to_json())
         else:
@@ -180,8 +187,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
             print(validation_report(result.payload))
         return 0 if result.ok else 1
+    if args.ablate_window:
+        if args.contended:
+            raise SystemExit(
+                "--ablate-window already sweeps the port configurations "
+                "(unbounded / contended / serialized); drop --contended"
+            )
+        if args.defense:
+            raise SystemExit(
+                "--ablate-window measures the undefended window-length "
+                "ablation; drop --defense (use --sweep for defense grids)"
+            )
+        result = engine.ablate_window(
+            [args.name] if args.name else None,
+            secret=args.secret,
+            parallel=args.parallel,
+        )
+        if args.json:
+            print(result.to_json())
+        else:
+            from .analysis.report import window_ablation_section
+
+            print(window_ablation_section(result))
+        return 0
     if args.sweep:
-        result = engine.simulate_sweep(parallel=args.parallel, secret=args.secret)
+        result = engine.simulate_sweep(
+            parallel=args.parallel, secret=args.secret, model=model
+        )
         if args.json:
             print(result.to_json())
         else:
@@ -200,9 +232,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ))
         return 0
     if not args.name:
-        raise SystemExit("simulate needs an attack name (or --sweep / --validate)")
+        raise SystemExit(
+            "simulate needs an attack name (or --sweep / --validate / --ablate-window)"
+        )
     defenses = _parse_defenses(args.defense) or ()
-    result = engine.simulate(args.name, defenses, secret=args.secret)
+    result = engine.simulate(args.name, defenses, secret=args.secret, model=model)
     if args.json:
         print(result.to_json())
         return 0 if result.ok else 1
@@ -243,7 +277,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
     if args.check:
         return perf.run_check(args.output)
-    run = perf.main(output=args.output, quick=args.quick)
+    run = perf.main(output=args.output, quick=args.quick, full=args.full)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:
         print(
@@ -329,12 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="simulator defense to enable (may be repeated), e.g. kernel_isolation",
     )
-    simulate_parser.add_argument("--sweep", action="store_true",
-                                 help="sweep every (attack, defense) combination")
-    simulate_parser.add_argument("--validate", action="store_true",
-                                 help="cross-check Theorem 1 over the attack registry")
+    simulate_mode = simulate_parser.add_mutually_exclusive_group()
+    simulate_mode.add_argument("--sweep", action="store_true",
+                               help="sweep every (attack, defense) combination")
+    simulate_mode.add_argument("--validate", action="store_true",
+                               help="cross-check Theorem 1 over the attack registry")
+    simulate_mode.add_argument("--ablate-window", action="store_true",
+                               help="sweep the ROB/RS/port window-length ablation "
+                                    "(all attacks, or just the named one)")
+    simulate_parser.add_argument("--contended", action="store_true",
+                                 help="use the contended timing model "
+                                      "(bounded FU ports and CDB width)")
     simulate_parser.add_argument("--parallel", type=int, default=None,
-                                 help="shard the sweep/validation over N workers")
+                                 help="shard the sweep/validation/ablation over N workers")
     simulate_parser.add_argument("--json", action="store_true",
                                  help="emit the engine Result envelope as JSON")
     simulate_parser.set_defaults(handler=_cmd_simulate)
@@ -350,8 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_parser.add_argument("--output", "-o", default="BENCH_core.json",
                              help="trajectory file to append to")
-    perf_parser.add_argument("--quick", action="store_true",
+    perf_budget = perf_parser.add_mutually_exclusive_group()
+    perf_budget.add_argument("--quick", action="store_true",
                              help="smaller baseline budget, single repeat")
+    perf_budget.add_argument("--full", action="store_true",
+                             help="run the full 500-instruction rescan baseline "
+                                  "(the default keeps the 200-instruction run)")
     perf_parser.add_argument("--check", action="store_true",
                              help="check the trajectory against the ROADMAP "
                                   "regression thresholds instead of benchmarking")

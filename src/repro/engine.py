@@ -26,7 +26,8 @@ exploit harness -- is reachable through one stateful session object:
 
 * **Uniform result envelope.**  Every analysis returns a :class:`Result`
   (kind ``analyze`` / ``evaluate`` / ``synthesize`` / ``exploit`` /
-  ``simulate`` / ``patch`` / ``ablation``) whose ``data`` field is
+  ``simulate`` / ``patch`` / ``ablation`` / ``window_ablation``) whose
+  ``data`` field is
   JSON-serializable -- this is what the CLI's ``--json`` flags emit, and
   what the reporting layer renders.
 
@@ -34,8 +35,12 @@ exploit harness -- is reachable through one stateful session object:
   the event-driven timing core (:mod:`repro.uarch.timing`), content-hash
   cached on (attack, frozen config, secret, timing model);
   :meth:`Engine.simulate_sweep` shards an (attack x defense) grid over the
-  pool and :meth:`Engine.validate_timing` cross-checks Theorem 1 registry-
-  wide (measured transmit-vs-squash race against the TSG verdict).
+  pool, :meth:`Engine.validate_timing` cross-checks Theorem 1 registry-
+  wide (measured transmit-vs-squash race against the TSG verdict, optionally
+  under a contended FU-port/CDB model) and :meth:`Engine.ablate_window`
+  sweeps the ROB/RS/port-count grid that reproduces the paper's
+  window-length ablation in measured cycles, including the functional-unit
+  contention covert channel's occupancy-delta transmit.
 
 The legacy free functions (:func:`repro.graphtool.analyze_program`,
 :func:`repro.defenses.evaluate_defense`, ...) are thin wrappers over the
@@ -80,6 +85,7 @@ from .graphtool.analyzer import AnalysisReport, analyze_build
 from .graphtool.builder import AttackGraphBuilder, BuildResult
 from .graphtool.expansion import expansion_for
 from .isa.program import Program
+from .uarch.timing.scheduler import CONTENDED_MODEL, SERIALIZED_MODEL
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -93,7 +99,8 @@ class Result:
     """Uniform JSON-serializable envelope around one analysis outcome.
 
     ``kind`` is one of ``analyze`` / ``evaluate`` / ``synthesize`` /
-    ``exploit`` / ``simulate`` / ``patch`` / ``ablation``; ``ok`` is the
+    ``exploit`` / ``simulate`` / ``patch`` / ``ablation`` /
+    ``window_ablation``; ``ok`` is the
     headline boolean of that kind (program safe, defense effective, sweep
     complete, secret recovered, squash beat the transmit); ``cache`` records
     whether the result came from a cold build, a warm cache hit, or a
@@ -168,9 +175,9 @@ def _exploit_shard_worker(
 
 
 def _simulate_shard_worker(
-    items: Sequence[Tuple[str, Tuple[str, ...], Optional[int]]]
+    items: Sequence[Tuple[str, Tuple[str, ...], Optional[int], "TimingModel"]]
 ) -> List["ExploitResult"]:
-    """Run timing simulations for one shard of an (attack x defense) sweep."""
+    """Run timing simulations for one shard of a sweep or window ablation."""
     from .uarch.defenses import SimDefense
 
     engine = Engine()
@@ -179,9 +186,46 @@ def _simulate_shard_worker(
             attack,
             defenses=[SimDefense[name] for name in defense_names],
             secret=secret,
+            model=model,
         ).payload
-        for attack, defense_names, secret in items
+        for attack, defense_names, secret, model in items
     ]
+
+
+#: (ROB entries, reservation stations) points of the window-length ablation:
+#: shrinking the window is the paper's ROB/RS ablation, in measured cycles.
+#: The smallest points actually bind on the exploit corpus -- at (4, 2) the
+#: Spectre v1 send can no longer issue ahead of the stalled bounds check and
+#: the measured race flips from leak to safe.
+DEFAULT_WINDOW_GRID: Tuple[Tuple[int, int], ...] = (
+    (4, 2),
+    (8, 4),
+    (16, 8),
+    (48, 24),
+    (192, 64),
+)
+
+def _port_overrides(model: "TimingModel") -> Dict[str, Optional[int]]:
+    """The bounded port/CDB fields of a reference model, as ablation overrides."""
+    fields = ("alu_ports", "load_store_ports", "branch_ports", "mul_ports", "cdb_width")
+    return {
+        name: getattr(model, name)
+        for name in fields
+        if getattr(model, name) is not None
+    }
+
+
+#: Port configurations swept by the window-length ablation: the PR-3
+#: unlimited machine, the realistic contended core (Theorem 1 agrees for
+#: every registry attack) and the maximally serialized one (collapsed
+#: memory-level parallelism closes some races -- e.g. Spectre v2's).  The
+#: override dicts are derived from the exported reference models so the
+#: ablation cannot drift from ``repro simulate --contended``.
+DEFAULT_PORT_CONFIGS: Tuple[Tuple[str, Dict[str, Optional[int]]], ...] = (
+    ("unbounded", {}),
+    ("contended", _port_overrides(CONTENDED_MODEL)),
+    ("serialized", _port_overrides(SERIALIZED_MODEL)),
+)
 
 
 #: Per-(source, delay) structural verdict fields shared across channel twins.
@@ -837,19 +881,23 @@ class Engine:
         defenses: Optional[Sequence[Optional["SimDefense"]]] = None,
         secret: Optional[int] = None,
         parallel: Optional[int] = None,
+        model: Optional["TimingModel"] = None,
     ) -> Result:
         """Sweep (attack x defense) timing simulations, sharded over the pool.
 
         ``defenses`` defaults to the undefended baseline plus every simulator
-        defense.  Rows are sorted by (attack, defense) key, warm entries are
-        served from the session cache and worker results are absorbed back
-        into it, mirroring :meth:`evaluate_matrix`.
+        defense.  ``model`` selects the timing-plane configuration for every
+        run (e.g. the contended reference core).  Rows are sorted by (attack,
+        defense) key, warm entries are served from the session cache and
+        worker results are absorbed back into it, mirroring
+        :meth:`evaluate_matrix`.
         """
         from .uarch.config import DEFAULT_CONFIG
         from .uarch.defenses import SimDefense
         from .uarch.timing.scheduler import DEFAULT_MODEL
         from .uarch.timing.validate import SCENARIOS
 
+        run_model = model if model is not None else DEFAULT_MODEL
         chosen_attacks = list(attacks) if attacks is not None else sorted(SCENARIOS)
         chosen_defenses: List[Optional[SimDefense]] = (
             list(defenses) if defenses is not None else [None] + list(SimDefense)
@@ -869,15 +917,17 @@ class Engine:
                 run_config = DEFAULT_CONFIG.with_defenses(
                     *(SimDefense[name] for name in defense_names)
                 )
-                key = (SCENARIOS.get(attack, attack), run_config, secret, DEFAULT_MODEL)
+                key = (SCENARIOS.get(attack, attack), run_config, secret, run_model)
                 if key not in self._simulations:
-                    misses.append((attack, defense_names, secret))
+                    misses.append((attack, defense_names, secret, run_model))
             computed = self._run_sharded(_simulate_shard_worker, misses, workers)
-            for (attack, defense_names, miss_secret), result in zip(misses, computed):
+            for (attack, defense_names, miss_secret, miss_model), result in zip(
+                misses, computed
+            ):
                 run_config = DEFAULT_CONFIG.with_defenses(
                     *(SimDefense[name] for name in defense_names)
                 )
-                key = (SCENARIOS.get(attack, attack), run_config, miss_secret, DEFAULT_MODEL)
+                key = (SCENARIOS.get(attack, attack), run_config, miss_secret, miss_model)
                 if key not in self._simulations:
                     self._store(self._simulations, key, result)
         rows = [
@@ -885,12 +935,14 @@ class Engine:
                 attack,
                 [SimDefense[name] for name in defense_names],
                 secret=secret,
+                model=model,
             ).data
             for attack, defense_names in combos
         ]
         data = {
             "attacks": len(chosen_attacks),
             "defenses": len(chosen_defenses),
+            "contended": run_model.contended,
             "runs": len(rows),
             "leaking": sum(1 for row in rows if row["transmit_beats_squash"]),
             "rows": rows,
@@ -904,13 +956,23 @@ class Engine:
             payload=rows,
         )
 
-    def validate_timing(self, parallel: Optional[int] = None) -> Result:
-        """Cross-check Theorem 1 for every registry attack (timing vs TSG)."""
+    def validate_timing(
+        self,
+        parallel: Optional[int] = None,
+        model: Optional["TimingModel"] = None,
+    ) -> Result:
+        """Cross-check Theorem 1 for every registry attack (timing vs TSG).
+
+        ``model`` selects the timing-plane configuration; pass
+        :data:`~repro.uarch.timing.scheduler.CONTENDED_MODEL` to validate
+        the race with bounded FU ports and CDB.
+        """
         from .uarch.timing.validate import cross_validate
 
-        checks = cross_validate(engine=self, parallel=parallel)
+        checks = cross_validate(engine=self, parallel=parallel, model=model)
         data = {
             "attacks": len(checks),
+            "contended": bool(model is not None and model.contended),
             "agreeing": sum(1 for check in checks if check.agrees),
             "disagreeing": sorted(check.attack for check in checks if not check.agrees),
             "rows": [check.to_dict() for check in checks],
@@ -922,6 +984,132 @@ class Engine:
             cache="none",
             data=data,
             payload=checks,
+        )
+
+    def ablate_window(
+        self,
+        attacks: Optional[Sequence[str]] = None,
+        *,
+        window_grid: Optional[Sequence[Tuple[int, int]]] = None,
+        port_configs: Optional[Sequence[Tuple[str, Dict[str, Optional[int]]]]] = None,
+        secret: Optional[int] = None,
+        parallel: Optional[int] = None,
+    ) -> Result:
+        """The paper's window-length ablation, in measured cycles.
+
+        Sweeps every attack over a (ROB size, RS entries) x port-configuration
+        grid of :class:`~repro.uarch.timing.scheduler.TimingModel` variants
+        and reports the measured speculation-window length, the transmit /
+        squash race and the port/CDB stall provenance of each run.  Runs ride
+        the :meth:`simulate` content-hash cache (attack x config x secret x
+        model), misses are sharded over :meth:`Engine.map`'s execution plane,
+        and rows come back sorted by (attack, ROB, RS, ports) so parallel
+        output is byte-identical to serial output.
+
+        Each port configuration also carries a :class:`~repro.channels.
+        contention.ContentionChannel` transmission: under a bounded
+        configuration the FU-occupancy delta is a nonzero number of cycles
+        (the covert channel works), under the unbounded machine it collapses
+        to zero -- the structural reason the pre-contention timing plane
+        could not measure this channel family.
+        """
+        from dataclasses import replace
+
+        from .channels.contention import (
+            ContentionChannel,
+            PortContentionSurface,
+            WIDE_WINDOW_MODEL,
+        )
+        from .uarch.config import DEFAULT_CONFIG
+        from .uarch.timing.scheduler import DEFAULT_MODEL
+        from .uarch.timing.validate import SCENARIOS
+
+        chosen = list(attacks) if attacks is not None else sorted(SCENARIOS)
+        grid = list(window_grid) if window_grid is not None else list(DEFAULT_WINDOW_GRID)
+        configs = (
+            list(port_configs) if port_configs is not None else list(DEFAULT_PORT_CONFIGS)
+        )
+        combos = [
+            (attack, rob, rs, label,
+             replace(DEFAULT_MODEL, rob_size=rob, rs_entries=rs, **overrides))
+            for attack in sorted(chosen)
+            for rob, rs in grid
+            for label, overrides in configs
+        ]
+        combos.sort(key=lambda combo: combo[:4])
+        workers = self._workers(parallel)
+        if workers > 1:
+            # Aliased registry attacks (the MDS siblings, the Foreshadow
+            # deployments, ...) share one scenario and therefore one cache
+            # key -- ship each missing key to the pool once, not per alias.
+            misses = []
+            queued = set()
+            for attack, _, _, _, model in combos:
+                key = (SCENARIOS.get(attack, attack), DEFAULT_CONFIG, secret, model)
+                if key not in self._simulations and key not in queued:
+                    queued.add(key)
+                    misses.append((attack, (), secret, model))
+            computed = self._run_sharded(_simulate_shard_worker, misses, workers)
+            for (attack, _, miss_secret, model), result in zip(misses, computed):
+                key = (SCENARIOS.get(attack, attack), DEFAULT_CONFIG, miss_secret, model)
+                if key not in self._simulations:
+                    self._store(self._simulations, key, result)
+        rows: List[Dict[str, object]] = []
+        for attack, rob, rs, label, model in combos:
+            result = self.simulate(attack, model=model, secret=secret)
+            trace = result.payload.timing
+            row = {
+                "attack": attack,
+                "scenario": result.data["scenario"],
+                "rob_size": rob,
+                "rs_entries": rs,
+                "ports": label,
+                "cycles": result.data.get("cycles"),
+                "window_cycles": result.data.get("window_cycles"),
+                "transmit_cycle": result.data.get("transmit_cycle"),
+                "squash_cycle": result.data.get("squash_cycle"),
+                "transmit_beats_squash": result.data["transmit_beats_squash"],
+                "leaked": result.data["leaked"],
+                "port_stall_cycles": trace.port_stall_cycles if trace else 0,
+                "cdb_stall_cycles": trace.cdb_stall_cycles if trace else 0,
+            }
+            rows.append(row)
+        channel_value = 11  # arbitrary nibble-plus: exercises a multi-op burst
+        channel_rows: List[Dict[str, object]] = []
+        for label, overrides in configs:
+            channel = ContentionChannel(
+                PortContentionSurface(replace(WIDE_WINDOW_MODEL, **overrides))
+            )
+            observation = channel.transmit(channel_value)
+            channel_rows.append(
+                {
+                    "ports": label,
+                    "value": channel_value,
+                    "recovered": observation.value,
+                    "detected": observation.detected,
+                    "unit_cycle_delta": channel.unit_delta,
+                    "cycle_delta": observation.latencies[1] - observation.latencies[0],
+                    "baseline_cycles": observation.latencies[0],
+                    "probe_cycles": observation.latencies[1],
+                }
+            )
+        data = {
+            "attacks": len(chosen),
+            "models": len(grid) * len(configs),
+            "window_grid": [list(point) for point in grid],
+            "port_configs": {label: dict(overrides) for label, overrides in configs},
+            "runs": len(rows),
+            "leaking": sum(1 for row in rows if row["transmit_beats_squash"]),
+            "rows": rows,
+            "contention_channel": channel_rows,
+        }
+        return Result(
+            kind="window_ablation",
+            subject=f"window-ablation {len(chosen)}x{len(grid) * len(configs)}",
+            ok=True,
+            cache="none",
+            data=data,
+            payload=rows,
         )
 
     # -- program patching and defense ablation --------------------------------

@@ -21,6 +21,10 @@ class UarchConfig:
     #: Latency threshold separating a "fast" (hit) probe from a "slow" (miss)
     #: probe in the timing covert channels.
     hit_threshold: int = 80
+    #: Execution latency of the multiplier pipe in the timing plane (cycles).
+    #: Multi-cycle by default: a long FU occupancy is what makes the shared
+    #: multiplier the classic functional-unit contention transmitter.
+    mul_latency: int = 4
 
     # Speculation parameters.
     #: Maximum number of transient instructions executed in one window

@@ -23,13 +23,28 @@ cycle-stamped events (:class:`~repro.uarch.timing.scheduler.EventScheduler`):
   stretches of a 200-cycle cache miss cost nothing because the scheduler
   jumps straight to the next event;
 * completion events free reservation stations, retirement events drain the
-  ROB in order, and both re-arm stalled dispatch in the same cycle.
+  ROB in order, and both re-arm stalled dispatch in the same cycle;
+* functional units and the broadcast bus are **contended resources** when the
+  :class:`~repro.uarch.timing.scheduler.TimingModel` bounds them: each op
+  kind issues to one of four port pools (ALU / load-store / branch / mul,
+  :func:`~repro.uarch.timing.ops.port_kind`), holds its port from issue to
+  broadcast, and at most ``cdb_width`` results broadcast per cycle --
+  arbitration is deterministic oldest-first in both schedulers.  Unbounded
+  (``None``) limits reproduce the pre-contention semantics exactly, so the
+  contended engine is a strict superset of the original one.
 
 :class:`~repro.uarch.timing.scheduler.RescanScheduler` keeps the naive
 cycle-by-cycle re-scanning loop alive as a measured baseline; both schedulers
-are property-tested to produce identical cycle assignments, and
-``benchmarks/run_perf.py`` tracks the event engine's speedup in
-``BENCH_core.json``.
+are property-tested to produce identical cycle assignments -- with and
+without contention -- and ``benchmarks/run_perf.py`` tracks the event
+engine's speedup in ``BENCH_core.json``.
+
+Port/CDB contention is what makes the Section II-C *functional-unit
+contention* covert channels measurable: traces record per-op stall
+provenance (``ready`` / ``port_stall`` / ``cdb_stall``) and per-cycle port
+occupancy, :class:`~repro.channels.contention.ContentionChannel` transmits
+through the occupancy delta, and ``Engine.ablate_window`` sweeps ROB/RS/port
+counts to reproduce the paper's window-length ablation in measured cycles.
 
 How measured windows map onto TSG races
 ---------------------------------------
@@ -60,9 +75,18 @@ and sharded (attack x defense) sweeps.
 """
 
 from .core import SCHEDULERS, TimingCPU, TimingResult
-from .ops import DynamicOp, WindowRecord, instruction_kind, window_kind
+from .ops import (
+    PORT_POOLS,
+    DynamicOp,
+    WindowRecord,
+    instruction_kind,
+    port_kind,
+    window_kind,
+)
 from .scheduler import (
+    CONTENDED_MODEL,
     DEFAULT_MODEL,
+    SERIALIZED_MODEL,
     EventScheduler,
     RescanScheduler,
     Schedule,
@@ -71,11 +95,14 @@ from .scheduler import (
 from .trace import ScheduledOp, TimingTrace, TraceEvent, WindowTiming, build_trace
 
 __all__ = [
+    "CONTENDED_MODEL",
     "DEFAULT_MODEL",
     "DynamicOp",
     "EventScheduler",
+    "PORT_POOLS",
     "RescanScheduler",
     "SCHEDULERS",
+    "SERIALIZED_MODEL",
     "Schedule",
     "ScheduledOp",
     "TimingCPU",
@@ -87,5 +114,6 @@ __all__ = [
     "WindowTiming",
     "build_trace",
     "instruction_kind",
+    "port_kind",
     "window_kind",
 ]

@@ -107,6 +107,10 @@ class TimingCPU(SpeculativeCPU):
             transient=transient,
             window=self._active_window.window_id if self._active_window else None,
         )
+        if op.kind == "mul":
+            # The multiplier pipe is multi-cycle: the long occupancy is what
+            # makes the mul port a measurable contention transmitter.
+            op.latency = max(op.latency, self.config.mul_latency)
         self._rec_ops.append(op)
         self._op_stack.append((op, instruction))
         if transient and self._active_window is not None:

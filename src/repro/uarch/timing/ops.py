@@ -11,6 +11,14 @@ speculation window, and whether it transmitted on the covert channel (a
 speculative access to a ``shared`` data symbol -- the *send* vertex of the
 attack graph).
 
+Each op kind maps onto one of four functional-unit pools (:data:`PORT_POOLS`)
+via :func:`port_kind`; when the :class:`~repro.uarch.timing.scheduler.
+TimingModel` bounds a pool's port count, ops of that pool contend for issue
+slots -- the resource the Section II-C *functional-unit contention* covert
+channels modulate.  Multiplies get their own pool (and a multi-cycle latency
+from :attr:`~repro.uarch.config.UarchConfig.mul_latency`) because the shared
+multiplier pipe is the classic port-contention transmitter.
+
 The flags register is modelled as an ordinary renamable register (``FLAGS``)
 produced by ``cmp`` / ALU instructions and consumed by conditional branches,
 so the delayed bounds check of Listing 1 appears to the scheduler as a plain
@@ -24,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ...isa.instructions import (
+    Alu,
     Branch,
     Call,
     Fence,
@@ -38,9 +47,35 @@ from ...isa.instructions import (
     Store,
 )
 
+#: ALU mnemonics executed by the (multi-cycle, port-limited) multiplier pipe.
+MUL_OPS = frozenset({"imul"})
+
+#: The four contended functional-unit pools of the timing plane.
+PORT_POOLS: Tuple[str, ...] = ("alu", "load_store", "branch", "mul")
+
+#: DynamicOp kind -> functional-unit pool it issues to.  ``None`` means the op
+#: needs no execution port (fences and nops occupy only ROB/RS entries).
+_PORT_KIND = {
+    "load": "load_store",
+    "store": "load_store",
+    "branch": "branch",
+    "jump": "branch",
+    "mul": "mul",
+    "alu": "alu",
+    "fence": None,
+    "nop": None,
+}
+
+
+def port_kind(op_kind: str) -> Optional[str]:
+    """The functional-unit pool an op kind issues to (None = portless)."""
+    return _PORT_KIND.get(op_kind, "alu")
+
 
 def instruction_kind(instruction: Instruction) -> str:
     """Scheduler kind of the instruction (selects latency and fence handling)."""
+    if isinstance(instruction, Alu) and instruction.op in MUL_OPS:
+        return "mul"
     if isinstance(instruction, (Load, FpLoad)):
         return "load"
     if isinstance(instruction, Store):

@@ -7,28 +7,44 @@ semantics, sharing one deterministic specification:
   per cycle, stalling while the reorder buffer or the reservation-station
   pool is full.  Dispatch renames sources through the register alias table
   (RAT): each read maps to the youngest older op writing that register.
-* **issue** -- an op issues the cycle after its dispatch *and* the cycle
-  after its last producer completes (the common-data-bus broadcast takes one
-  cycle).  Functional units are not a contended resource in this model.
-* **complete** -- ``issue + latency`` cycles; memory ops carry the cache
-  latency (hit or miss) measured by the functional front-end.  Completion
-  frees the reservation station and wakes dependents.
+* **issue** -- an op is *data-ready* the cycle after its dispatch *and* the
+  cycle after its last producer broadcasts (the common-data-bus broadcast
+  takes one cycle).  A data-ready op still needs a free functional-unit port
+  of its kind (:func:`~repro.uarch.timing.ops.port_kind`): when
+  :class:`TimingModel` bounds a pool, at most that many ops of the pool
+  execute concurrently, units are not pipelined (an op holds its port from
+  issue until its broadcast), and contenders are arbitrated **oldest first**
+  (lowest dynamic seq).  A port freed by a broadcast is reusable the same
+  cycle.  Unbounded pools (``None``) never stall -- the pre-contention
+  semantics.
+* **complete** -- execution finishes ``max(1, latency)`` cycles after issue;
+  memory ops carry the cache latency (hit or miss) measured by the
+  functional front-end.  The result must then broadcast on the common data
+  bus: with a bounded ``cdb_width`` at most that many ops complete per
+  cycle, oldest first -- a finished op that loses arbitration keeps its
+  reservation station *and* its port until it broadcasts.  Completion frees
+  both and wakes dependents.
 * **retire** -- in order from the ROB head, at most ``commit_width`` per
   cycle, the cycle after completion at the earliest.  Retirement frees the
   ROB entry.  Transient (speculation-window) ops flow through the same drain
   -- their "retirement" models the flush slot they occupy during recovery.
 * **fences** serialize: a fence waits for every older in-flight op, and every
-  younger op additionally waits for the fence.
+  younger op additionally waits for the fence.  Fences and nops need no
+  execution port, but their completions do occupy broadcast slots (the ROB
+  writeback port they share with everything else).
 
 :class:`EventScheduler` is the production engine: a single heap of
 cycle-stamped events (complete / retire-try / dispatch-try / issue) so each
 simulated cycle only touches ops that actually wake up -- idle stretches of a
-200-cycle cache miss cost nothing.  :class:`RescanScheduler` is the
-deliberately naive baseline the ROADMAP told us to retire: it advances one
-cycle at a time and re-scans every in-flight instruction for readiness,
-exactly like the interpreter's per-cycle loop.  Both produce identical
-:class:`Schedule` objects (property-tested), so the event engine's speedup is
-measured against a semantically equal baseline.
+200-cycle cache miss cost nothing.  With an uncontended model it runs the
+original unbounded fast path; any port/CDB bound switches it to the contended
+path, which adds per-pool occupancy counters, oldest-first port queues and a
+per-cycle CDB budget (losers re-arbitrate next cycle).  Both paths, and the
+deliberately naive :class:`RescanScheduler` baseline (advance one cycle at a
+time, re-scan every in-flight instruction), produce identical
+:class:`Schedule` objects -- property-tested in
+``tests/test_timing_scheduler.py`` -- so the event engine's speedup is
+measured against a semantically equal oracle under contention too.
 """
 
 from __future__ import annotations
@@ -37,12 +53,16 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .ops import DynamicOp
+from .ops import PORT_POOLS, DynamicOp, port_kind
 
-#: Intra-cycle phase order shared by both schedulers: completions free
-#: reservation stations, then the ROB head retires, then stalled dispatch
-#: resumes (same-cycle reuse of freed entries), then woken ops issue.
+#: Intra-cycle phase order shared by both schedulers: completions broadcast
+#: (freeing reservation stations and ports), then the ROB head retires, then
+#: stalled dispatch resumes (same-cycle reuse of freed entries), then woken
+#: and port-granted ops issue.
 _COMPLETE, _RETIRE, _DISPATCH, _ISSUE = 0, 1, 2, 3
+
+#: TimingModel field holding the port count of each functional-unit pool.
+_PORT_FIELDS = {pool: f"{pool}_ports" for pool in PORT_POOLS}
 
 
 @dataclass(frozen=True)
@@ -54,6 +74,14 @@ class TimingModel:
     ownership check (or the architectural return-address read the attacker
     flushed) resolves on the timescale of a memory round-trip, which is what
     makes the paper's race winnable in the first place.
+
+    The ``*_ports`` fields bound the functional-unit pools of
+    :data:`~repro.uarch.timing.ops.PORT_POOLS` and ``cdb_width`` bounds the
+    completions broadcast per cycle; ``None`` (the default everywhere) means
+    unbounded -- the pre-contention model.  Any bound makes the model
+    :attr:`contended` and switches the schedulers to oldest-first port / CDB
+    arbitration, which is what makes the Section II-C *functional-unit
+    contention* covert channels measurable in cycles.
     """
 
     dispatch_width: int = 4
@@ -66,6 +94,22 @@ class TimingModel:
     squash_penalty: int = 16
     fault_resolution_delay: Optional[int] = None
     return_resolution_delay: Optional[int] = None
+    #: Per-pool functional-unit port counts (``None`` = unbounded).
+    alu_ports: Optional[int] = None
+    load_store_ports: Optional[int] = None
+    branch_ports: Optional[int] = None
+    mul_ports: Optional[int] = None
+    #: Completion broadcasts per cycle on the common data bus (``None`` =
+    #: unbounded).
+    cdb_width: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (*_PORT_FIELDS.values(), "cdb_width"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(
+                    f"{name} must be None (unbounded) or >= 1, got {value}"
+                )
 
     def resolution_delay(self, window_kind: str, miss_latency: int) -> int:
         """Extra cycles between trigger completion and authorization resolution."""
@@ -77,18 +121,57 @@ class TimingModel:
             delay = self.fault_resolution_delay
         return miss_latency if delay is None else delay
 
+    def port_limit(self, pool: Optional[str]) -> Optional[int]:
+        """Port count of one functional-unit pool (``None`` = unbounded)."""
+        if pool is None:
+            return None
+        return getattr(self, _PORT_FIELDS[pool])
+
+    @property
+    def contended(self) -> bool:
+        """Whether any port pool or the CDB is a bounded (contended) resource."""
+        return self.cdb_width is not None or any(
+            getattr(self, name) is not None for name in _PORT_FIELDS.values()
+        )
+
 
 DEFAULT_MODEL = TimingModel()
+
+#: A realistically contended reference core: two ALU and two load/store
+#: ports keep memory-level parallelism alive (so Theorem 1 still agrees for
+#: every registry attack), while the single branch/mul ports and the width-2
+#: CDB make contention measurable.  Used by ``repro simulate --contended``
+#: and the window-length ablation.
+CONTENDED_MODEL = TimingModel(
+    alu_ports=2, load_store_ports=2, branch_ports=1, mul_ports=1, cdb_width=2
+)
+
+#: The maximally serialized core: one port everywhere and a width-1 CDB.
+#: Collapsing memory-level parallelism this way closes some races the TSG
+#: says are winnable (e.g. Spectre v2's two overlapping misses serialize and
+#: the transmit slips past the squash) -- the ablation sweeps it to show how
+#: port counts move the measured window.
+SERIALIZED_MODEL = TimingModel(
+    alu_ports=1, load_store_ports=1, branch_ports=1, mul_ports=1, cdb_width=1
+)
 
 
 @dataclass
 class Schedule:
-    """Per-op cycle assignments produced by a scheduler."""
+    """Per-op cycle assignments produced by a scheduler.
+
+    ``ready`` stamps the cycle each op became data-ready (dispatched and all
+    producers broadcast); ``issue - ready`` is therefore the op's port-stall
+    time and ``complete - issue - max(1, latency)`` its CDB-stall time --
+    the stall provenance the trace layer reports.  Hand-built schedules may
+    omit it (``None``); both schedulers always fill it.
+    """
 
     dispatch: List[int]
     issue: List[int]
     complete: List[int]
     retire: List[int]
+    ready: Optional[List[int]] = None
 
     @property
     def cycles(self) -> int:
@@ -113,14 +196,22 @@ class EventScheduler:
         self.model = model
 
     def schedule(self, ops: Sequence[DynamicOp]) -> Schedule:
+        """Assign cycles to ``ops``; contended models take the arbitrated path."""
+        if self.model.contended:
+            return self._schedule_contended(ops)
+        return self._schedule_unbounded(ops)
+
+    def _schedule_unbounded(self, ops: Sequence[DynamicOp]) -> Schedule:
+        """The original fast path: no port or CDB bookkeeping at all."""
         model = self.model
         n = len(ops)
         dispatch = [0] * n
         issue = [0] * n
         complete = [0] * n
         retire = [0] * n
+        ready = [0] * n
         if n == 0:
-            return Schedule(dispatch, issue, complete, retire)
+            return Schedule(dispatch, issue, complete, retire, ready)
 
         rat: Dict[str, int] = {}
         last_fence: Optional[int] = None
@@ -155,6 +246,7 @@ class EventScheduler:
                     floor = max(ready_floor[dependent], cycle + 1)
                     ready_floor[dependent] = floor
                     if pending[dependent] == 0:
+                        ready[dependent] = floor
                         heapq.heappush(heap, (floor, _ISSUE, dependent))
                 try_later(cycle, _RETIRE)
                 try_later(cycle, _DISPATCH)
@@ -211,6 +303,7 @@ class EventScheduler:
                     for name in op.writes:
                         rat[name] = seq
                     if outstanding == 0:
+                        ready[seq] = floor
                         heapq.heappush(heap, (floor, _ISSUE, seq))
                     next_dispatch += 1
                     dispatched += 1
@@ -226,7 +319,168 @@ class EventScheduler:
 
         if head < n:  # pragma: no cover - scheduler invariant
             raise RuntimeError(f"deadlock: {n - head} ops never retired")
-        return Schedule(dispatch, issue, complete, retire)
+        return Schedule(dispatch, issue, complete, retire, ready)
+
+    def _schedule_contended(self, ops: Sequence[DynamicOp]) -> Schedule:
+        """The arbitrated path: port occupancy counters + per-cycle CDB budget.
+
+        Handles ``None`` limits too (they simply never bind), which is what
+        the no-regression property test exercises: with every limit unbounded
+        this path must produce byte-identical schedules to
+        :meth:`_schedule_unbounded`.
+        """
+        model = self.model
+        n = len(ops)
+        dispatch = [0] * n
+        issue = [0] * n
+        complete = [0] * n
+        retire = [0] * n
+        ready = [0] * n
+        if n == 0:
+            return Schedule(dispatch, issue, complete, retire, ready)
+
+        rat: Dict[str, int] = {}
+        last_fence: Optional[int] = None
+        in_flight: Set[int] = set()
+        pending: Dict[int, int] = {}
+        ready_floor: Dict[int, int] = {}
+        waiters: Dict[int, List[int]] = {}
+        done: Set[int] = set()
+
+        next_dispatch = 0
+        head = 0
+        rob_used = 0
+        rs_used = 0
+
+        #: Functional-unit pool of every op; None for fences / nops.
+        pools = [port_kind(op.kind) for op in ops]
+        limits = {pool: model.port_limit(pool) for pool in PORT_POOLS}
+        port_used = {pool: 0 for pool in PORT_POOLS}
+        #: Data-ready ops waiting for a port, oldest (lowest seq) first.
+        port_queue: Dict[str, List[int]] = {pool: [] for pool in PORT_POOLS}
+        cdb_width = model.cdb_width
+        cdb_cycle = -1  # cycle the broadcast budget below belongs to
+        cdb_used = 0
+
+        heap: List[Tuple[int, int, int]] = [(0, _DISPATCH, 0)]
+        scheduled_tries: Set[Tuple[int, int]] = {(0, _DISPATCH)}
+
+        def try_later(cycle: int, phase: int) -> None:
+            if (cycle, phase) not in scheduled_tries:
+                scheduled_tries.add((cycle, phase))
+                heapq.heappush(heap, (cycle, phase, 0))
+
+        while heap:
+            cycle, phase, seq = heapq.heappop(heap)
+
+            if phase == _COMPLETE:
+                # CDB arbitration: completion events of one cycle pop oldest
+                # first (heap tie-break on seq); the first ``cdb_width`` get a
+                # broadcast slot, the rest re-arbitrate next cycle, still
+                # holding their reservation station and port.
+                if cdb_width is not None:
+                    if cycle != cdb_cycle:
+                        cdb_cycle, cdb_used = cycle, 0
+                    if cdb_used >= cdb_width:
+                        heapq.heappush(heap, (cycle + 1, _COMPLETE, seq))
+                        continue
+                    cdb_used += 1
+                complete[seq] = cycle
+                done.add(seq)
+                in_flight.discard(seq)
+                rs_used -= 1
+                pool = pools[seq]
+                if pool is not None and limits[pool] is not None:
+                    port_used[pool] -= 1
+                    if port_queue[pool]:
+                        # Hand the freed port to the oldest queued waiter; it
+                        # re-checks availability at issue time (a still-older
+                        # op waking this same cycle may take the port first).
+                        waiter = heapq.heappop(port_queue[pool])
+                        heapq.heappush(heap, (cycle, _ISSUE, waiter))
+                for dependent in waiters.pop(seq, ()):
+                    pending[dependent] -= 1
+                    floor = max(ready_floor[dependent], cycle + 1)
+                    ready_floor[dependent] = floor
+                    if pending[dependent] == 0:
+                        ready[dependent] = floor
+                        heapq.heappush(heap, (floor, _ISSUE, dependent))
+                try_later(cycle, _RETIRE)
+                try_later(cycle, _DISPATCH)
+
+            elif phase == _RETIRE:
+                retired = 0
+                while (
+                    head < n
+                    and head in done
+                    and complete[head] <= cycle - 1
+                    and retired < model.commit_width
+                ):
+                    retire[head] = cycle
+                    rob_used -= 1
+                    head += 1
+                    retired += 1
+                if retired:
+                    try_later(cycle, _DISPATCH)
+                if head < n:
+                    if head in done and complete[head] <= cycle - 1:
+                        try_later(cycle + 1, _RETIRE)
+                    elif head in done:
+                        try_later(complete[head] + 1, _RETIRE)
+
+            elif phase == _DISPATCH:
+                dispatched = 0
+                while (
+                    next_dispatch < n
+                    and dispatched < model.dispatch_width
+                    and rob_used < model.rob_size
+                    and rs_used < model.rs_entries
+                ):
+                    op = ops[next_dispatch]
+                    seq = next_dispatch
+                    dispatch[seq] = cycle
+                    rob_used += 1
+                    rs_used += 1
+                    in_flight.add(seq)
+                    deps = _dependencies(op, rat, last_fence)
+                    if op.kind == "fence":
+                        deps |= in_flight - done - {seq}
+                        last_fence = seq
+                    floor = cycle + 1
+                    outstanding = 0
+                    for producer in deps:
+                        if producer in done:
+                            floor = max(floor, complete[producer] + 1)
+                        else:
+                            outstanding += 1
+                            waiters.setdefault(producer, []).append(seq)
+                    pending[seq] = outstanding
+                    ready_floor[seq] = floor
+                    for name in op.writes:
+                        rat[name] = seq
+                    if outstanding == 0:
+                        ready[seq] = floor
+                        heapq.heappush(heap, (floor, _ISSUE, seq))
+                    next_dispatch += 1
+                    dispatched += 1
+                if next_dispatch < n and dispatched == model.dispatch_width:
+                    try_later(cycle + 1, _DISPATCH)
+
+            else:  # _ISSUE
+                pool = pools[seq]
+                limit = limits[pool] if pool is not None else None
+                if limit is not None and port_used[pool] >= limit:
+                    heapq.heappush(port_queue[pool], seq)
+                    continue
+                if limit is not None:
+                    port_used[pool] += 1
+                issue[seq] = cycle
+                finish = cycle + max(1, ops[seq].latency)
+                heapq.heappush(heap, (finish, _COMPLETE, seq))
+
+        if head < n:  # pragma: no cover - scheduler invariant
+            raise RuntimeError(f"deadlock: {n - head} ops never retired")
+        return Schedule(dispatch, issue, complete, retire, ready)
 
 
 class RescanScheduler:
@@ -235,8 +489,10 @@ class RescanScheduler:
     Implements the identical timing specification by brute force -- each
     cycle walks the full waiting set to find woken ops, the completion set to
     find finished ops, and the ROB head to retire, the way the interpreter's
-    per-cycle loop re-scans every in-flight instruction.  Exists only as the
-    measured baseline for the event engine (and as its differential oracle).
+    per-cycle loop re-scans every in-flight instruction.  Contention falls
+    out almost for free from the per-cycle structure (walk in seq order, stop
+    granting when a pool or the CDB budget runs out), which is exactly why it
+    stays alive as the event engine's differential oracle.
     """
 
     def __init__(self, model: TimingModel = DEFAULT_MODEL) -> None:
@@ -249,16 +505,24 @@ class RescanScheduler:
         issue = [0] * n
         complete = [0] * n
         retire = [0] * n
+        ready = [0] * n
         if n == 0:
-            return Schedule(dispatch, issue, complete, retire)
+            return Schedule(dispatch, issue, complete, retire, ready)
 
         rat: Dict[str, int] = {}
         last_fence: Optional[int] = None
         deps: Dict[int, Set[int]] = {}
-        waiting: List[int] = []  # dispatched, not yet issued
-        executing: List[int] = []  # issued, not yet completed
+        waiting: List[int] = []  # dispatched, not yet issued (ascending seq)
+        executing: List[int] = []  # issued, not yet completed (broadcast)
+        finish: Dict[int, int] = {}  # seq -> cycle its execution finishes
+        ready_seen: Set[int] = set()
         done: Set[int] = set()
         in_flight: Set[int] = set()
+
+        pools = [port_kind(op.kind) for op in ops]
+        limits = {pool: model.port_limit(pool) for pool in PORT_POOLS}
+        port_used = {pool: 0 for pool in PORT_POOLS}
+        cdb_width = model.cdb_width
 
         next_dispatch = 0
         head = 0
@@ -267,16 +531,23 @@ class RescanScheduler:
         cycle = 0
 
         while head < n:
-            # Phase 1: completions (frees reservation stations).
-            still_executing = []
-            for seq in executing:
-                if complete[seq] == cycle:
+            # Phase 1: broadcasts.  Every op whose execution has finished
+            # wants a CDB slot; grant up to ``cdb_width`` oldest first.
+            # Completion frees the reservation station and the port.
+            finished = sorted(seq for seq in executing if finish[seq] <= cycle)
+            if cdb_width is not None:
+                finished = finished[:cdb_width]
+            if finished:
+                granted = set(finished)
+                executing = [seq for seq in executing if seq not in granted]
+                for seq in finished:
+                    complete[seq] = cycle
                     done.add(seq)
                     in_flight.discard(seq)
                     rs_used -= 1
-                else:
-                    still_executing.append(seq)
-            executing = still_executing
+                    pool = pools[seq]
+                    if pool is not None and limits[pool] is not None:
+                        port_used[pool] -= 1
 
             # Phase 2: in-order retirement from the ROB head.
             retired = 0
@@ -317,21 +588,34 @@ class RescanScheduler:
                 dispatched += 1
 
             # Phase 4: re-scan every waiting op for wakeup (the O(in-flight)
-            # work per cycle the event queue exists to avoid).
+            # work per cycle the event queue exists to avoid).  The list is
+            # in ascending seq order, so scarce ports go to the oldest
+            # data-ready contenders first.
             still_waiting = []
             for seq in waiting:
                 producers = deps[seq]
-                if dispatch[seq] <= cycle - 1 and all(
+                data_ready = dispatch[seq] <= cycle - 1 and all(
                     producer in done and complete[producer] <= cycle - 1
                     for producer in producers
-                ):
-                    issue[seq] = cycle
-                    complete[seq] = cycle + max(1, ops[seq].latency)
-                    executing.append(seq)
-                else:
+                )
+                if not data_ready:
                     still_waiting.append(seq)
+                    continue
+                if seq not in ready_seen:
+                    ready_seen.add(seq)
+                    ready[seq] = cycle
+                pool = pools[seq]
+                limit = limits[pool] if pool is not None else None
+                if limit is not None and port_used[pool] >= limit:
+                    still_waiting.append(seq)  # port-stalled, retry next cycle
+                    continue
+                if limit is not None:
+                    port_used[pool] += 1
+                issue[seq] = cycle
+                finish[seq] = cycle + max(1, ops[seq].latency)
+                executing.append(seq)
             waiting = still_waiting
 
             cycle += 1
 
-        return Schedule(dispatch, issue, complete, retire)
+        return Schedule(dispatch, issue, complete, retire, ready)

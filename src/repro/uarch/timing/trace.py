@@ -22,6 +22,14 @@ For each window the trace derives:
 
 ``transmit_beats_squash`` over the whole trace is what the validation layer
 (:mod:`repro.uarch.timing.validate`) cross-checks against the TSG verdict.
+
+Under a contended :class:`~repro.uarch.timing.scheduler.TimingModel` the
+trace additionally carries stall provenance: every row records the cycle the
+op became data-ready, the functional-unit pool it issued to, the cycles it
+stalled waiting for a port and the cycles its finished result waited for a
+common-data-bus slot.  :meth:`TimingTrace.port_occupancy` reconstructs the
+per-cycle busy-port counts -- the micro-architectural state the
+functional-unit contention covert channels modulate.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .ops import DynamicOp, WindowRecord
+from .ops import DynamicOp, WindowRecord, port_kind
 from .scheduler import Schedule, TimingModel
 
 
@@ -101,7 +109,7 @@ class WindowTiming:
 
 @dataclass
 class ScheduledOp:
-    """One dynamic op with its assigned cycles (trace row)."""
+    """One dynamic op with its assigned cycles and stall provenance (trace row)."""
 
     op: DynamicOp
     dispatch: int
@@ -109,6 +117,14 @@ class ScheduledOp:
     complete: int
     retire: int
     killed: bool = False
+    #: Cycle the op became data-ready (dispatched, all producers broadcast).
+    ready: int = 0
+    #: Functional-unit pool the op issued to (None: fences / nops are portless).
+    port: Optional[str] = None
+    #: Cycles spent data-ready but waiting for a free port (issue - ready).
+    port_stall: int = 0
+    #: Cycles the finished result waited for a common-data-bus slot.
+    cdb_stall: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -122,10 +138,14 @@ class ScheduledOp:
             "blocked": self.op.blocked,
             "latency": self.op.latency,
             "dispatch": self.dispatch,
+            "ready": self.ready,
             "issue": self.issue,
             "complete": self.complete,
             "retire": self.retire,
             "killed": self.killed,
+            "port": self.port,
+            "port_stall": self.port_stall,
+            "cdb_stall": self.cdb_stall,
         }
 
 
@@ -162,6 +182,36 @@ class TimingTrace:
         lengths = [w.window_cycles for w in self.windows]
         return max(lengths) if lengths else None
 
+    # ------------------------------------------------------------------
+    # Contention provenance
+    # ------------------------------------------------------------------
+    @property
+    def port_stall_cycles(self) -> int:
+        """Total cycles ops spent data-ready but waiting for an FU port."""
+        return sum(row.port_stall for row in self.ops)
+
+    @property
+    def cdb_stall_cycles(self) -> int:
+        """Total cycles finished results waited for a CDB broadcast slot."""
+        return sum(row.cdb_stall for row in self.ops)
+
+    def port_occupancy(self) -> Dict[str, Dict[int, int]]:
+        """Per-cycle busy-port counts per functional-unit pool.
+
+        Sparse: only cycles with at least one busy port of a pool appear.  An
+        op holds its port from issue until its broadcast, so CDB-stalled ops
+        show up as prolonged occupancy -- the observable the contention
+        covert channels time.
+        """
+        occupancy: Dict[str, Dict[int, int]] = {}
+        for row in self.ops:
+            if row.port is None:
+                continue
+            counts = occupancy.setdefault(row.port, {})
+            for cycle in range(row.issue, row.complete):
+                counts[cycle] = counts.get(cycle, 0) + 1
+        return occupancy
+
     def key_events(self) -> List[TraceEvent]:
         """The load-bearing moments of the run, in cycle order."""
         events: List[TraceEvent] = []
@@ -195,6 +245,8 @@ class TimingTrace:
             "squash_cycle": self.squash_cycle,
             "window_cycles": self.window_cycles,
             "transmit_beats_squash": self.transmit_beats_squash,
+            "port_stall_cycles": self.port_stall_cycles,
+            "cdb_stall_cycles": self.cdb_stall_cycles,
         }
 
     def to_dict(self, include_ops: bool = False) -> Dict[str, object]:
@@ -251,17 +303,25 @@ def build_trace(
                 killed_ops=killed_count,
             )
         )
-    rows = [
-        ScheduledOp(
-            op=op,
-            dispatch=schedule.dispatch[op.seq],
-            issue=schedule.issue[op.seq],
-            complete=schedule.complete[op.seq],
-            retire=schedule.retire[op.seq],
-            killed=killed.get(op.seq, False),
+    ready = schedule.ready if schedule.ready is not None else schedule.issue
+    rows = []
+    for op in ops:
+        seq = op.seq
+        execution = max(1, op.latency)
+        rows.append(
+            ScheduledOp(
+                op=op,
+                dispatch=schedule.dispatch[seq],
+                issue=schedule.issue[seq],
+                complete=schedule.complete[seq],
+                retire=schedule.retire[seq],
+                killed=killed.get(seq, False),
+                ready=ready[seq],
+                port=port_kind(op.kind),
+                port_stall=schedule.issue[seq] - ready[seq],
+                cdb_stall=schedule.complete[seq] - schedule.issue[seq] - execution,
+            )
         )
-        for op in ops
-    ]
     return TimingTrace(
         ops=rows, windows=timings, cycles=schedule.cycles, scheduler=scheduler
     )

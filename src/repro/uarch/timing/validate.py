@@ -115,8 +115,17 @@ def timed_exploit(
     return EXPLOITS[scenario](config, planted, cpu_cls=cpu_cls)
 
 
-def check_attack(key: str, config: UarchConfig = DEFAULT_CONFIG) -> RaceCheck:
-    """Measure one registry attack's race and compare it with its TSG verdict."""
+def check_attack(
+    key: str,
+    config: UarchConfig = DEFAULT_CONFIG,
+    model: Optional["TimingModel"] = None,
+) -> RaceCheck:
+    """Measure one registry attack's race and compare it with its TSG verdict.
+
+    ``model`` overrides the timing plane's microarchitectural parameters --
+    pass a contended model (bounded FU ports / CDB) to check that Theorem 1
+    still holds when the transmit has to fight for issue slots.
+    """
     from ...attacks.registry import get
     from ...defenses.evaluation import attack_succeeds
 
@@ -125,7 +134,7 @@ def check_attack(key: str, config: UarchConfig = DEFAULT_CONFIG) -> RaceCheck:
     if scenario is None:
         raise KeyError(f"no timing scenario registered for attack {key!r}")
     tsg_leaks = attack_succeeds(variant.build_graph())
-    result = timed_exploit(scenario, config)
+    result = timed_exploit(scenario, config, model=model)
     trace: Optional[TimingTrace] = result.timing
     if trace is None:  # pragma: no cover - harness always attaches the trace
         raise RuntimeError(f"timing harness returned no trace for {scenario!r}")
@@ -146,21 +155,28 @@ def cross_validate(
     *,
     engine: Optional["Engine"] = None,
     parallel: Optional[int] = None,
+    model: Optional["TimingModel"] = None,
 ) -> List[RaceCheck]:
     """Theorem-1 cross-check for every attack in the registry (or a subset).
 
     With an engine session the per-attack checks are sharded over
     :meth:`Engine.map`; rows come back in registry order either way.
+    ``model`` selects the timing-plane configuration (e.g.
+    :data:`~repro.uarch.timing.scheduler.CONTENDED_MODEL` to validate the
+    race under port/CDB contention).
     """
+    from functools import partial
+
     from ...attacks.registry import keys
 
     chosen = list(attacks) if attacks is not None else keys()
     unknown = [key for key in chosen if key not in SCENARIOS]
     if unknown:
         raise KeyError(f"no timing scenario for attacks: {', '.join(sorted(unknown))}")
+    checker = check_attack if model is None else partial(check_attack, model=model)
     if engine is not None:
-        return engine.map(check_attack, chosen, parallel=parallel)
-    return [check_attack(key) for key in chosen]
+        return engine.map(checker, chosen, parallel=parallel)
+    return [checker(key) for key in chosen]
 
 
 def validation_report(checks: Sequence[RaceCheck]) -> str:

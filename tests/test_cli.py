@@ -161,9 +161,66 @@ class TestSimulateCommand:
         assert envelope["ok"] is True
         assert envelope["data"]["disagreeing"] == []
 
+    def test_simulate_validate_contended(self, capsys):
+        """Acceptance criterion: Theorem-1 agreement for all registry attacks
+        under the contended (bounded ports + CDB) timing model."""
+        assert main(["simulate", "--validate", "--contended", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["ok"] is True
+        assert envelope["data"]["contended"] is True
+        assert envelope["data"]["disagreeing"] == []
+
+    def test_simulate_contended_single_attack(self, capsys):
+        assert main(["simulate", "spectre_v1", "--contended"]) == 1
+        assert "TRANSMIT WINS" in capsys.readouterr().out
+
+    def test_simulate_ablate_window_json_smoke(self, capsys):
+        assert main(["simulate", "spectre_v1", "--ablate-window", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "window_ablation"
+        assert envelope["data"]["attacks"] == 1
+        rows = envelope["data"]["rows"]
+        assert len(rows) == envelope["data"]["models"]
+        # The measurable FU-contention transmit: nonzero cycle delta under
+        # the bounded port configs, zero on the unbounded machine.
+        channel = {row["ports"]: row for row in envelope["data"]["contention_channel"]}
+        assert channel["unbounded"]["cycle_delta"] == 0
+        assert channel["contended"]["cycle_delta"] > 0
+        assert channel["serialized"]["detected"] is True
+        # The window ablation bites: the smallest ROB/RS point flips the race.
+        smallest = [row for row in rows if row["rob_size"] == 4]
+        assert smallest and all(not row["transmit_beats_squash"] for row in smallest)
+
+    def test_simulate_ablate_window_table(self, capsys):
+        assert main(["simulate", "spectre_v1", "--ablate-window"]) == 0
+        out = capsys.readouterr().out
+        assert "FU-contention covert channel" in out
+        assert "TRANSMITS" in out and "no signal" in out
+
     def test_simulate_without_name_or_mode_exits(self):
         with pytest.raises(SystemExit):
             main(["simulate"])
+
+    def test_ablate_window_rejects_contended(self):
+        # The ablation sweeps port configurations itself; silently ignoring
+        # the flag would misreport what ran.
+        with pytest.raises(SystemExit):
+            main(["simulate", "spectre_v1", "--ablate-window", "--contended"])
+
+    def test_ablate_window_rejects_defense(self):
+        # Same contract: the ablation is undefended by construction.
+        with pytest.raises(SystemExit):
+            main(["simulate", "spectre_v1", "--ablate-window",
+                  "--defense", "kernel_isolation"])
+
+    @pytest.mark.parametrize("modes", [
+        ["--sweep", "--validate"],
+        ["--sweep", "--ablate-window"],
+        ["--validate", "--ablate-window"],
+    ])
+    def test_simulate_modes_are_mutually_exclusive(self, modes):
+        with pytest.raises(SystemExit):
+            main(["simulate", *modes])
 
     def test_simulate_unknown_defense_exits(self):
         with pytest.raises(SystemExit):
@@ -174,6 +231,14 @@ class TestSimulateCommand:
         assert main(["simulate", "--sweep"]) == 0
         out = capsys.readouterr().out
         assert "spectre_v1" in out and "defended" in out and "LEAKS" in out
+
+    @pytest.mark.slow
+    def test_simulate_full_ablation_sweep(self, capsys):
+        """The full registry-wide window ablation (excluded from tier-1)."""
+        assert main(["simulate", "--ablate-window", "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["data"]["attacks"] == 19
+        assert envelope["data"]["runs"] == 19 * envelope["data"]["models"]
 
 
 class TestJsonEnvelopes:
@@ -198,9 +263,15 @@ class TestPerfCheck:
         assert main(["perf", "--quick", "-o", str(output)]) == 0
         out = capsys.readouterr().out
         assert "timing scheduler" in out and "event queue" in out
+        assert "contended timing scheduler" in out
         trajectory = json.loads(output.read_text())
-        record = trajectory["runs"][-1]["timing_results"][0]
-        assert record["speedup_event_vs_rescan"] > 5
+        records = trajectory["runs"][-1]["timing_results"]
+        # Default runs keep the demoted 200-instruction rescan baseline.
+        assert all(record["instructions"] <= 200 for record in records)
+        by_name = {record["benchmark"]: record for record in records}
+        assert by_name["timing-event-queue"]["speedup_event_vs_rescan"] > 5
+        assert by_name["timing-event-queue-contended"]["speedup_event_vs_rescan"] > 5
+        assert by_name["timing-event-queue-contended"]["contended"] is True
 
     def test_perf_check_fails_on_regression(self, tmp_path, capsys):
         bad = {
@@ -214,6 +285,8 @@ class TestPerfCheck:
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
                      "speedup_event_vs_rescan": 1.5},
+                    {"benchmark": "timing-event-queue-contended",
+                     "instructions": 500, "speedup_event_vs_rescan": 1.5},
                 ],
             }]
         }
@@ -221,10 +294,11 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL") == 4
+        assert out.count("FAIL") == 5
+        assert "contended event-queue scheduler" in out
 
-    def test_perf_check_passes_on_healthy_trajectory(self, tmp_path, capsys):
-        good = {
+    def test_perf_check_flags_missing_contended_benchmark(self, tmp_path, capsys):
+        stale = {
             "runs": [{
                 "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
                 "engine_results": [
@@ -238,10 +312,57 @@ class TestPerfCheck:
                 ],
             }]
         }
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        assert main(["perf", "--check", "-o", str(path)]) == 1
+        assert "no contended event-scheduler benchmark" in capsys.readouterr().out
+
+    def test_perf_check_passes_on_healthy_trajectory(self, tmp_path, capsys):
+        good = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 4.0},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 100.0},
+                    {"benchmark": "timing-event-queue-contended",
+                     "instructions": 500, "speedup_event_vs_rescan": 80.0},
+                ],
+            }]
+        }
         path = tmp_path / "good.json"
         path.write_text(json.dumps(good))
         assert main(["perf", "--check", "-o", str(path)]) == 0
         assert "all perf thresholds hold" in capsys.readouterr().out
+
+    def test_perf_quick_and_full_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--quick", "--full"])
+
+    def test_perf_full_selects_the_500_instruction_baseline(self, monkeypatch, capsys):
+        """--full restores the demoted 500-instruction rescan run (plumbing
+        test: the suite itself is too expensive for tier-1)."""
+        from repro import perf
+
+        captured = {}
+
+        def fake_suite(**kwargs):
+            captured.update(kwargs)
+            return {"commit": "test", "timestamp": "now", "results": []}
+
+        monkeypatch.setattr(perf, "run_perf_suite", fake_suite)
+        monkeypatch.setattr(perf, "append_run", lambda path, run: run)
+        assert main(["perf", "--full", "-o", "ignored.json"]) == 0
+        capsys.readouterr()
+        assert captured["timing_instructions"] == 500
+        captured.clear()
+        assert main(["perf", "-o", "ignored.json"]) == 0
+        capsys.readouterr()
+        assert captured["timing_instructions"] == 200
 
     def test_perf_check_missing_file(self, tmp_path, capsys):
         assert main(["perf", "--check", "-o", str(tmp_path / "absent.json")]) == 1

@@ -447,6 +447,35 @@ class TestEngineSimulate:
             sharded = session.simulate_sweep(parallel=2, **kwargs)
         assert sharded.data == serial.data
 
+    def test_sweep_honors_the_timing_model(self, engine):
+        """A contended model must reach every run of the sweep (and key the
+        cache separately from the default-model sweep)."""
+        from repro.uarch.timing import SERIALIZED_MODEL
+
+        default = engine.simulate_sweep(attacks=["spectre_v2"], defenses=[None])
+        serialized = engine.simulate_sweep(
+            attacks=["spectre_v2"], defenses=[None], model=SERIALIZED_MODEL
+        )
+        assert default.data["contended"] is False
+        assert serialized.data["contended"] is True
+        # Serialized load ports collapse spectre_v2's overlapping misses.
+        assert default.data["rows"][0]["transmit_beats_squash"] is True
+        assert serialized.data["rows"][0]["transmit_beats_squash"] is False
+        assert engine.stats()["simulations"]["entries"] == 2
+
+    def test_sharded_sweep_with_model_matches_serial(self):
+        from repro.uarch.timing import CONTENDED_MODEL
+
+        kwargs = dict(
+            attacks=["spectre_v1", "spectre_v2"],
+            defenses=[None],
+            model=CONTENDED_MODEL,
+        )
+        serial = Engine().simulate_sweep(**kwargs)
+        with Engine() as session:
+            sharded = session.simulate_sweep(parallel=2, **kwargs)
+        assert sharded.data == serial.data
+
 
 class TestEnginePatchAblation:
     def test_patch_envelope(self, engine, listing1_program):
@@ -473,3 +502,125 @@ class TestEnginePatchAblation:
     def test_ablation_unknown_exploit(self, engine):
         with pytest.raises(KeyError):
             engine.ablation("rowhammer")
+
+
+class TestAblateWindow:
+    """The ROB/RS/port window-length ablation (paper's window ablation)."""
+
+    GRID = [(4, 2), (16, 8)]
+    PORTS = [
+        ("unbounded", {}),
+        ("contended", {"alu_ports": 2, "load_store_ports": 2,
+                       "branch_ports": 1, "mul_ports": 1, "cdb_width": 2}),
+    ]
+
+    def test_default_port_configs_match_the_reference_models(self):
+        """The ablation's literal port grids must not drift from the exported
+        reference models."""
+        from dataclasses import replace
+
+        from repro.engine import DEFAULT_PORT_CONFIGS
+        from repro.uarch.timing import CONTENDED_MODEL, DEFAULT_MODEL, SERIALIZED_MODEL
+
+        configs = dict(DEFAULT_PORT_CONFIGS)
+        assert replace(DEFAULT_MODEL, **configs["unbounded"]) == DEFAULT_MODEL
+        assert replace(DEFAULT_MODEL, **configs["contended"]) == CONTENDED_MODEL
+        assert replace(DEFAULT_MODEL, **configs["serialized"]) == SERIALIZED_MODEL
+
+    def test_rows_cover_the_grid_sorted_and_cached(self, engine):
+        result = engine.ablate_window(
+            ["spectre_v1"], window_grid=self.GRID, port_configs=self.PORTS
+        )
+        assert result.kind == "window_ablation"
+        rows = result.data["rows"]
+        assert len(rows) == len(self.GRID) * len(self.PORTS)
+        keys = [(r["attack"], r["rob_size"], r["rs_entries"], r["ports"]) for r in rows]
+        assert keys == sorted(keys)
+        json.loads(result.to_json())
+        # Re-running the same grid is pure cache hits.
+        before = engine.stats()["simulations"]["misses"]
+        engine.ablate_window(
+            ["spectre_v1"], window_grid=self.GRID, port_configs=self.PORTS
+        )
+        assert engine.stats()["simulations"]["misses"] == before
+
+    def test_small_window_closes_the_spectre_v1_race(self, engine):
+        """The paper's ablation reproduced in cycles: at (4, 2) the send can
+        no longer issue before the stalled bounds check resolves."""
+        result = engine.ablate_window(
+            ["spectre_v1"], window_grid=self.GRID, port_configs=self.PORTS
+        )
+        by_key = {
+            (r["rob_size"], r["rs_entries"], r["ports"]): r
+            for r in result.data["rows"]
+        }
+        assert by_key[(16, 8, "contended")]["transmit_beats_squash"] is True
+        assert by_key[(4, 2, "contended")]["transmit_beats_squash"] is False
+        assert (
+            by_key[(4, 2, "contended")]["window_cycles"]
+            < by_key[(16, 8, "contended")]["window_cycles"]
+        )
+
+    def test_contention_channel_rows_show_a_measurable_transmit(self, engine):
+        """Acceptance criterion: the contention channel's transmit is a
+        nonzero cycle delta under every bounded port configuration, and
+        exactly zero on the unbounded machine."""
+        result = engine.ablate_window(
+            ["spectre_v1"], window_grid=[(16, 8)], port_configs=self.PORTS
+        )
+        channel_rows = {row["ports"]: row for row in result.data["contention_channel"]}
+        assert channel_rows["unbounded"]["cycle_delta"] == 0
+        assert channel_rows["unbounded"]["detected"] is False
+        assert channel_rows["contended"]["cycle_delta"] > 0
+        assert channel_rows["contended"]["detected"] is True
+        assert channel_rows["contended"]["recovered"] == channel_rows["contended"]["value"]
+
+    def test_sharded_ablation_matches_serial(self):
+        kwargs = dict(
+            attacks=["spectre_v1", "meltdown"],
+            window_grid=[(4, 2), (16, 8)],
+            port_configs=[("unbounded", {}), ("serialized", {
+                "alu_ports": 1, "load_store_ports": 1, "branch_ports": 1,
+                "mul_ports": 1, "cdb_width": 1})],
+        )
+        serial = Engine().ablate_window(**kwargs)
+        with Engine() as session:
+            sharded = session.ablate_window(parallel=2, **kwargs)
+        assert sharded.data == serial.data
+
+    def test_aliased_attacks_share_ablation_runs(self):
+        """ridl and zombieload share the mds scenario: the sharded ablation
+        must ship (and cache) one simulation per unique key, not per alias."""
+        with Engine() as session:
+            result = session.ablate_window(
+                ["ridl", "zombieload"],
+                window_grid=self.GRID,
+                port_configs=self.PORTS,
+                parallel=2,
+            )
+        expected_models = len(self.GRID) * len(self.PORTS)
+        assert len(result.data["rows"]) == 2 * expected_models
+        assert session.stats()["simulations"]["entries"] == expected_models
+
+    @pytest.mark.slow
+    def test_full_registry_ablation(self):
+        """The full 19-attack x default-grid sweep (excluded from tier-1)."""
+        from repro.attacks.registry import keys as registry_keys
+        from repro.engine import DEFAULT_PORT_CONFIGS, DEFAULT_WINDOW_GRID
+
+        result = Engine().ablate_window()
+        expected = (
+            len(set(registry_keys()))
+            * len(DEFAULT_WINDOW_GRID)
+            * len(DEFAULT_PORT_CONFIGS)
+        )
+        assert result.data["runs"] == expected
+        # Every attack leaks somewhere and the smallest window kills at
+        # least the Spectre v1 family.
+        leaking = {r["attack"] for r in result.data["rows"] if r["transmit_beats_squash"]}
+        assert leaking == set(registry_keys())
+        small = [
+            r for r in result.data["rows"]
+            if (r["rob_size"], r["rs_entries"]) == (4, 2) and r["attack"] == "spectre_v1"
+        ]
+        assert small and all(not r["transmit_beats_squash"] for r in small)

@@ -4,12 +4,15 @@ The timing core adds a cycle-accurate plane on top of the interpreter's
 functional semantics; these property tests pin the contract that the timing
 plane never changes *what* executes -- final architectural state, simulator
 statistics and leak verdicts are identical across the exploit corpus and
-random straight-line programs.
+random straight-line programs.  The contract extends to contended timing
+models (bounded FU ports / CDB width): port arbitration may only move cycle
+counts, never architectural state or leak verdicts.
 """
 
 from __future__ import annotations
 
 import random
+from functools import partial
 
 import pytest
 
@@ -18,6 +21,7 @@ from repro.isa.instructions import Alu, Clflush, Cmp, Fence, Halt, Load, Mov, Rd
 from repro.isa.operands import imm, mem, reg
 from repro.isa.program import Program
 from repro.uarch import SimDefense, SpeculativeCPU, TimingCPU, UarchConfig
+from repro.uarch.timing import CONTENDED_MODEL, DEFAULT_MODEL, SERIALIZED_MODEL
 
 DATA_BASE = 0x0030_0000
 DATA_SIZE = 256
@@ -27,6 +31,14 @@ CONFIGS = {
     "no_spec_loads": UarchConfig().with_defenses(SimDefense.PREVENT_SPECULATIVE_LOADS),
     "flush_predictors": UarchConfig().with_defenses(SimDefense.FLUSH_PREDICTORS),
     "kernel_isolation": UarchConfig().with_defenses(SimDefense.KERNEL_ISOLATION),
+}
+
+#: Timing-plane resource configurations the equivalence contract must hold
+#: under: the unlimited PR-3 machine and the two contended reference cores.
+MODELS = {
+    "unbounded": DEFAULT_MODEL,
+    "contended": CONTENDED_MODEL,
+    "serialized": SERIALIZED_MODEL,
 }
 
 
@@ -47,10 +59,12 @@ def final_state(cpu):
 # ---------------------------------------------------------------------------
 @pytest.mark.parametrize("name", sorted(EXPLOITS))
 @pytest.mark.parametrize("config_key", sorted(CONFIGS))
-def test_exploit_corpus_equivalence(name, config_key):
+@pytest.mark.parametrize("model_key", sorted(MODELS))
+def test_exploit_corpus_equivalence(name, config_key, model_key):
     config = CONFIGS[config_key]
+    timing_cls = partial(TimingCPU, model=MODELS[model_key])
     functional = EXPLOITS[name](config, 0x5A, cpu_cls=SpeculativeCPU)
-    timed = EXPLOITS[name](config, 0x5A, cpu_cls=TimingCPU)
+    timed = EXPLOITS[name](config, 0x5A, cpu_cls=timing_cls)
     assert timed.success == functional.success
     assert timed.recovered == functional.recovered
     assert timed.stats.summary() == functional.stats.summary()
@@ -61,6 +75,44 @@ def test_exploit_corpus_equivalence(name, config_key):
     # Only the timing run carries a trace.
     assert functional.timing is None
     assert timed.timing is not None
+
+
+@pytest.mark.parametrize("name", sorted(EXPLOITS))
+def test_contention_moves_only_cycles(name):
+    """Port/CDB limits may move cycle counts but nothing the TSG reasons about.
+
+    The TSG leak verdict is a structural property of the attack graph; the
+    functional plane (windows, transient instructions, recovered secret) must
+    be bit-identical across timing models, so Theorem 1 compares the same
+    functional race under every port configuration.
+    """
+    config = UarchConfig()
+    baseline = EXPLOITS[name](config, 0x5A, cpu_cls=TimingCPU)
+    for model in (CONTENDED_MODEL, SERIALIZED_MODEL):
+        contended = EXPLOITS[name](
+            config, 0x5A, cpu_cls=partial(TimingCPU, model=model)
+        )
+        assert contended.success == baseline.success
+        assert contended.recovered == baseline.recovered
+        assert contended.stats.summary() == baseline.stats.summary()
+        # Same dynamic-op stream, window structure and covert sends...
+        base_trace, cont_trace = baseline.timing, contended.timing
+        assert len(cont_trace.ops) == len(base_trace.ops)
+        assert [row.op.kind for row in cont_trace.ops] == [
+            row.op.kind for row in base_trace.ops
+        ]
+        assert [w.outcome for w in cont_trace.windows] == [
+            w.outcome for w in base_trace.windows
+        ]
+        assert [len(w.sends) for w in cont_trace.windows] == [
+            len(w.sends) for w in base_trace.windows
+        ]
+        # ... while issue cycles may only move later (added arbitration
+        # stalls never accelerate anything).
+        assert all(
+            cont.issue >= base.issue
+            for cont, base in zip(cont_trace.ops, base_trace.ops)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -106,13 +158,14 @@ def random_program(rng: random.Random, length: int) -> Program:
 
 
 @pytest.mark.parametrize("seed", range(20))
-def test_random_program_equivalence(seed):
+@pytest.mark.parametrize("model_key", sorted(MODELS))
+def test_random_program_equivalence(seed, model_key):
     rng = random.Random(seed)
     program = random_program(rng, rng.randint(1, 40))
     seeds = [(name, rng.randrange(0, 1 << 32)) for name in REGS]
 
     functional = SpeculativeCPU(program)
-    timed = TimingCPU(program)
+    timed = TimingCPU(program, model=MODELS[model_key])
     for cpu in (functional, timed):
         for name, value in seeds:
             cpu.set_register(name, value)

@@ -12,6 +12,7 @@ import pytest
 from repro.attacks.registry import keys
 from repro.engine import Engine
 from repro.uarch import SimDefense, UarchConfig
+from repro.uarch.timing import CONTENDED_MODEL, SERIALIZED_MODEL
 from repro.uarch.timing.validate import (
     SCENARIOS,
     check_attack,
@@ -84,6 +85,42 @@ class TestTheorem1CrossValidation:
         assert [check.to_dict() for check in sharded] == [
             check.to_dict() for check in serial
         ]
+
+
+class TestTheorem1UnderContention:
+    """Theorem 1 must survive a contended timing plane (acceptance criterion)."""
+
+    def test_registry_wide_agreement_under_contention(self):
+        """All 19 registry attacks agree with the TSG verdict on the contended
+        reference core (bounded FU ports + CDB)."""
+        checks = cross_validate(model=CONTENDED_MODEL)
+        assert len(checks) == len(keys())
+        assert [check.attack for check in checks if not check.agrees] == []
+        assert all(check.transmit_beats_squash for check in checks)
+
+    def test_serialized_ports_close_the_spectre_v2_race(self):
+        """Collapsing memory-level parallelism to one load port serializes
+        Spectre v2's two overlapping misses: the transmit slips past the
+        squash and the measured race flips to safe while the (structural)
+        TSG verdict still says leaks -- the contention ablation's headline
+        data point."""
+        check = check_attack("spectre_v2", model=SERIALIZED_MODEL)
+        assert check.tsg_leaks
+        assert not check.transmit_beats_squash
+        assert not check.agrees
+        assert check.transmit_cycle > check.squash_cycle
+
+    def test_contention_delays_but_preserves_the_spectre_v1_race(self):
+        base = check_attack("spectre_v1")
+        contended = check_attack("spectre_v1", model=CONTENDED_MODEL)
+        assert contended.agrees
+        assert contended.transmit_cycle >= base.transmit_cycle
+
+    def test_engine_validate_timing_contended_envelope(self):
+        result = Engine().validate_timing(model=CONTENDED_MODEL)
+        assert result.ok is True
+        assert result.data["contended"] is True
+        assert result.data["disagreeing"] == []
 
 
 @pytest.mark.slow
