@@ -1,0 +1,88 @@
+"""E18 -- Declarative scenario specs + the disk-persistent artifact store.
+
+Asserts the acceptance properties of the ScenarioSpec/ArtifactStore
+redesign: a spec re-run in a *fresh* session is served from the disk store
+at least 5x faster than the cold computation with byte-identical rows, and
+legacy Engine methods route through the same ``run`` spine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import Engine
+from repro.scenario import ScenarioGrid, ScenarioSpec
+from repro.store import DiskStore
+
+
+def _min_time(fn, repeats: int = 5):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.experiment("E18")
+def test_disk_warm_run_is_5x_over_cold(tmp_path, benchmark):
+    """The acceptance bar: warm disk hit >= 5x over the cold spec run."""
+    spec = ScenarioSpec(
+        "simulate_sweep",
+        attacks=("spectre_v1", "meltdown"),
+        defenses=(None, "PREVENT_SPECULATIVE_LOADS"),
+    )
+    with Engine(store=DiskStore(root=tmp_path, version="bench")) as engine:
+        cold_seconds, cold = _min_time(lambda: engine.run(spec), repeats=1)
+
+    def warm_run():
+        with Engine(store=DiskStore(root=tmp_path, version="bench")) as fresh:
+            return fresh.run(spec)
+
+    warm = benchmark(warm_run)
+    warm_seconds, _ = _min_time(warm_run)
+    speedup = cold_seconds / warm_seconds
+    print(f"\ndisk store: cold {cold_seconds * 1e3:.1f} ms vs fresh-session "
+          f"warm {warm_seconds * 1e3:.2f} ms -> {speedup:.0f}x")
+    assert warm.cache == "warm"
+    assert warm.data == cold.data  # byte-identical rows
+    assert speedup >= 5.0
+
+
+@pytest.mark.experiment("E18")
+def test_grid_points_share_the_store_across_sessions(tmp_path, benchmark):
+    """Every grid point persists individually: overlapping grids reuse them."""
+    first = ScenarioGrid("simulate", axes={"attack": ["spectre_v1", "meltdown"]})
+    overlap = ScenarioGrid(
+        "simulate", axes={"attack": ["spectre_v1", "meltdown", "foreshadow"]}
+    )
+    with Engine(store=DiskStore(root=tmp_path, version="bench")) as engine:
+        engine.run_grid(first)
+
+    def overlapping_run():
+        with Engine(store=DiskStore(root=tmp_path, version="bench")) as fresh:
+            return fresh, fresh.run_grid(overlap)
+
+    fresh, result = benchmark(overlapping_run)
+    assert result.data["points"] == 3
+    # The two shared points were warm disk hits, only foreshadow computed.
+    assert fresh.stats()["store"]["hits"] >= 2
+
+
+@pytest.mark.experiment("E18")
+def test_legacy_methods_route_through_the_spec_spine(benchmark):
+    """Cache-stats acceptance: named methods are spec executions."""
+    def legacy_calls():
+        with Engine() as engine:
+            engine.simulate("spectre_v1")
+            engine.simulate_sweep(attacks=["spectre_v1"], defenses=[None])
+            engine.ablation("spectre_v1", defenses=[])
+            return engine.stats()["runs"]
+
+    runs = benchmark(legacy_calls)
+    assert runs["simulate"] >= 2  # direct + the sweep's row
+    assert runs["simulate_sweep"] == 1
+    assert runs["ablation"] == 1 and runs["exploit"] >= 1

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart for the declarative ScenarioSpec run-plan API.
+
+Every experiment in the library is one point in the attack x defense x
+timing-model x channel x secret space.  A :class:`repro.scenario.
+ScenarioSpec` names that point declaratively; ``Engine.run(spec)`` executes
+it through one cached, sharded spine; a :class:`repro.scenario.ScenarioGrid`
+sweeps whole regions of the space; and a :class:`repro.store.DiskStore`
+makes the results survive the process, so the second invocation of any spec
+-- in this script, the CLI, or CI -- is one pickle load from
+``~/.cache/repro/``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/scenario_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.engine import Engine
+from repro.scenario import ScenarioGrid, ScenarioSpec
+from repro.store import DiskStore
+
+# ---------------------------------------------------------------------------
+# 1. One experiment point: a declarative, content-hashable spec
+# ---------------------------------------------------------------------------
+spec = ScenarioSpec("simulate", attack="spectre_v1", secret=0x5A)
+print(f"spec: {spec!r}")
+print(f"content hash: {spec.content_hash()[:16]}...  (the artifact-store key)")
+
+with Engine() as engine:
+    result = engine.run(spec)
+    print(f"-> {result.kind}: transmit beats squash = "
+          f"{result.data['transmit_beats_squash']} "
+          f"(window {result.data['window_cycles']} cycles)\n")
+
+# ---------------------------------------------------------------------------
+# 2. A grid: cartesian axes over the scenario space, sharded over the pool
+# ---------------------------------------------------------------------------
+grid = ScenarioGrid(
+    "simulate",
+    base={"secret": 0x5A},
+    axes={
+        "attack": ["spectre_v1", "meltdown"],
+        "defenses": [None, ("PREVENT_SPECULATIVE_LOADS",)],
+    },
+)
+with Engine() as engine:
+    sweep = engine.run_grid(grid, parallel=2)
+print(f"grid: {grid!r} -> {sweep.data['points']} points, "
+      f"{sweep.data['ok_points']} defended")
+for row in sweep.data["rows"]:
+    defenses = ", ".join(row["data"]["defenses"]) or "(none)"
+    verdict = "LEAKS" if row["data"]["transmit_beats_squash"] else "safe"
+    print(f"  {row['data']['attack']:<12} + {defenses:<28} -> {verdict}")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. The disk-persistent artifact store: warm across processes
+# ---------------------------------------------------------------------------
+with tempfile.TemporaryDirectory() as cache_dir:
+    sweep_spec = ScenarioSpec(
+        "simulate_sweep", attacks=("spectre_v1", "meltdown"),
+        defenses=(None, "PREVENT_SPECULATIVE_LOADS"),
+    )
+    with Engine(store=DiskStore(root=cache_dir)) as engine:
+        start = time.perf_counter()
+        cold = engine.run(sweep_spec)
+        cold_ms = (time.perf_counter() - start) * 1e3
+
+    # A brand new engine *and* store instance: only the disk survives --
+    # exactly what a second CLI invocation (`repro run ... --store disk`) sees.
+    with Engine(store=DiskStore(root=cache_dir)) as engine:
+        start = time.perf_counter()
+        warm = engine.run(sweep_spec)
+        warm_ms = (time.perf_counter() - start) * 1e3
+
+    assert warm.cache == "warm" and warm.data == cold.data
+    print(f"disk store: cold {cold_ms:.1f} ms -> warm fresh-session "
+          f"{warm_ms:.2f} ms ({cold_ms / warm_ms:.0f}x), byte-identical rows")
+
+# ---------------------------------------------------------------------------
+# 4. Specs serialize: the CLI runs the same JSON (`repro run --spec plan.json`)
+# ---------------------------------------------------------------------------
+print("\nthe same sweep as a JSON run plan:")
+print(sweep_spec.to_json())

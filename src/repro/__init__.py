@@ -24,6 +24,8 @@ library:
 
 from . import analysis, attacks, channels, core, defenses, exploits, graphtool, isa, uarch
 from .engine import Engine, Result, default_engine, set_default_engine
+from .scenario import ScenarioGrid, ScenarioSpec
+from .store import ArtifactStore, DiskStore, MemoryStore
 from .core import (
     AttackGraph,
     AttackStep,
@@ -57,6 +59,11 @@ __all__ = [
     "Race",
     "Result",
     "SecurityDependency",
+    "ArtifactStore",
+    "DiskStore",
+    "MemoryStore",
+    "ScenarioGrid",
+    "ScenarioSpec",
     "TopologicalSortGraph",
     "analysis",
     "attacks",

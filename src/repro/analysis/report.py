@@ -100,6 +100,170 @@ def window_ablation_section(result: "Result") -> str:
     return "\n".join(sections)
 
 
+def simulate_section(result: "Result") -> str:
+    """Render a single ``simulate`` envelope as the CLI's race narrative."""
+    data = result.data
+    lines = [
+        f"attack:    {data['attack']} (scenario {data['scenario']})",
+        f"defenses:  {', '.join(data['defenses']) or '(none)'}",
+        f"cycles:    {data['cycles']} ({data['windows']} speculation window(s))",
+    ]
+    transmit = data["transmit_cycle"]
+    squash = data["squash_cycle"]
+    if transmit is None:
+        lines.append("race:      no covert transmit issued -> no leak")
+    else:
+        verdict = (
+            "TRANSMIT WINS (leak)"
+            if data["transmit_beats_squash"]
+            else "squash wins (no leak)"
+        )
+        lines.append(f"race:      transmit @{transmit} vs squash @{squash} -> {verdict}")
+    if "tsg_leaks" in data:
+        lines.append(
+            f"theorem 1: TSG says {'leaks' if data['tsg_leaks'] else 'safe'} "
+            f"-> {'agrees' if data['theorem1_agrees'] else 'DISAGREES'}"
+        )
+    trace = getattr(result.payload, "timing", None)
+    if trace is not None:
+        lines.append("key events:")
+        lines.extend(
+            f"  cycle {event.cycle:>5}: {event.kind:<12} (op {event.seq}) {event.detail}"
+            for event in trace.key_events()
+        )
+    return "\n".join(lines)
+
+
+def simulate_sweep_section(result: "Result") -> str:
+    """Render a ``simulate_sweep`` envelope as the (attack x defense) table."""
+    rows = [
+        (
+            row["attack"],
+            ",".join(row["defenses"]) or "(none)",
+            "LEAKS" if row["transmit_beats_squash"] else "defended",
+            row["transmit_cycle"] if row["transmit_cycle"] is not None else "-",
+            row["squash_cycle"] if row["squash_cycle"] is not None else "-",
+        )
+        for row in result.data["rows"]
+    ]
+    return format_table(("attack", "defenses", "race", "transmit", "squash"), rows)
+
+
+def ablation_section(result: "Result") -> str:
+    """Render an ``ablation`` envelope as the defense/strategy/outcome table."""
+    rows = [
+        (row["defense"], row["strategy"], "LEAKS" if row["leaked"] else "defeated")
+        for row in result.data["rows"]
+    ]
+    return format_table(("defense", "strategy", "outcome"), rows)
+
+
+def exploit_section(result: "Result") -> str:
+    """Render an ``exploit`` (single or suite) envelope."""
+    data = result.data
+    rows = data.get("rows", [data])
+    table = format_table(
+        ("attack", "secret", "recovered", "verdict"),
+        [
+            (
+                row["attack"],
+                f"{row['secret']:#x}",
+                f"{row['recovered']:#x}" if row["recovered"] is not None else "nothing",
+                "LEAKED" if row["success"] else "no leak",
+            )
+            for row in rows
+        ],
+    )
+    if "leaked" in data:
+        return f"{table}\n{data['leaked']}/{data['exploits']} exploits leaked"
+    return table
+
+
+def grid_section(result: "Result") -> str:
+    """Render a generic ``<kind>_grid`` envelope: one verdict row per point."""
+    data = result.data
+    table = format_table(
+        ("point", "subject", "ok"),
+        [
+            (index, row["subject"], "yes" if row["ok"] else "NO")
+            for index, row in enumerate(data["rows"])
+        ],
+    )
+    return (
+        f"{table}\n{data['ok_points']}/{data['points']} points ok "
+        f"(kind {data['kind']})"
+    )
+
+
+def render_result(result: "Result", kind: Optional[str] = None) -> str:
+    """Render any engine :class:`~repro.engine.Result` for a terminal.
+
+    ``kind`` is the *spec* kind when known (the envelope's ``result.kind``
+    collapses some spec kinds -- e.g. both ``simulate`` and
+    ``simulate_sweep`` produce ``simulate`` envelopes); falls back to a JSON
+    dump for shapes without a dedicated renderer.
+    """
+    from ..uarch.timing.validate import validation_report
+
+    kind = kind or result.kind
+    if kind.endswith("_grid"):
+        return grid_section(result)
+    if kind == "window_ablation":
+        return window_ablation_section(result)
+    if kind == "validate_timing" or result.subject == "theorem1-validation":
+        if result.payload is not None:
+            return validation_report(result.payload)
+        return result.to_json()
+    if kind == "simulate_sweep" or (kind == "simulate" and "runs" in result.data):
+        return simulate_sweep_section(result)
+    if kind == "simulate":
+        return simulate_section(result)
+    if kind == "ablation":
+        return ablation_section(result)
+    if kind in ("exploit", "exploit_suite"):
+        return exploit_section(result)
+    if kind == "analyze" and result.payload is not None:
+        return result.payload.summary()
+    if kind == "patch" and result.payload is not None:
+        return f"{result.payload.summary()}\n\n{result.payload.patched.listing()}"
+    if kind in ("matrix", "evaluate") and "rows" in result.data:
+        return format_table(
+            ("defense", "attack", "strategy", "verdict"),
+            [
+                (
+                    row["defense"],
+                    row["attack"],
+                    row["strategy"],
+                    "-" if not row["applicable"]
+                    else ("defeats" if row["effective"] else "leaks"),
+                )
+                for row in result.data["rows"]
+            ],
+        )
+    if kind == "synthesize":
+        rows = result.data["rows"]
+        table = format_table(
+            ("source", "delay", "channel", "published", "leaks"),
+            [
+                (
+                    row["source"],
+                    row["delay"],
+                    row["channel"],
+                    "yes" if row["published"] else "novel",
+                    "LEAKS" if row["leaks"] else "safe",
+                )
+                for row in rows
+            ],
+        )
+        data = result.data
+        return (
+            f"{table}\n{data['combinations']} combinations, "
+            f"{data['published']} published, {data['novel']} novel, "
+            f"{data['leaking']} leaking"
+        )
+    return result.to_json()
+
+
 def defense_matrix_section(
     defenses: Optional[Sequence[Defense]] = None,
     attacks: Optional[Sequence[AttackVariant]] = None,

@@ -25,28 +25,57 @@ Subcommands::
     repro simulate --validate          # Theorem 1: timing race vs TSG verdict
     repro simulate --validate --contended   # ... with bounded FU ports + CDB
     repro simulate --ablate-window     # ROB/RS/port window-length ablation
+    repro run --kind simulate --param attack=spectre_v1   # declarative spec
+    repro run --spec plan.json         # spec / grid from a JSON file
+    repro run --kind simulate --param attack=spectre_v1 \
+              --axis defenses='[["PREVENT_SPECULATIVE_LOADS"],null]'  # a grid
     repro report                       # full Markdown report
     repro perf [--check] [--full]      # core + engine + timing perf -> BENCH_core.json
 
+Every engine-backed subcommand accepts ``--store memory|disk|PATH``: the
+spec-level artifact store that memoizes whole ``Result`` envelopes by
+scenario content hash.  ``--store disk`` persists them under
+``~/.cache/repro/`` (override with ``REPRO_CACHE_DIR``), so a second
+invocation of the same scenario in a *new process* is served from disk.
+
 Everything the CLI prints can be reproduced programmatically:
-``Engine().analyze(program)`` / ``.evaluate(defense, variant)`` /
-``.synthesize()`` / ``.run_exploits()`` return the same envelopes.
+``Engine().run(ScenarioSpec(...))`` / ``.run_grid(ScenarioGrid(...))``
+return the same envelopes (the named methods ``analyze`` / ``evaluate`` /
+``simulate`` / ... survive as deprecated shims over ``run``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from . import analysis
-from .analysis.report import full_report
+from .analysis.report import full_report, render_result
 from .attacks import ALL_VARIANTS, get as get_attack
 from .defenses import ALL_DEFENSES, get as get_defense
-from .engine import default_engine
+from .engine import Engine, default_engine
 from .exploits import EXPLOITS
 from .isa import assemble
+from .scenario import (
+    KINDS,
+    ScenarioGrid,
+    ScenarioSpec,
+    load as load_scenario,
+    resolve_program_params,
+)
+from .store import open_store
 from .uarch import SimDefense, UarchConfig
+
+
+def _session(args: argparse.Namespace) -> Engine:
+    """The engine a subcommand runs on: fresh with a store, else the default."""
+    store = open_store(getattr(args, "store", None))
+    if store is None:
+        return default_engine()
+    return Engine(store=store)
 
 
 def _cmd_tables(_: argparse.Namespace) -> int:
@@ -89,7 +118,7 @@ def _cmd_defenses(_: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     defense = get_defense(args.defense)
     variant = get_attack(args.attack)
-    result = default_engine().evaluate(defense, variant)
+    result = _session(args).evaluate(defense, variant)
     if args.json:
         print(result.to_json())
         return 0 if result.ok else 1
@@ -110,7 +139,7 @@ def _load_program(path: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    result = default_engine().analyze(_load_program(args.program))
+    result = _session(args).analyze(_load_program(args.program))
     if args.json:
         print(result.to_json())
     else:
@@ -119,7 +148,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_patch(args: argparse.Namespace) -> int:
-    result = default_engine().patch(_load_program(args.program))
+    result = _session(args).patch(_load_program(args.program))
     if args.json:
         print(result.to_json())
         return 0 if result.ok else 1
@@ -150,7 +179,7 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
     defenses = _parse_defenses(args.defense)
     if defenses:
         config = config.with_defenses(*defenses)
-    result = EXPLOITS[args.name](config, args.secret)
+    result = _session(args).exploit(args.name, config=config, secret=args.secret).payload
     print(result)
     print(f"speculative windows: {result.stats.speculative_windows}, "
           f"transient instructions: {result.stats.transient_instructions}, "
@@ -159,7 +188,9 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    result = default_engine().ablation(args.name, secret=args.secret)
+    result = _session(args).ablation(
+        args.name, secret=args.secret, parallel=args.parallel
+    )
     if args.json:
         print(result.to_json())
         return 0 if result.ok else 1
@@ -171,22 +202,11 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    engine = default_engine()
-    model = None
-    if args.contended:
-        from .uarch.timing.scheduler import CONTENDED_MODEL
-
-        model = CONTENDED_MODEL
+def _simulate_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Migrate the ``simulate`` flag zoo onto one declarative scenario spec."""
+    model = "contended" if args.contended else None
     if args.validate:
-        result = engine.validate_timing(parallel=args.parallel, model=model)
-        if args.json:
-            print(result.to_json())
-        else:
-            from .uarch.timing.validate import validation_report
-
-            print(validation_report(result.payload))
-        return 0 if result.ok else 1
+        return ScenarioSpec("validate_timing", model=model)
     if args.ablate_window:
         if args.contended:
             raise SystemExit(
@@ -198,71 +218,122 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "--ablate-window measures the undefended window-length "
                 "ablation; drop --defense (use --sweep for defense grids)"
             )
-        result = engine.ablate_window(
-            [args.name] if args.name else None,
+        return ScenarioSpec(
+            "window_ablation",
+            attacks=(args.name,) if args.name else None,
             secret=args.secret,
-            parallel=args.parallel,
         )
-        if args.json:
-            print(result.to_json())
-        else:
-            from .analysis.report import window_ablation_section
-
-            print(window_ablation_section(result))
-        return 0
     if args.sweep:
-        result = engine.simulate_sweep(
-            parallel=args.parallel, secret=args.secret, model=model
-        )
-        if args.json:
-            print(result.to_json())
-        else:
-            table_rows = [
-                (
-                    row["attack"],
-                    ",".join(row["defenses"]) or "(none)",
-                    "LEAKS" if row["transmit_beats_squash"] else "defended",
-                    row["transmit_cycle"] if row["transmit_cycle"] is not None else "-",
-                    row["squash_cycle"] if row["squash_cycle"] is not None else "-",
-                )
-                for row in result.data["rows"]
-            ]
-            print(analysis.format_table(
-                ("attack", "defenses", "race", "transmit", "squash"), table_rows
-            ))
-        return 0
+        return ScenarioSpec("simulate_sweep", secret=args.secret, model=model)
     if not args.name:
         raise SystemExit(
             "simulate needs an attack name (or --sweep / --validate / --ablate-window)"
         )
-    defenses = _parse_defenses(args.defense) or ()
-    result = engine.simulate(args.name, defenses, secret=args.secret, model=model)
+    defenses = _parse_defenses(args.defense)
+    return ScenarioSpec(
+        "simulate",
+        attack=args.name,
+        defenses=tuple(defenses) if defenses else None,
+        secret=args.secret,
+        model=model,
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _simulate_spec(args)
+    result = _session(args).run(spec, parallel=args.parallel)
     if args.json:
         print(result.to_json())
-        return 0 if result.ok else 1
-    data = result.data
-    trace = result.payload.timing
-    print(f"attack:    {data['attack']} (scenario {data['scenario']})")
-    print(f"defenses:  {', '.join(data['defenses']) or '(none)'}")
-    print(f"cycles:    {data['cycles']} ({data['windows']} speculation window(s))")
-    transmit = data["transmit_cycle"]
-    squash = data["squash_cycle"]
-    if transmit is None:
-        print("race:      no covert transmit issued -> no leak")
     else:
-        print(f"race:      transmit @{transmit} vs squash @{squash} "
-              f"-> {'TRANSMIT WINS (leak)' if data['transmit_beats_squash'] else 'squash wins (no leak)'}")
-    if "tsg_leaks" in data:
-        print(f"theorem 1: TSG says {'leaks' if data['tsg_leaks'] else 'safe'} "
-              f"-> {'agrees' if data['theorem1_agrees'] else 'DISAGREES'}")
-    print("key events:")
-    for event in trace.key_events():
-        print(f"  cycle {event.cycle:>5}: {event.kind:<12} (op {event.seq}) {event.detail}")
+        print(render_result(result, spec.kind))
+    if spec.kind in ("simulate_sweep", "window_ablation"):
+        return 0
+    return 0 if result.ok else 1
+
+
+def _parse_value(text: str) -> object:
+    """A CLI parameter value: int literal, JSON, ``none``/``null``, or string."""
+    lowered = text.strip().lower()
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError):
+        return text
+
+
+def _parse_params(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--param needs name=value, got {pair!r}")
+        params[name] = _parse_value(value)
+    return params
+
+
+def _parse_axes(pairs: Optional[Sequence[str]]) -> Dict[str, List[object]]:
+    axes: Dict[str, List[object]] = {}
+    for pair in pairs or ():
+        name, sep, text = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--axis needs name=v1,v2,..., got {pair!r}")
+        parsed = _parse_value(text)
+        if isinstance(parsed, list):
+            axes[name] = parsed
+        elif isinstance(parsed, str):
+            # Not valid JSON: a bare comma-separated value list.
+            axes[name] = [_parse_value(value) for value in text.split(",")]
+        else:
+            # One JSON value (a dict, a number, null): a one-element axis --
+            # never re-split, its commas are structure, not separators.
+            axes[name] = [parsed]
+    return axes
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.spec:
+        plan = load_scenario(args.spec)
+    elif args.kind:
+        if args.kind not in KINDS:
+            raise SystemExit(
+                f"unknown scenario kind {args.kind!r}; known: "
+                f"{', '.join(sorted(KINDS))}"
+            )
+        params = _parse_params(args.param)
+        resolve_program_params(params, Path.cwd())
+        axes = _parse_axes(args.axis)
+        try:
+            if axes:
+                plan = ScenarioGrid(args.kind, base=params, axes=axes)
+            else:
+                plan = ScenarioSpec(args.kind, **params)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        raise SystemExit("run needs --spec FILE or --kind KIND")
+    engine = _session(args)
+    try:
+        result = engine.run(plan, parallel=args.parallel)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Parameter decode errors (unknown attack, bogus model name, ...)
+        # are user input errors: one clean line, not a traceback.
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"run failed: {message}")
+    if args.json:
+        print(result.to_json())
+    else:
+        kind = plan.kind if isinstance(plan, ScenarioSpec) else f"{plan.kind}_grid"
+        print(render_result(result, kind))
     return 0 if result.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    text = full_report(include_matrix=not args.no_matrix)
+    text = full_report(include_matrix=not args.no_matrix, engine=_session(args))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -299,6 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every engine-backed subcommand: the spec-level artifact store.
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store",
+        default=None,
+        metavar="KIND",
+        help="artifact store for Result envelopes: 'memory', 'disk' "
+             "(~/.cache/repro, persistent across processes), or a directory "
+             "path",
+    )
+
     subparsers.add_parser("tables", help="regenerate Tables I, II and III").set_defaults(
         handler=_cmd_tables
     )
@@ -315,26 +397,38 @@ def build_parser() -> argparse.ArgumentParser:
         handler=_cmd_defenses
     )
 
-    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a defense against an attack")
+    evaluate_parser = subparsers.add_parser(
+        "evaluate", help="evaluate a defense against an attack",
+        parents=[store_parent],
+    )
     evaluate_parser.add_argument("defense", help="defense key, e.g. lfence")
     evaluate_parser.add_argument("attack", help="attack key, e.g. spectre_v1")
     evaluate_parser.add_argument("--json", action="store_true",
                                  help="emit the engine Result envelope as JSON")
     evaluate_parser.set_defaults(handler=_cmd_evaluate)
 
-    analyze_parser = subparsers.add_parser("analyze", help="run the Figure 9 tool on a program")
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="run the Figure 9 tool on a program",
+        parents=[store_parent],
+    )
     analyze_parser.add_argument("program", help="path to an assembly file")
     analyze_parser.add_argument("--json", action="store_true",
                                  help="emit the engine Result envelope as JSON")
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
-    patch_parser = subparsers.add_parser("patch", help="analyze a program and insert fences")
+    patch_parser = subparsers.add_parser(
+        "patch", help="analyze a program and insert fences",
+        parents=[store_parent],
+    )
     patch_parser.add_argument("program", help="path to an assembly file")
     patch_parser.add_argument("--json", action="store_true",
                               help="emit the engine Result envelope as JSON")
     patch_parser.set_defaults(handler=_cmd_patch)
 
-    exploit_parser = subparsers.add_parser("exploit", help="run an exploit on the simulator")
+    exploit_parser = subparsers.add_parser(
+        "exploit", help="run an exploit on the simulator",
+        parents=[store_parent],
+    )
     exploit_parser.add_argument("name", help=f"one of: {', '.join(sorted(EXPLOITS))}")
     exploit_parser.add_argument("--secret", type=lambda v: int(v, 0), default=0x5A)
     exploit_parser.add_argument(
@@ -344,15 +438,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exploit_parser.set_defaults(handler=_cmd_exploit)
 
-    ablation_parser = subparsers.add_parser("ablation", help="defense ablation for one exploit")
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="defense ablation for one exploit",
+        parents=[store_parent],
+    )
     ablation_parser.add_argument("name", help=f"one of: {', '.join(sorted(EXPLOITS))}")
     ablation_parser.add_argument("--secret", type=lambda v: int(v, 0), default=0x5A)
+    ablation_parser.add_argument("--parallel", type=int, default=None,
+                                 help="shard the per-defense runs over N workers")
     ablation_parser.add_argument("--json", action="store_true",
                                  help="emit the engine Result envelope as JSON")
     ablation_parser.set_defaults(handler=_cmd_ablation)
 
     simulate_parser = subparsers.add_parser(
-        "simulate", help="run an attack on the cycle-accurate OoO timing core"
+        "simulate", help="run an attack on the cycle-accurate OoO timing core",
+        parents=[store_parent],
     )
     simulate_parser.add_argument(
         "name", nargs="?", help="attack registry key or exploit name, e.g. spectre_v1"
@@ -380,7 +480,39 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="emit the engine Result envelope as JSON")
     simulate_parser.set_defaults(handler=_cmd_simulate)
 
-    report_parser = subparsers.add_parser("report", help="emit the full Markdown report")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="execute a declarative scenario spec or grid",
+        parents=[store_parent],
+        description="Execute one ScenarioSpec (or a ScenarioGrid of them) "
+                    "through the engine's cached, sharded run spine.  Kinds: "
+                    + "; ".join(
+                        f"{name} ({info.description})"
+                        for name, info in sorted(KINDS.items())
+                    ),
+    )
+    run_parser.add_argument("--spec", help="JSON file holding a spec or grid")
+    run_parser.add_argument("--kind", help=f"scenario kind: {', '.join(sorted(KINDS))}")
+    run_parser.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="spec parameter (repeatable); VALUE parses as int / JSON / "
+             "'none' / string.  program_path=FILE inlines an assembly file",
+    )
+    run_parser.add_argument(
+        "--axis", action="append", metavar="NAME=V1,V2",
+        help="grid axis (repeatable); turns the run into a ScenarioGrid "
+             "over the cartesian product of all axes",
+    )
+    run_parser.add_argument("--parallel", type=int, default=None,
+                            help="shard grid execution over N workers")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the engine Result envelope as JSON")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="emit the full Markdown report",
+        parents=[store_parent],
+    )
     report_parser.add_argument("--output", "-o", help="write the report to a file")
     report_parser.add_argument("--no-matrix", action="store_true",
                                help="skip the defense x attack matrix (faster)")

@@ -1,60 +1,54 @@
-"""The unified ``Engine`` session API: cached artifacts + a shardable execution plane.
+"""The unified ``Engine`` session API: one declarative run-plan spine.
 
 Every analysis in the library -- the Figure 9 program tool, the defense x
-attack matrix, the Section V-A attack-space synthesis, and the end-to-end
-exploit harness -- is reachable through one stateful session object:
+attack matrix, the Section V-A attack-space synthesis, the end-to-end
+exploit harness and the cycle-accurate timing plane -- is one *scenario*:
+a point (or grid of points) in the attack x defense x timing-model x
+channel x secret space.  The engine executes scenarios through a single
+spine:
 
-* **Content-addressed artifact cache.**  :meth:`Engine.build` and
-  :meth:`Engine.analyze` memoize attack-graph construction keyed on
-  :meth:`Program.content_hash() <repro.isa.program.Program.content_hash>`,
-  so analysing the same program twice costs one dictionary lookup.
-  Defense evaluations are keyed by the (frozen) ``(defense, variant)``
-  object pair and synthesized attack graphs by ``(source, delay,
-  channel)``.  Every cache is bounded (``cache_limit``).  The caches are
-  observable (:meth:`Engine.stats`) and explicitly droppable
-  (:meth:`Engine.invalidate`), which subsumes the old ad-hoc
-  :func:`repro.attacks.generator.refresh_published_cache`.
+* :meth:`Engine.run` takes a :class:`~repro.scenario.ScenarioSpec` (kind
+  ``analyze`` / ``evaluate`` / ``exploit`` / ``simulate`` / ``patch`` /
+  ``matrix`` / ``synthesize`` / ``exploit_suite`` / ``simulate_sweep`` /
+  ``validate_timing`` / ``window_ablation`` / ``ablation``) and returns one
+  :class:`Result` envelope.  Before executing, the spec's content hash is
+  looked up in the session's :class:`~repro.store.ArtifactStore` (pass
+  ``store=DiskStore()`` for a cache that survives the process -- the second
+  CLI/CI invocation of an identical spec is served from
+  ``~/.cache/repro/``); after executing, the envelope is persisted back.
+* :meth:`Engine.run_grid` takes a :class:`~repro.scenario.ScenarioGrid`
+  (cartesian axes over a base spec, or an explicit point list), serves warm
+  points from the store, shards the misses over :meth:`Engine.map`'s
+  process pool, and aggregates one envelope.  A new sweep axis is one
+  ``axes`` entry -- not one new Engine method.
 
-* **Execution plane.**  :meth:`Engine.map` fans pure work out over a
-  ``concurrent.futures`` process pool with a deterministic serial fallback.
-  The sweep methods (:meth:`Engine.evaluate_matrix`,
-  :meth:`Engine.synthesize`, :meth:`Engine.novel_combinations`,
-  :meth:`Engine.run_exploits`) shard their work lists over the pool and sort
-  rows by combination key, so parallel output is byte-identical to serial
-  output.  The pool is owned by the session: it is created lazily on the
-  first parallel call and reused until :meth:`Engine.close`.
+Beneath the spec layer the session keeps its **content-addressed artifact
+caches** (:meth:`build` / :meth:`analyze` keyed on
+:meth:`Program.content_hash() <repro.isa.program.Program.content_hash>`,
+``(defense, variant)``-keyed evaluations, ``(source, delay, channel)``-keyed
+synthesized graphs, ``(attack, config, secret, model)``-keyed timing
+simulations), all bounded (``cache_limit``), observable (:meth:`stats`) and
+droppable (:meth:`invalidate`), and its **execution plane**
+(:meth:`Engine.map`: a session-owned process pool with a deterministic
+serial fallback; parallel output is byte-identical to serial output).
 
-* **Uniform result envelope.**  Every analysis returns a :class:`Result`
-  (kind ``analyze`` / ``evaluate`` / ``synthesize`` / ``exploit`` /
-  ``simulate`` / ``patch`` / ``ablation`` / ``window_ablation``) whose
-  ``data`` field is
-  JSON-serializable -- this is what the CLI's ``--json`` flags emit, and
-  what the reporting layer renders.
-
-* **Cycle-accurate simulation.**  :meth:`Engine.simulate` runs an attack on
-  the event-driven timing core (:mod:`repro.uarch.timing`), content-hash
-  cached on (attack, frozen config, secret, timing model);
-  :meth:`Engine.simulate_sweep` shards an (attack x defense) grid over the
-  pool, :meth:`Engine.validate_timing` cross-checks Theorem 1 registry-
-  wide (measured transmit-vs-squash race against the TSG verdict, optionally
-  under a contended FU-port/CDB model) and :meth:`Engine.ablate_window`
-  sweeps the ROB/RS/port-count grid that reproduces the paper's
-  window-length ablation in measured cycles, including the functional-unit
-  contention covert channel's occupancy-delta transmit.
-
-The legacy free functions (:func:`repro.graphtool.analyze_program`,
-:func:`repro.defenses.evaluate_defense`, ...) are thin wrappers over the
-module-wide :func:`default_engine`, so existing callers keep working while
-sharing one cache.
+The named methods (:meth:`analyze`, :meth:`evaluate_matrix`,
+:meth:`simulate_sweep`, :meth:`ablate_window`, ...) survive as thin shims
+that build the equivalent spec and call :meth:`run` -- prefer specs in new
+code.  The legacy free functions (:func:`repro.graphtool.analyze_program`,
+:func:`repro.defenses.evaluate_defense`, ...) delegate to the module-wide
+:func:`default_engine`.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from functools import partial
 from pickle import PicklingError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
     Dict,
@@ -64,6 +58,7 @@ from typing import (
     Sequence,
     Tuple,
     TypeVar,
+    Union,
 )
 
 from .attacks.base import (
@@ -85,6 +80,21 @@ from .graphtool.analyzer import AnalysisReport, analyze_build
 from .graphtool.builder import AttackGraphBuilder, BuildResult
 from .graphtool.expansion import expansion_for
 from .isa.program import Program
+from .scenario import (
+    ScenarioGrid,
+    ScenarioSpec,
+    decode_attack_variant,
+    decode_axis_enums,
+    decode_config,
+    decode_defense,
+    decode_model,
+    decode_points,
+    decode_program,
+    decode_secret,
+    decode_sim_defense,
+    decode_sim_defenses,
+)
+from .store import ArtifactStore, store_from_ref, store_ref
 from .uarch.timing.scheduler import CONTENDED_MODEL, SERIALIZED_MODEL
 
 T = TypeVar("T")
@@ -100,7 +110,7 @@ class Result:
 
     ``kind`` is one of ``analyze`` / ``evaluate`` / ``synthesize`` /
     ``exploit`` / ``simulate`` / ``patch`` / ``ablation`` /
-    ``window_ablation``; ``ok`` is the
+    ``window_ablation`` (grids add ``<kind>_grid``); ``ok`` is the
     headline boolean of that kind (program safe, defense effective, sweep
     complete, secret recovered, squash beat the transmit); ``cache`` records
     whether the result came from a cold build, a warm cache hit, or a
@@ -132,13 +142,21 @@ class Result:
 # ---------------------------------------------------------------------------
 # Process-pool shard workers (module-level so they pickle by reference)
 # ---------------------------------------------------------------------------
-def _synth_shard_worker(keys: Sequence[Tuple[str, str, str]]) -> List[Dict[str, object]]:
+#: A picklable (root, version, max_entries) reference to a DiskStore (or
+#: ``None``).  Call sites bind it once per shard with ``functools.partial``
+#: so worker engines join the same persistent cache as the parent session.
+StoreRef = Optional[Tuple[str, str, Optional[int]]]
+
+
+def _synth_shard_worker(
+    ref: StoreRef, keys: Sequence[Tuple[str, str, str]]
+) -> List[Dict[str, object]]:
     """Compute sweep rows for one shard of the attack space.
 
     Each worker builds its own serial ``Engine`` so structurally identical
     combinations within the shard share one graph build and leak check.
     """
-    engine = Engine()
+    engine = Engine(store=store_from_ref(ref))
     return [
         engine._synth_row(
             SynthesizedAttack(SecretSource[s], DelayMechanism[d], CovertChannelKind[c])
@@ -148,9 +166,9 @@ def _synth_shard_worker(keys: Sequence[Tuple[str, str, str]]) -> List[Dict[str, 
 
 
 def _matrix_shard_worker(
-    pairs: Sequence[Tuple[Defense, AttackVariant]]
+    ref: StoreRef, pairs: Sequence[Tuple[Defense, AttackVariant]]
 ) -> List["DefenseEvaluation"]:
-    engine = Engine()
+    engine = Engine(store=store_from_ref(ref))
     return [engine.evaluate(defense, variant).payload for defense, variant in pairs]
 
 
@@ -175,12 +193,13 @@ def _exploit_shard_worker(
 
 
 def _simulate_shard_worker(
-    items: Sequence[Tuple[str, Tuple[str, ...], Optional[int], "TimingModel"]]
+    ref: StoreRef,
+    items: Sequence[Tuple[str, Tuple[str, ...], Optional[int], "TimingModel"]],
 ) -> List["ExploitResult"]:
     """Run timing simulations for one shard of a sweep or window ablation."""
     from .uarch.defenses import SimDefense
 
-    engine = Engine()
+    engine = Engine(store=store_from_ref(ref))
     return [
         engine.simulate(
             attack,
@@ -190,6 +209,17 @@ def _simulate_shard_worker(
         ).payload
         for attack, defense_names, secret, model in items
     ]
+
+
+def _spec_shard_worker(ref: StoreRef, specs: Sequence[ScenarioSpec]) -> List[Result]:
+    """Execute one shard of a generic scenario grid.
+
+    Each worker builds its own serial ``Engine``; with a disk-backed store
+    reference the worker joins the parent's persistent cache, so repeated
+    grids are warm across processes.
+    """
+    engine = Engine(store=store_from_ref(ref))
+    return [engine.run(spec) for spec in specs]
 
 
 #: (ROB entries, reservation stations) points of the window-length ablation:
@@ -254,6 +284,26 @@ def _picklable(payload: object) -> bool:
     return True
 
 
+def _warm_envelope(cached: Result, aliased: bool) -> Result:
+    """A warm copy of a stored envelope.
+
+    When the store ``aliased`` the held object (a
+    :class:`~repro.store.MemoryStore` hands back the very object it keeps),
+    ``data`` is deep-copied so callers can mutate it freely (the documented
+    envelope contract) without poisoning the stored entry.  Serializing
+    stores already returned a private copy -- no extra work.
+    """
+    data = copy.deepcopy(cached.data) if aliased else cached.data
+    return replace(cached, cache="warm", data=data)
+
+
+def _store_snapshot(result: Result, aliased: bool) -> Result:
+    """The envelope as persisted: decoupled from the caller when aliased."""
+    if not aliased:
+        return result
+    return replace(result, data=copy.deepcopy(result.data))
+
+
 def _shards(items: List[T], count: int) -> List[List[T]]:
     """Split ``items`` into at most ``count`` contiguous, order-preserving shards."""
     count = max(1, min(count, len(items)))
@@ -271,17 +321,26 @@ def _shards(items: List[T], count: int) -> List[List[T]]:
 # The engine
 # ---------------------------------------------------------------------------
 class Engine:
-    """Stateful session facade: build once, analyze many, shard the sweeps.
+    """Stateful session facade: declare the scenario, the engine runs it.
 
-    ``parallel`` sets the default worker count for the sweep methods; every
-    sweep also accepts a per-call ``parallel=`` override.  ``parallel=None``
-    (or 1) means deterministic serial execution in-process.
+    ``parallel`` sets the default worker count for grid execution; every
+    grid method also accepts a per-call ``parallel=`` override.
+    ``parallel=None`` (or 1) means deterministic serial execution
+    in-process.
 
-    ``cache_limit`` bounds every artifact cache to that many entries
-    (oldest-inserted evicted first), so long-running batch consumers of the
-    legacy free functions -- which share the process-global default engine --
-    cannot grow memory without bound.  ``cache_limit=None`` disables
-    eviction.
+    ``cache_limit`` bounds every in-memory artifact cache to that many
+    entries (oldest-inserted evicted first), so long-running batch consumers
+    of the legacy free functions -- which share the process-global default
+    engine -- cannot grow memory without bound.  ``cache_limit=None``
+    disables eviction.
+
+    ``store`` plugs in a spec-level :class:`~repro.store.ArtifactStore`:
+    every :meth:`run` envelope is keyed by its spec's content hash, checked
+    before executing and persisted after.  A
+    :class:`~repro.store.DiskStore` makes the cache survive the process --
+    a second CLI or CI invocation of the same spec is one pickle load.
+    ``store=None`` (the default) disables the spec layer; the in-memory
+    artifact caches below it always apply.
     """
 
     #: Default per-cache entry bound (FIFO eviction beyond this).
@@ -291,9 +350,11 @@ class Engine:
         self,
         parallel: Optional[int] = None,
         cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self.parallel = parallel
         self.cache_limit = cache_limit
+        self.store = store
         self._builds: Dict[Tuple, BuildResult] = {}
         self._analyses: Dict[Tuple, AnalysisReport] = {}
         #: Keyed on the (frozen) Defense / AttackVariant objects themselves, so
@@ -307,8 +368,12 @@ class Engine:
         self._simulations: Dict[Tuple, "ExploitResult"] = {}
         self._hits: Dict[str, int] = {}
         self._misses: Dict[str, int] = {}
+        #: Spec executions per kind since session start (``stats()["runs"]``):
+        #: the observable proof that a workload routed through :meth:`run`.
+        self._runs: Dict[str, int] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
+        self._closed = False
 
     # -- cache plumbing -----------------------------------------------------
     @staticmethod
@@ -341,7 +406,8 @@ class Engine:
         }
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Hit / miss / entry counts per cache, plus the shared expansion cache."""
+        """Hit / miss / entry counts per cache, spec-run counts per kind,
+        the artifact-store counters, and the shared expansion cache."""
         report = {
             name: {
                 "entries": len(store),
@@ -356,6 +422,9 @@ class Engine:
             "hits": info.hits,
             "misses": info.misses,
         }
+        report["runs"] = dict(sorted(self._runs.items()))
+        if self.store is not None:
+            report["store"] = self.store.stats()
         return report
 
     def invalidate(self, cache: Optional[str] = None) -> int:
@@ -363,7 +432,8 @@ class Engine:
 
         ``cache`` selects one cache (``builds`` / ``analyses`` /
         ``evaluations`` / ``synth_graphs`` / ``synth_verdicts`` /
-        ``simulations``); ``None``
+        ``simulations``, plus ``store`` when a spec-level artifact store is
+        plugged in); ``None``
         clears everything, including the registry's published-key index and
         the shared micro-op expansion cache, and also shuts down the worker
         pool (forked workers snapshot the parent at pool creation, so a
@@ -372,11 +442,16 @@ class Engine:
         """
         stores = self._stores()
         if cache is not None:
+            if cache == "store" and self.store is not None:
+                return self.store.clear()
             try:
                 store = stores[cache]
             except KeyError as exc:
+                known = sorted(stores)
+                if self.store is not None:
+                    known.append("store")
                 raise KeyError(
-                    f"unknown cache {cache!r}; known: {', '.join(sorted(stores))}"
+                    f"unknown cache {cache!r}; known: {', '.join(sorted(known))}"
                 ) from exc
             dropped = len(store)
             store.clear()
@@ -384,9 +459,11 @@ class Engine:
         dropped = sum(len(store) for store in stores.values())
         for store in stores.values():
             store.clear()
+        if self.store is not None:
+            dropped += self.store.clear()
         refresh_published_cache()
         expansion_for.cache_clear()
-        self.close()
+        self._shutdown_pool()
         return dropped
 
     # -- execution plane ----------------------------------------------------
@@ -404,18 +481,37 @@ class Engine:
         return self._executor
 
     def _try_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
-        """The session pool, or ``None`` when the platform cannot fork one."""
+        """The session pool, or ``None`` when the platform cannot fork one
+        (or the session was closed -- a closed engine never respawns)."""
+        if self._closed:
+            return None
         try:
             return self._pool(workers)
         except OSError:
             return None
 
-    def close(self) -> None:
-        """Shut down the session's worker pool (caches are kept)."""
+    def _shutdown_pool(self) -> None:
+        """Drop the worker pool (a later parallel call may spawn a fresh one)."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+
+    def close(self) -> None:
+        """End the session: shut the pool down for good (caches are kept).
+
+        A closed engine still answers serial calls (parallel requests fall
+        back to the deterministic serial path) but never spawns a new pool,
+        and :func:`default_engine` will not hand out a closed session --
+        the next caller gets a fresh one.
+        """
+        self._shutdown_pool()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` has ended this session."""
+        return self._closed
 
     def __enter__(self) -> "Engine":
         return self
@@ -452,7 +548,7 @@ class Engine:
             # deterministic serial path.  Exceptions raised by ``fn`` itself
             # propagate unchanged; unpicklable *inputs* are caught by the
             # probe above, before anything is submitted.
-            self.close()
+            self._shutdown_pool()
             return [fn(item) for item in work]
 
     def _run_sharded(
@@ -473,9 +569,116 @@ class Engine:
             futures = [pool.submit(worker, shard) for shard in shards]
             gathered = [future.result() for future in futures]
         except (BrokenExecutor, PicklingError):
-            self.close()
+            self._shutdown_pool()
             return worker(items)
         return [row for shard_rows in gathered for row in shard_rows]
+
+    # ======================================================================
+    # The run-plan spine: one cached, sharded executor for every spec kind
+    # ======================================================================
+    def run(
+        self,
+        spec: Union[ScenarioSpec, ScenarioGrid],
+        *,
+        parallel: Optional[int] = None,
+    ) -> Result:
+        """Execute one scenario spec; the single entry point of the engine.
+
+        The spec's content hash is checked against the session's artifact
+        store first (a hit is returned as a ``warm`` envelope without
+        executing anything); on a miss the kind's executor runs -- through
+        the in-memory artifact caches and, for grid kinds, sharded over
+        :meth:`Engine.map` -- and the envelope is persisted back.
+        ``parallel`` is an execution detail, not part of the scenario's
+        identity: serial and sharded runs share one cache entry.
+        """
+        if isinstance(spec, ScenarioGrid):
+            return self.run_grid(spec, parallel=parallel)
+        executor = getattr(self, f"_run_{spec.kind}")
+        self._runs[spec.kind] = self._runs.get(spec.kind, 0) + 1
+        key = spec.content_hash()
+        if self.store is not None:
+            aliased = getattr(self.store, "aliases_values", True)
+            cached = self.store.get(key)
+            if isinstance(cached, Result):
+                return _warm_envelope(cached, aliased)
+        result = executor(spec, parallel)
+        if self.store is not None:
+            self.store.put(key, _store_snapshot(result, aliased))
+        return result
+
+    def run_grid(
+        self, grid: ScenarioGrid, *, parallel: Optional[int] = None
+    ) -> Result:
+        """Execute every point of a scenario grid and aggregate one envelope.
+
+        Points already in the artifact store are served warm; the misses are
+        sharded over the execution plane (worker engines join a disk-backed
+        store, so cross-process grids converge on one persistent cache) and
+        absorbed back.  Rows come back in the grid's deterministic expansion
+        order -- parallel output is byte-identical to serial output.
+        """
+        specs = grid.specs()
+        self._runs["grid"] = self._runs.get("grid", 0) + len(specs)
+        results: List[Optional[Result]] = [None] * len(specs)
+        misses: List[int] = []
+        if self.store is not None:
+            aliased = getattr(self.store, "aliases_values", True)
+            for index, spec in enumerate(specs):
+                cached = self.store.get(spec.content_hash())
+                if isinstance(cached, Result):
+                    results[index] = _warm_envelope(cached, aliased)
+                else:
+                    misses.append(index)
+        else:
+            misses = list(range(len(specs)))
+        workers = self._workers(parallel)
+        if workers > 1 and len(misses) > 1:
+            ref = store_ref(self.store)
+            computed = self._run_sharded(
+                partial(_spec_shard_worker, ref),
+                [specs[index] for index in misses],
+                workers,
+            )
+            for index, result in zip(misses, computed):
+                results[index] = result
+                # Workers holding a disk-store reference persisted their
+                # points themselves; only process-local stores need the
+                # parent to absorb the result.
+                if self.store is not None and ref is None:
+                    self.store.put(
+                        specs[index].content_hash(),
+                        _store_snapshot(result, aliased),
+                    )
+        else:
+            for index in misses:
+                # run() handles the per-point store bookkeeping itself.
+                results[index] = self.run(specs[index])
+        # No per-row cache provenance: a worker computes cold what a serial
+        # run may serve warm, and grid rows must be byte-identical either
+        # way.  Provenance is observable via stats()["store"] instead.
+        rows = [
+            {"subject": result.subject, "ok": result.ok, "data": result.data}
+            for result in results
+        ]
+        data: Dict[str, object] = {
+            "kind": grid.kind,
+            "points": len(specs),
+            "ok_points": sum(1 for result in results if result.ok),
+            "rows": rows,
+        }
+        if grid.axes:
+            data["axes"] = {
+                name: len(values) for name, values in grid.axes.items()
+            }
+        return Result(
+            kind=f"{grid.kind}_grid",
+            subject=f"grid {grid.kind} ({len(specs)} points)",
+            ok=all(result.ok for result in results),
+            cache="none",
+            data=data,
+            payload=list(results),
+        )
 
     # -- Figure 9 program analysis ------------------------------------------
     def build(
@@ -500,10 +703,27 @@ class Engine:
     ) -> Result:
         """Run the full Figure 9 flow on a program; warm calls hit the cache.
 
+        Deprecated spelling of ``run(ScenarioSpec("analyze", program=...))``.
+
         The envelope ``data`` is freshly built per call and safe to mutate;
         the ``payload`` (:class:`AnalysisReport`) is the shared cached
         artifact -- treat it as immutable, like every cached build.
         """
+        return self.run(
+            ScenarioSpec(
+                "analyze",
+                program=program,
+                protected_symbols=(
+                    tuple(protected_symbols) if protected_symbols is not None else None
+                ),
+                points=tuple(points) if points is not None else None,
+            )
+        )
+
+    def _run_analyze(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
+        program = decode_program(spec.get("program"), spec.get("name"))
+        protected_symbols = spec.get("protected_symbols")
+        points = decode_points(spec.get("points"))
         points_key = tuple(point.value for point in points) if points is not None else None
         key = (self.program_key(program, protected_symbols), points_key)
         report = self._analyses.get(key)
@@ -556,23 +776,42 @@ class Engine:
         variant: AttackVariant,
         graph: Optional[AttackGraph] = None,
     ) -> Result:
-        """Apply one defense to one attack variant (cached per key pair)."""
+        """Apply one defense to one attack variant (cached per key pair).
+
+        Deprecated spelling of ``run(ScenarioSpec("evaluate", defense=...,
+        attack=...))``.  Passing an explicit ``graph`` bypasses the
+        declarative path entirely (the graph is an opaque mutable object and
+        is never cached).
+        """
+        if graph is not None:
+            from .defenses.evaluation import evaluate_defense_uncached
+
+            evaluation = evaluate_defense_uncached(defense, variant, graph)
+            return Result(
+                kind="evaluate",
+                subject=f"{defense.key} vs {variant.key}",
+                ok=evaluation.effective,
+                cache="none",
+                data=_evaluation_row(evaluation),
+                payload=evaluation,
+            )
+        return self.run(ScenarioSpec("evaluate", defense=defense, attack=variant))
+
+    def _run_evaluate(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .defenses.evaluation import evaluate_defense_uncached
 
-        if graph is not None:
-            cache_state = "none"
-            evaluation = evaluate_defense_uncached(defense, variant, graph)
+        defense = decode_defense(spec.get("defense"))
+        variant = decode_attack_variant(spec.get("attack"))
+        key = (defense, variant)
+        evaluation = self._evaluations.get(key)
+        if evaluation is not None:
+            self._record("evaluations", hit=True)
+            cache_state = "warm"
         else:
-            key = (defense, variant)
-            evaluation = self._evaluations.get(key)
-            if evaluation is not None:
-                self._record("evaluations", hit=True)
-                cache_state = "warm"
-            else:
-                self._record("evaluations", hit=False)
-                cache_state = "cold"
-                evaluation = evaluate_defense_uncached(defense, variant)
-                self._store(self._evaluations, key, evaluation)
+            self._record("evaluations", hit=False)
+            cache_state = "cold"
+            evaluation = evaluate_defense_uncached(defense, variant)
+            self._store(self._evaluations, key, evaluation)
         return Result(
             kind="evaluate",
             subject=f"{defense.key} vs {variant.key}",
@@ -590,15 +829,34 @@ class Engine:
     ) -> Result:
         """Evaluate every defense against every variant, sharded over the pool.
 
-        Rows are sorted by ``(defense key, attack key)`` so serial and
-        parallel runs produce byte-identical output.
+        Deprecated spelling of ``run(ScenarioSpec("matrix", ...))``.  Rows
+        are sorted by ``(defense key, attack key)`` so serial and parallel
+        runs produce byte-identical output.
         """
+        return self.run(
+            ScenarioSpec(
+                "matrix",
+                defenses=tuple(defenses) if defenses is not None else None,
+                attacks=tuple(variants) if variants is not None else None,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_matrix(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .attacks.registry import variants as registry_variants
         from .defenses import ALL_DEFENSES
 
-        chosen_defenses = list(defenses) if defenses is not None else list(ALL_DEFENSES)
+        defenses = spec.get("defenses")
+        variants = spec.get("attacks")
+        chosen_defenses = (
+            [decode_defense(defense) for defense in defenses]
+            if defenses is not None
+            else list(ALL_DEFENSES)
+        )
         chosen_variants = (
-            list(variants) if variants is not None else registry_variants()
+            [decode_attack_variant(variant) for variant in variants]
+            if variants is not None
+            else registry_variants()
         )
         pairs = sorted(
             (
@@ -618,8 +876,11 @@ class Engine:
             # Warm pairs are served from the session cache; only the misses
             # are sharded out.  Worker results are absorbed back into the
             # cache, so a repeated sweep is all-local dict hits.
+            ref = store_ref(self.store)
             misses = [pair for pair in pairs if pair not in self._evaluations]
-            computed = self._run_sharded(_matrix_shard_worker, misses, workers)
+            computed = self._run_sharded(
+                partial(_matrix_shard_worker, ref), misses, workers
+            )
             for pair, evaluation in zip(misses, computed):
                 if pair not in self._evaluations:
                     self._store(self._evaluations, pair, evaluation)
@@ -705,9 +966,24 @@ class Engine:
     ) -> Result:
         """Sweep the (restricted) attack space, sharded over the pool.
 
+        Deprecated spelling of ``run(ScenarioSpec("synthesize", ...))``.
         Rows come back sorted by ``(source, delay, channel)`` key so parallel
         output is byte-identical to serial output.
         """
+        return self.run(
+            ScenarioSpec(
+                "synthesize",
+                sources=tuple(sources) if sources is not None else None,
+                delays=tuple(delays) if delays is not None else None,
+                channels=tuple(channels) if channels is not None else None,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_synthesize(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
+        sources = decode_axis_enums(SecretSource, spec.get("sources"))
+        delays = decode_axis_enums(DelayMechanism, spec.get("delays"))
+        channels = decode_axis_enums(CovertChannelKind, spec.get("channels"))
         attacks = sorted(
             enumerate_attack_space(sources, delays, channels), key=lambda a: a.key
         )
@@ -723,8 +999,9 @@ class Engine:
                 if structural not in self._synth_verdicts and structural not in missing:
                     missing[structural] = attack
             if missing:
+                ref = store_ref(self.store)
                 computed = self._run_sharded(
-                    _synth_shard_worker,
+                    partial(_synth_shard_worker, ref),
                     [attack.key for attack in missing.values()],
                     workers,
                 )
@@ -775,16 +1052,31 @@ class Engine:
         config: Optional[object] = None,
         secret: Optional[int] = None,
     ) -> Result:
-        """Run one end-to-end exploit on the simulator (never cached)."""
+        """Run one end-to-end exploit on the simulator.
+
+        Deprecated spelling of ``run(ScenarioSpec("exploit", exploit=...))``.
+        """
+        return self.run(
+            ScenarioSpec("exploit", exploit=name, config=config, secret=secret)
+        )
+
+    def _run_exploit(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .exploits.harness import DEFAULT_SECRET, EXPLOITS
         from .uarch.config import DEFAULT_CONFIG
 
+        name = spec.get("exploit")
         if name not in EXPLOITS:
             raise KeyError(
                 f"unknown exploit {name!r}; known: {', '.join(sorted(EXPLOITS))}"
             )
+        secret = decode_secret(spec.get("secret"))
         planted = DEFAULT_SECRET if secret is None else secret
-        result = EXPLOITS[name](config if config is not None else DEFAULT_CONFIG, planted)
+        config = decode_config(spec.get("config"))
+        run_config = config if config is not None else DEFAULT_CONFIG
+        defenses = decode_sim_defenses(spec.get("defenses"))
+        if defenses:
+            run_config = run_config.with_defenses(*defenses)
+        result = EXPLOITS[name](run_config, planted)
         return Result(
             kind="exploit",
             subject=name,
@@ -801,13 +1093,30 @@ class Engine:
         secret: Optional[int] = None,
         parallel: Optional[int] = None,
     ) -> Result:
-        """Run a set of exploits (all by default), sharded over the pool."""
+        """Run a set of exploits (all by default), sharded over the pool.
+
+        Deprecated spelling of ``run(ScenarioSpec("exploit_suite", ...))``.
+        """
+        return self.run(
+            ScenarioSpec(
+                "exploit_suite",
+                exploits=tuple(names) if names is not None else None,
+                config=config,
+                secret=secret,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_exploit_suite(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .exploits.harness import DEFAULT_SECRET, EXPLOITS
 
+        names = spec.get("exploits")
         chosen = list(names) if names is not None else list(EXPLOITS)
         if len(set(chosen)) != len(chosen):
             raise ValueError("duplicate exploit names in run_exploits")
+        secret = decode_secret(spec.get("secret"))
         planted = DEFAULT_SECRET if secret is None else secret
+        config = decode_config(spec.get("config"))
         items = [(name, config, planted) for name in chosen]
         results = self._run_sharded(_exploit_shard_worker, items, parallel)
         by_name = dict(zip(chosen, results))
@@ -837,6 +1146,8 @@ class Engine:
     ) -> Result:
         """Run one attack end-to-end on the cycle-accurate timing core.
 
+        Deprecated spelling of ``run(ScenarioSpec("simulate", attack=...))``.
+
         ``attack`` is a registry key (mapped to its representative exploit
         scenario) or an exploit name.  Runs are content-hash cached: the key
         is the attack plus the *frozen* simulator config (defenses included),
@@ -845,14 +1156,31 @@ class Engine:
         the paper's race: the functional leak and the measured transmit-vs-
         squash outcome, plus the Theorem 1 TSG verdict for undefended runs.
         """
+        return self.run(
+            ScenarioSpec(
+                "simulate",
+                attack=attack,
+                defenses=tuple(defenses) or None,
+                config=config,
+                secret=secret,
+                model=model,
+            )
+        )
+
+    def _run_simulate(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .uarch.config import DEFAULT_CONFIG
         from .uarch.timing.scheduler import DEFAULT_MODEL
         from .uarch.timing.validate import SCENARIOS, timed_exploit
 
+        attack = spec.get("attack")
         scenario = SCENARIOS.get(attack, attack)
+        config = decode_config(spec.get("config"))
         base = config if config is not None else DEFAULT_CONFIG
+        defenses = decode_sim_defenses(spec.get("defenses"))
         run_config = base.with_defenses(*defenses) if defenses else base
+        model = decode_model(spec.get("model"))
         run_model = model if model is not None else DEFAULT_MODEL
+        secret = decode_secret(spec.get("secret"))
         # Keyed on the resolved *scenario*: aliased registry attacks (the MDS
         # siblings, the Foreshadow deployments, ...) share one timing run.
         key = (scenario, run_config, secret, run_model)
@@ -885,6 +1213,8 @@ class Engine:
     ) -> Result:
         """Sweep (attack x defense) timing simulations, sharded over the pool.
 
+        Deprecated spelling of ``run(ScenarioSpec("simulate_sweep", ...))``.
+
         ``defenses`` defaults to the undefended baseline plus every simulator
         defense.  ``model`` selects the timing-plane configuration for every
         run (e.g. the contended reference core).  Rows are sorted by (attack,
@@ -892,15 +1222,36 @@ class Engine:
         worker results are absorbed back into it, mirroring
         :meth:`evaluate_matrix`.
         """
+        return self.run(
+            ScenarioSpec(
+                "simulate_sweep",
+                attacks=tuple(attacks) if attacks is not None else None,
+                defenses=tuple(defenses) if defenses is not None else None,
+                secret=secret,
+                model=model,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_simulate_sweep(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .uarch.config import DEFAULT_CONFIG
         from .uarch.defenses import SimDefense
         from .uarch.timing.scheduler import DEFAULT_MODEL
         from .uarch.timing.validate import SCENARIOS
 
+        model = decode_model(spec.get("model"))
         run_model = model if model is not None else DEFAULT_MODEL
+        secret = decode_secret(spec.get("secret"))
+        attacks = spec.get("attacks")
+        defenses = spec.get("defenses")
         chosen_attacks = list(attacks) if attacks is not None else sorted(SCENARIOS)
         chosen_defenses: List[Optional[SimDefense]] = (
-            list(defenses) if defenses is not None else [None] + list(SimDefense)
+            [
+                None if defense is None else decode_sim_defense(defense)
+                for defense in defenses
+            ]
+            if defenses is not None
+            else [None] + list(SimDefense)
         )
         combos = sorted(
             (
@@ -912,6 +1263,7 @@ class Engine:
         )
         workers = self._workers(parallel)
         if workers > 1:
+            ref = store_ref(self.store)
             misses = []
             for attack, defense_names in combos:
                 run_config = DEFAULT_CONFIG.with_defenses(
@@ -920,7 +1272,9 @@ class Engine:
                 key = (SCENARIOS.get(attack, attack), run_config, secret, run_model)
                 if key not in self._simulations:
                     misses.append((attack, defense_names, secret, run_model))
-            computed = self._run_sharded(_simulate_shard_worker, misses, workers)
+            computed = self._run_sharded(
+                partial(_simulate_shard_worker, ref), misses, workers
+            )
             for (attack, defense_names, miss_secret, miss_model), result in zip(
                 misses, computed
             ):
@@ -960,16 +1314,36 @@ class Engine:
         self,
         parallel: Optional[int] = None,
         model: Optional["TimingModel"] = None,
+        attacks: Optional[Sequence[str]] = None,
     ) -> Result:
         """Cross-check Theorem 1 for every registry attack (timing vs TSG).
+
+        Deprecated spelling of ``run(ScenarioSpec("validate_timing", ...))``.
 
         ``model`` selects the timing-plane configuration; pass
         :data:`~repro.uarch.timing.scheduler.CONTENDED_MODEL` to validate
         the race with bounded FU ports and CDB.
         """
+        return self.run(
+            ScenarioSpec(
+                "validate_timing",
+                model=model,
+                attacks=tuple(attacks) if attacks is not None else None,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_validate_timing(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .uarch.timing.validate import cross_validate
 
-        checks = cross_validate(engine=self, parallel=parallel, model=model)
+        model = decode_model(spec.get("model"))
+        attacks = spec.get("attacks")
+        checks = cross_validate(
+            list(attacks) if attacks is not None else None,
+            engine=self,
+            parallel=parallel,
+            model=model,
+        )
         data = {
             "attacks": len(checks),
             "contended": bool(model is not None and model.contended),
@@ -997,6 +1371,8 @@ class Engine:
     ) -> Result:
         """The paper's window-length ablation, in measured cycles.
 
+        Deprecated spelling of ``run(ScenarioSpec("window_ablation", ...))``.
+
         Sweeps every attack over a (ROB size, RS entries) x port-configuration
         grid of :class:`~repro.uarch.timing.scheduler.TimingModel` variants
         and reports the measured speculation-window length, the transmit /
@@ -1013,6 +1389,26 @@ class Engine:
         to zero -- the structural reason the pre-contention timing plane
         could not measure this channel family.
         """
+        return self.run(
+            ScenarioSpec(
+                "window_ablation",
+                attacks=tuple(attacks) if attacks is not None else None,
+                window_grid=(
+                    tuple(tuple(point) for point in window_grid)
+                    if window_grid is not None
+                    else None
+                ),
+                port_configs=(
+                    tuple((label, dict(overrides)) for label, overrides in port_configs)
+                    if port_configs is not None
+                    else None
+                ),
+                secret=secret,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_window_ablation(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from dataclasses import replace
 
         from .channels.contention import (
@@ -1024,10 +1420,20 @@ class Engine:
         from .uarch.timing.scheduler import DEFAULT_MODEL
         from .uarch.timing.validate import SCENARIOS
 
+        attacks = spec.get("attacks")
+        window_grid = spec.get("window_grid")
+        port_configs = spec.get("port_configs")
+        secret = decode_secret(spec.get("secret"))
         chosen = list(attacks) if attacks is not None else sorted(SCENARIOS)
-        grid = list(window_grid) if window_grid is not None else list(DEFAULT_WINDOW_GRID)
+        grid = (
+            [tuple(point) for point in window_grid]
+            if window_grid is not None
+            else list(DEFAULT_WINDOW_GRID)
+        )
         configs = (
-            list(port_configs) if port_configs is not None else list(DEFAULT_PORT_CONFIGS)
+            [(label, dict(overrides)) for label, overrides in port_configs]
+            if port_configs is not None
+            else list(DEFAULT_PORT_CONFIGS)
         )
         combos = [
             (attack, rob, rs, label,
@@ -1042,6 +1448,7 @@ class Engine:
             # Aliased registry attacks (the MDS siblings, the Foreshadow
             # deployments, ...) share one scenario and therefore one cache
             # key -- ship each missing key to the pool once, not per alias.
+            ref = store_ref(self.store)
             misses = []
             queued = set()
             for attack, _, _, _, model in combos:
@@ -1049,7 +1456,9 @@ class Engine:
                 if key not in self._simulations and key not in queued:
                     queued.add(key)
                     misses.append((attack, (), secret, model))
-            computed = self._run_sharded(_simulate_shard_worker, misses, workers)
+            computed = self._run_sharded(
+                partial(_simulate_shard_worker, ref), misses, workers
+            )
             for (attack, _, miss_secret, model), result in zip(misses, computed):
                 key = (SCENARIOS.get(attack, attack), DEFAULT_CONFIG, miss_secret, model)
                 if key not in self._simulations:
@@ -1118,11 +1527,26 @@ class Engine:
     ) -> Result:
         """Analyze a program, insert fences, re-analyze (Figure 9 patch flow).
 
+        Deprecated spelling of ``run(ScenarioSpec("patch", program=...))``.
+
         Both analyses run through this session's artifact cache; the envelope
         carries the patch summary and the patched listing.
         """
+        return self.run(
+            ScenarioSpec(
+                "patch",
+                program=program,
+                protected_symbols=(
+                    tuple(protected_symbols) if protected_symbols is not None else None
+                ),
+            )
+        )
+
+    def _run_patch(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         from .graphtool.patcher import patch_program
 
+        program = decode_program(spec.get("program"), spec.get("name"))
+        protected_symbols = spec.get("protected_symbols")
         patch = patch_program(program, protected_symbols, engine=self)
         data = {
             "program": program.name,
@@ -1147,16 +1571,65 @@ class Engine:
         attack: str,
         defenses: Optional[Sequence["SimDefense"]] = None,
         secret: Optional[int] = None,
+        config: Optional["UarchConfig"] = None,
+        parallel: Optional[int] = None,
     ) -> Result:
-        """Run one exploit with no defense, then under each simulator defense."""
-        from .exploits.harness import DEFAULT_SECRET, EXPLOITS, defense_ablation
+        """Run one exploit with no defense, then under each simulator defense.
 
+        Deprecated spelling of ``run(ScenarioSpec("ablation", attack=...))``.
+        The per-defense runs expand to an explicit exploit grid sharded over
+        :meth:`Engine.map`, like every other grid in the engine.
+        """
+        return self.run(
+            ScenarioSpec(
+                "ablation",
+                attack=attack,
+                defenses=tuple(defenses) if defenses is not None else None,
+                secret=secret,
+                config=config,
+            ),
+            parallel=parallel,
+        )
+
+    def _run_ablation(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
+        from .exploits.harness import AblationRow, DEFAULT_SECRET, EXPLOITS
+        from .uarch.config import DEFAULT_CONFIG
+        from .uarch.defenses import SimDefense
+
+        attack = spec.get("attack")
         if attack not in EXPLOITS:
             raise KeyError(
                 f"unknown exploit {attack!r}; known: {', '.join(sorted(EXPLOITS))}"
             )
+        secret = decode_secret(spec.get("secret"))
         planted = DEFAULT_SECRET if secret is None else secret
-        rows = defense_ablation(attack, defenses, secret=planted)
+        config = decode_config(spec.get("config"))
+        base = config if config is not None else DEFAULT_CONFIG
+        defenses = spec.get("defenses")
+        selected = (
+            [decode_sim_defense(defense) for defense in defenses]
+            if defenses is not None
+            else list(SimDefense)
+        )
+        # The undefended baseline followed by one point per defense, in
+        # caller order -- an explicit grid sharded over the execution plane.
+        points = [
+            ScenarioSpec("exploit", exploit=attack, secret=planted, config=base)
+        ] + [
+            ScenarioSpec(
+                "exploit",
+                exploit=attack,
+                secret=planted,
+                config=base.with_defenses(defense),
+            )
+            for defense in selected
+        ]
+        grid_result = self.run_grid(ScenarioGrid.explicit(points), parallel=parallel)
+        leaks = [bool(point.data["success"]) for point in grid_result.payload]
+        rows = [AblationRow(attack, None, leaks[0])] + [
+            AblationRow(attack, defense, leaked)
+            for defense, leaked in zip(selected, leaks[1:])
+        ]
         baseline = rows[0]
         defended = rows[1:]
         data = {
@@ -1262,16 +1735,28 @@ _DEFAULT_ENGINE: Optional[Engine] = None
 
 
 def default_engine() -> Engine:
-    """The module-wide engine the legacy free functions delegate to."""
+    """The module-wide engine the legacy free functions delegate to.
+
+    Never hands out a closed session: if the current default was closed
+    (e.g. by ``set_default_engine(None)`` or a ``with`` block), the next
+    caller gets a fresh engine instead of resurrecting the old one's pool.
+    """
     global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
+    if _DEFAULT_ENGINE is None or _DEFAULT_ENGINE.closed:
         _DEFAULT_ENGINE = Engine()
     return _DEFAULT_ENGINE
 
 
 def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
-    """Swap the default engine (tests, custom pool sizes); returns the old one."""
+    """Swap the default engine (tests, custom pool sizes); returns the old one.
+
+    ``set_default_engine(None)`` ends the default session: the engine being
+    replaced has its worker pool closed (nothing else will ever drain it),
+    and the next :func:`default_engine` call creates a fresh session.
+    """
     global _DEFAULT_ENGINE
     previous = _DEFAULT_ENGINE
     _DEFAULT_ENGINE = engine
+    if engine is None and previous is not None:
+        previous.close()
     return previous

@@ -259,6 +259,61 @@ def measure_engine_analyze(gadgets: int = 8, repeats: int = 3) -> Dict[str, obje
     }
 
 
+def measure_disk_store(repeats: int = 3) -> Dict[str, object]:
+    """Cold spec execution vs a warm disk-store hit in a *fresh* session.
+
+    The cold side runs a ``simulate_sweep`` scenario spec through an engine
+    backed by an empty :class:`~repro.store.DiskStore` (so the timing
+    includes the pickling/persist cost); every warm repeat builds a brand
+    new engine and store instance on the same directory, so nothing can be
+    served from in-memory caches -- only the persistent artifact survives,
+    exactly like a second CLI/CI invocation.  The warm envelope must carry
+    byte-identical rows.
+    """
+    import shutil
+    import tempfile
+
+    from .engine import Engine
+    from .scenario import ScenarioSpec
+    from .store import DiskStore
+
+    spec = ScenarioSpec(
+        "simulate_sweep",
+        attacks=("meltdown", "spectre_v1"),
+        defenses=(None, "PREVENT_SPECULATIVE_LOADS"),
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-disk-bench-")
+    try:
+        def cold_run():
+            shutil.rmtree(tmp, ignore_errors=True)
+            with Engine(store=DiskStore(root=tmp, version="bench")) as engine:
+                return engine.run(spec)
+
+        cold_seconds, cold_result = _best_of(cold_run, repeats)
+
+        def warm_run():
+            with Engine(store=DiskStore(root=tmp, version="bench")) as engine:
+                return engine.run(spec)
+
+        warm_seconds, warm_result = _best_of(warm_run, max(repeats, 5))
+        if warm_result.cache != "warm" or warm_result.data != cold_result.data:
+            raise RuntimeError("warm disk-store run diverged from the cold run")
+        entries = DiskStore(root=tmp, version="bench").stats()["entries"]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "benchmark": "engine-disk-warm-run",
+        "spec_kind": spec.kind,
+        "runs": cold_result.data["runs"],
+        "store_entries": entries,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_warm_disk": (
+            cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def _legacy_attack_space_rows() -> List[Tuple]:
     """The pre-engine sweep: one graph build + full analysis per combination."""
     from .attacks.generator import enumerate_attack_space
@@ -449,6 +504,7 @@ def run_perf_suite(
         run["engine_results"] = [
             measure_engine_analyze(repeats=repeats),
             measure_engine_attack_space(workers=engine_workers, repeats=repeats),
+            measure_disk_store(repeats=repeats),
         ]
     if include_timing:
         run["timing_results"] = [
@@ -492,6 +548,9 @@ THRESHOLDS = {
     "all_pairs_speedup_min": 10.0,  # closure vs seed BFS, every graph size
     "warm_analyze_speedup_min": 5.0,  # warm Engine.analyze vs cold build
     "sharded_sweep_speedup_min": 1.0,  # sharded sweep not slower than serial
+    # A warm DiskStore hit in a fresh process/session must beat recomputing
+    # the spec by a wide margin -- the point of the persistent artifact cache.
+    "disk_warm_speedup_min": 5.0,
     "timing_event_speedup_min": 5.0,  # event queue vs per-cycle rescan
     # The arbitrated (port/CDB contention) event path must keep beating the
     # contended rescan loop by the same margin class.
@@ -532,6 +591,7 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
     if engine_run is None:
         failures.append("no engine benchmark recorded")
     else:
+        disk_seen = False
         for record in engine_run["engine_results"]:
             if record["benchmark"] == "engine-analyze-warm-cache":
                 if record["speedup_warm"] < THRESHOLDS["warm_analyze_speedup_min"]:
@@ -546,6 +606,16 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
                         f"sharded attack-space sweep {speedup:.2f}x: slower than "
                         "the serial free-function baseline"
                     )
+            elif record["benchmark"] == "engine-disk-warm-run":
+                disk_seen = True
+                speedup = record["speedup_warm_disk"]
+                if speedup < THRESHOLDS["disk_warm_speedup_min"]:
+                    failures.append(
+                        f"warm DiskStore run {speedup:.1f}x over cold, below "
+                        f"the {THRESHOLDS['disk_warm_speedup_min']:.0f}x floor"
+                    )
+        if not disk_seen:
+            failures.append("no disk-store (warm spec run) benchmark recorded")
 
     timing_run = _latest_run_with(trajectory, "timing_results")
     if timing_run is None:
@@ -650,5 +720,12 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
                 f"{record['serial_seconds'] * 1e3:.1f} ms vs engine sharded "
                 f"(x{record['workers']}) {record['engine_sharded_seconds'] * 1e3:.1f} ms "
                 f"-> {record['speedup_sharded_vs_serial']:.1f}x"
+            )
+        elif record["benchmark"] == "engine-disk-warm-run":
+            lines.append(
+                f"disk store ({record['spec_kind']} spec, {record['runs']} runs): "
+                f"cold {record['cold_seconds'] * 1e3:.1f} ms vs warm fresh-session "
+                f"hit {record['warm_seconds'] * 1e3:.2f} ms -> "
+                f"{record['speedup_warm_disk']:.0f}x disk-warm speedup"
             )
     return lines

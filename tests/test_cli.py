@@ -281,6 +281,8 @@ class TestPerfCheck:
                     {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 1.0},
                     {"benchmark": "engine-attack-space-sharded",
                      "speedup_sharded_vs_serial": 0.5},
+                    {"benchmark": "engine-disk-warm-run",
+                     "speedup_warm_disk": 2.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -294,8 +296,9 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL") == 5
+        assert out.count("FAIL") == 6
         assert "contended event-queue scheduler" in out
+        assert "warm DiskStore run" in out
 
     def test_perf_check_flags_missing_contended_benchmark(self, tmp_path, capsys):
         stale = {
@@ -305,6 +308,8 @@ class TestPerfCheck:
                     {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
                     {"benchmark": "engine-attack-space-sharded",
                      "speedup_sharded_vs_serial": 4.0},
+                    {"benchmark": "engine-disk-warm-run",
+                     "speedup_warm_disk": 100.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -317,6 +322,28 @@ class TestPerfCheck:
         assert main(["perf", "--check", "-o", str(path)]) == 1
         assert "no contended event-scheduler benchmark" in capsys.readouterr().out
 
+    def test_perf_check_flags_missing_disk_store_benchmark(self, tmp_path, capsys):
+        stale = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 4.0},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 100.0},
+                    {"benchmark": "timing-event-queue-contended",
+                     "instructions": 500, "speedup_event_vs_rescan": 80.0},
+                ],
+            }]
+        }
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        assert main(["perf", "--check", "-o", str(path)]) == 1
+        assert "no disk-store" in capsys.readouterr().out
+
     def test_perf_check_passes_on_healthy_trajectory(self, tmp_path, capsys):
         good = {
             "runs": [{
@@ -325,6 +352,8 @@ class TestPerfCheck:
                     {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
                     {"benchmark": "engine-attack-space-sharded",
                      "speedup_sharded_vs_serial": 4.0},
+                    {"benchmark": "engine-disk-warm-run",
+                     "speedup_warm_disk": 100.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -367,3 +396,126 @@ class TestPerfCheck:
     def test_perf_check_missing_file(self, tmp_path, capsys):
         assert main(["perf", "--check", "-o", str(tmp_path / "absent.json")]) == 1
         assert "does not exist" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    """The declarative `repro run` subcommand (specs, grids, stores)."""
+
+    def test_run_kind_simulate_json(self, capsys):
+        assert main(["run", "--kind", "simulate",
+                     "--param", "attack=spectre_v1", "--json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "simulate"
+        assert envelope["data"]["transmit_beats_squash"] is True
+
+    def test_run_kind_simulate_text(self, capsys):
+        assert main(["run", "--kind", "simulate",
+                     "--param", "attack=spectre_v1"]) == 1
+        assert "TRANSMIT WINS" in capsys.readouterr().out
+
+    def test_run_parses_hex_and_none_values(self, capsys):
+        assert main(["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+                     "--param", "secret=0x41", "--param", "model=none",
+                     "--json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["data"]["recovered"] == 0x41
+
+    def test_run_analyze_program_path(self, listing_file, capsys):
+        assert main(["run", "--kind", "analyze",
+                     "--param", f"program_path={listing_file}", "--json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "analyze"
+        assert envelope["data"]["vulnerable"] is True
+        assert envelope["data"]["program"] == listing_file
+
+    def test_run_axis_builds_a_grid(self, capsys):
+        assert main(["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+                     "--axis", 'defenses=[null,["PREVENT_SPECULATIVE_LOADS"]]',
+                     "--json"]) == 1  # the undefended point leaks -> not ok
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "simulate_grid"
+        assert envelope["data"]["points"] == 2
+        verdicts = [row["data"]["transmit_beats_squash"]
+                    for row in envelope["data"]["rows"]]
+        assert verdicts == [True, False]
+
+    def test_run_spec_file(self, tmp_path, listing_file, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "kind": "analyze",
+            "params": {"program_path": listing_file},
+        }))
+        assert main(["run", "--spec", str(plan), "--json"]) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["data"]["vulnerable"] is True
+
+    def test_run_grid_spec_file(self, tmp_path, capsys):
+        plan = tmp_path / "grid.json"
+        plan.write_text(json.dumps({
+            "kind": "exploit",
+            "base": {"secret": 33},
+            "axes": {"exploit": ["spectre_v1", "meltdown"]},
+        }))
+        assert main(["run", "--spec", str(plan), "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "exploit_grid"
+        assert [row["data"]["recovered"] for row in envelope["data"]["rows"]] == [33, 33]
+
+    def test_run_requires_spec_or_kind(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_unknown_kind_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--kind", "rowhammer"])
+
+    def test_run_unknown_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--kind", "simulate", "--param", "warp=9"])
+
+    def test_run_malformed_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--kind", "simulate", "--param", "attack"])
+
+
+class TestStoreFlag:
+    """--store is threaded through every engine-backed subcommand."""
+
+    def test_second_invocation_is_served_from_disk(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        argv = ["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+                "--store", store, "--json"]
+        assert main(argv) == 1
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 1  # a fresh engine: only the disk store is shared
+        second = json.loads(capsys.readouterr().out)
+        assert (first["cache"], second["cache"]) == ("cold", "warm")
+        assert second["data"] == first["data"]
+
+    def test_analyze_store_roundtrip(self, tmp_path, listing_file, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["analyze", listing_file, "--store", store, "--json"]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["analyze", listing_file, "--store", store, "--json"]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["cache"] == "cold" and warm["cache"] == "warm"
+        assert warm["data"] == cold["data"]
+
+    def test_memory_store_selector_parses(self, capsys):
+        assert main(["simulate", "spectre_v1", "--store", "memory", "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["kind"] == "simulate"
+
+    def test_store_flag_on_every_engine_subcommand(self):
+        parser = build_parser()
+        for argv in (
+            ["evaluate", "lfence", "spectre_v1"],
+            ["analyze", "victim.s"],
+            ["patch", "victim.s"],
+            ["exploit", "meltdown"],
+            ["ablation", "spectre_v1"],
+            ["simulate", "spectre_v1"],
+            ["run", "--kind", "simulate"],
+            ["report"],
+        ):
+            args = parser.parse_args([argv[0], "--store", "disk", *argv[1:]])
+            assert args.store == "disk"

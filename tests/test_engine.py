@@ -314,6 +314,36 @@ class TestDefaultEngine:
     def test_default_engine_is_a_singleton(self):
         assert default_engine() is default_engine()
 
+    def test_set_default_engine_none_closes_the_replaced_session(self):
+        previous = set_default_engine(None)
+        try:
+            engine = default_engine()
+            engine.map(abs, [-1, 1], parallel=2)  # spin up a pool
+            replaced = set_default_engine(None)
+            assert replaced is engine
+            assert engine.closed
+            assert engine._executor is None  # the pool was shut down
+        finally:
+            set_default_engine(previous)
+
+    def test_shims_do_not_resurrect_a_closed_engine(self):
+        previous = set_default_engine(None)
+        try:
+            with default_engine() as engine:
+                pass  # the context manager closes the session
+            assert engine.closed
+            fresh = default_engine()
+            assert fresh is not engine and not fresh.closed
+        finally:
+            set_default_engine(previous)
+
+    def test_closed_engine_still_answers_serially_without_a_pool(self):
+        engine = Engine()
+        engine.close()
+        assert engine.map(abs, [-3, 2], parallel=4) == [3, 2]
+        assert engine._executor is None  # parallel call did not respawn one
+        assert engine.simulate("spectre_v1").kind == "simulate"
+
 
 # ---------------------------------------------------------------------------
 # Memoized micro-op expansion
@@ -502,6 +532,41 @@ class TestEnginePatchAblation:
     def test_ablation_unknown_exploit(self, engine):
         with pytest.raises(KeyError):
             engine.ablation("rowhammer")
+
+    def test_sharded_ablation_matches_serial(self):
+        """ROADMAP open item: the exploit ablation shards over Engine.map
+        (via its explicit exploit scenario grid) with identical rows."""
+        serial = Engine().ablation("spectre_v1")
+        with Engine() as session:
+            sharded = session.ablation("spectre_v1", parallel=2)
+        assert sharded.data == serial.data
+        assert [row.defense for row in sharded.payload] == [
+            row.defense for row in serial.payload
+        ]
+
+    def test_ablation_routes_through_the_exploit_grid(self, engine):
+        from repro.uarch import SimDefense
+
+        engine.ablation("spectre_v1", defenses=[SimDefense.KERNEL_ISOLATION])
+        runs = engine.stats()["runs"]
+        assert runs["ablation"] == 1
+        assert runs["exploit"] == 2  # baseline + one defended point
+        assert runs["grid"] == 2
+
+    def test_ablation_respects_a_custom_config(self, engine):
+        from repro.uarch import UarchConfig
+
+        tiny = UarchConfig(speculative_window=1)
+        result = engine.ablation("spectre_v1", defenses=[], config=tiny)
+        assert result.data["baseline_leaks"] is False  # window too small
+
+    def test_legacy_defense_ablation_wrapper_matches_engine(self):
+        from repro.exploits.harness import defense_ablation
+        from repro.uarch import SimDefense
+
+        rows = defense_ablation("spectre_v1", [SimDefense.PREVENT_SPECULATIVE_LOADS])
+        assert [row.leaked for row in rows] == [True, False]
+        assert rows[0].defense is None
 
 
 class TestAblateWindow:
