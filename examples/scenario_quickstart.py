@@ -83,7 +83,35 @@ with tempfile.TemporaryDirectory() as cache_dir:
           f"{warm_ms:.2f} ms ({cold_ms / warm_ms:.0f}x), byte-identical rows")
 
 # ---------------------------------------------------------------------------
-# 4. Specs serialize: the CLI runs the same JSON (`repro run --spec plan.json`)
+# 4. Resumable campaigns: a killed grid recomputes only the missing points
+# ---------------------------------------------------------------------------
+with tempfile.TemporaryDirectory() as cache_dir:
+    campaign = ScenarioGrid(
+        "simulate",
+        axes={"attack": ["spectre_v1", "meltdown"], "secret": [0x41, 0x42, 0x43]},
+    )
+    specs = campaign.specs()
+
+    # Simulate a campaign interrupted after 2 of its 6 points: each point
+    # streamed out of Engine.iter_grid is durable the moment it is yielded
+    # (the CLI equivalent dies to Ctrl-C / SIGKILL mid `repro run`).
+    with Engine(store=DiskStore(root=cache_dir)) as engine:
+        for done, point in enumerate(engine.iter_grid(campaign), start=1):
+            if done == 2:
+                break  # the "crash"
+    print(f"interrupted campaign: 2/{len(specs)} points checkpointed")
+
+    # The relaunch (`repro run ... --store cache/ --resume`) serves the
+    # checkpoints and recomputes only the other four.
+    with Engine(store=DiskStore(root=cache_dir)) as engine:
+        resumed = engine.run_grid(campaign)
+        accounting = engine.stats()["grid"]
+    print(f"resumed: {accounting['resumed']} from checkpoints, "
+          f"{resumed.data['points'] - accounting['resumed']} recomputed, "
+          f"{resumed.data['points']} total\n")
+
+# ---------------------------------------------------------------------------
+# 5. Specs serialize: the CLI runs the same JSON (`repro run --spec plan.json`)
 # ---------------------------------------------------------------------------
 print("\nthe same sweep as a JSON run plan:")
 print(sweep_spec.to_json())

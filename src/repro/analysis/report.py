@@ -9,7 +9,7 @@ artifact to diff when they extend the catalog.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..attacks import ALL_VARIANTS, AttackVariant, variants
 from ..defenses import ALL_DEFENSES, Defense
@@ -179,19 +179,44 @@ def exploit_section(result: "Result") -> str:
     return table
 
 
+def _grid_row_verdict(row: Dict[str, object]) -> str:
+    if row.get("data", {}).get("quarantined"):
+        return "QUARANTINED"
+    return "yes" if row["ok"] else "NO"
+
+
 def grid_section(result: "Result") -> str:
-    """Render a generic ``<kind>_grid`` envelope: one verdict row per point."""
+    """Render a generic ``<kind>_grid`` envelope: one verdict row per point.
+
+    Points quarantined by the failure policy (``kind="error"`` envelopes)
+    are flagged in place and summarized in the footer.
+    """
     data = result.data
     table = format_table(
         ("point", "subject", "ok"),
         [
-            (index, row["subject"], "yes" if row["ok"] else "NO")
+            (index, row["subject"], _grid_row_verdict(row))
             for index, row in enumerate(data["rows"])
         ],
     )
-    return (
-        f"{table}\n{data['ok_points']}/{data['points']} points ok "
+    footer = (
+        f"{data['ok_points']}/{data['points']} points ok "
         f"(kind {data['kind']})"
+    )
+    if data.get("quarantined"):
+        footer += (
+            f"; {data['quarantined']} quarantined after repeated failures "
+            "(re-run with --resume to retry them)"
+        )
+    return f"{table}\n{footer}"
+
+
+def error_section(result: "Result") -> str:
+    """Render a quarantined point's ``error`` envelope."""
+    data = result.data
+    return (
+        f"ERROR {result.subject}: {data['error']}: {data['message']} "
+        f"(quarantined after {data['attempts']} attempts)"
     )
 
 
@@ -208,6 +233,8 @@ def render_result(result: "Result", kind: Optional[str] = None) -> str:
     kind = kind or result.kind
     if kind.endswith("_grid"):
         return grid_section(result)
+    if kind == "error":
+        return error_section(result)
     if kind == "window_ablation":
         return window_ablation_section(result)
     if kind == "validate_timing" or result.subject == "theorem1-validation":

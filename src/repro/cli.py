@@ -56,8 +56,9 @@ from . import analysis
 from .analysis.report import full_report, render_result
 from .attacks import ALL_VARIANTS, get as get_attack
 from .defenses import ALL_DEFENSES, get as get_defense
-from .engine import Engine, default_engine
+from .engine import Engine, FailurePolicy, default_engine, halt_default_engine
 from .exploits import EXPLOITS
+from .faults import apply_store_faults, load_fault_plan
 from .isa import assemble
 from .scenario import (
     KINDS,
@@ -295,6 +296,33 @@ def _parse_axes(pairs: Optional[Sequence[str]]) -> Dict[str, List[object]]:
     return axes
 
 
+def _run_session(args: argparse.Namespace) -> Engine:
+    """The (possibly fault-tolerant) engine behind ``repro run``.
+
+    ``--resume`` implies a persistent store (the default disk cache when
+    none was selected) -- a resume without durable checkpoints would have
+    nothing to resume from.  ``--faults`` threads a deterministic
+    fault-injection plan through the engine and (for store-level faults)
+    wraps the artifact store; ``--timeout`` / ``--retries`` switch grid
+    execution onto the supervised failure-policy plane.
+    """
+    store = open_store(getattr(args, "store", None))
+    if args.resume and store is None:
+        store = open_store("disk")
+    plan = load_fault_plan(args.faults) if args.faults else None
+    if plan is not None:
+        store = apply_store_faults(store, plan)
+    policy = None
+    if args.timeout is not None or args.retries is not None:
+        policy = FailurePolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
+    if store is None and plan is None and policy is None:
+        return default_engine()
+    return Engine(store=store, policy=policy, faults=plan)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.spec:
         plan = load_scenario(args.spec)
@@ -316,9 +344,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc))
     else:
         raise SystemExit("run needs --spec FILE or --kind KIND")
-    engine = _session(args)
+    try:
+        engine = _run_session(args)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"run failed: {exc}")
     try:
         result = engine.run(plan, parallel=args.parallel)
+    except KeyboardInterrupt:
+        # Completed points are already durable (each one was persisted the
+        # moment it finished); kill the pool without joining possibly hung
+        # workers and tell the user how to pick the campaign back up.
+        engine.halt()
+        print(
+            "interrupted -- completed grid points stay checkpointed in the "
+            "artifact store; re-run the same command with --resume to "
+            "continue from the last completed point",
+            file=sys.stderr,
+        )
+        return 130
     except (KeyError, TypeError, ValueError) as exc:
         # Parameter decode errors (unknown attack, bogus model name, ...)
         # are user input errors: one clean line, not a traceback.
@@ -329,6 +372,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         kind = plan.kind if isinstance(plan, ScenarioSpec) else f"{plan.kind}_grid"
         print(render_result(result, kind))
+    if args.resume:
+        # Campaign accounting on stderr: stdout stays the pristine envelope.
+        if isinstance(plan, ScenarioGrid):
+            summary = engine.stats()["grid"]
+            total = int(result.data.get("points", 0))
+            resumed = summary["resumed"]
+            print(
+                f"resume: {resumed}/{total} points served from checkpoints, "
+                f"{total - resumed} recomputed, "
+                f"{summary['quarantined']} quarantined",
+                file=sys.stderr,
+            )
+        else:
+            state = (
+                "served from checkpoint" if result.cache == "warm" else "recomputed"
+            )
+            print(f"resume: {state}", file=sys.stderr)
     return 0 if result.ok else 1
 
 
@@ -507,6 +567,28 @@ def build_parser() -> argparse.ArgumentParser:
                             help="shard grid execution over N workers")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the engine Result envelope as JSON")
+    run_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign: serve completed grid points "
+             "from the artifact store (implies --store disk when no store "
+             "is selected) and recompute only the missing ones",
+    )
+    run_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit; a worker silent past it is "
+             "presumed hung, killed and the point retried in isolation",
+    )
+    run_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts a failing grid point gets before it is "
+             "quarantined as an error envelope (default 2 when --timeout "
+             "enables the failure policy)",
+    )
+    run_parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="deterministic fault-injection plan (testing): seeded worker "
+             "exceptions / hangs / crashes and store corruption",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = subparsers.add_parser(
@@ -540,7 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # The backstop for every subcommand (run has its own richer
+        # handler): never a traceback, never a join on a wedged pool.
+        halt_default_engine()
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console entry point

@@ -45,14 +45,26 @@ from __future__ import annotations
 import copy
 import json
 import pickle
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+import random
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from functools import partial
 from pickle import PicklingError
 from dataclasses import dataclass, field, replace
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -97,6 +109,9 @@ from .scenario import (
 from .store import ArtifactStore, store_from_ref, store_ref
 from .uarch.timing.scheduler import CONTENDED_MODEL, SERIALIZED_MODEL
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultPlan
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -137,6 +152,83 @@ class Result:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant grid execution: policy, streaming points, quarantine
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How a grid survives misbehaving points (``Engine(policy=...)``).
+
+    With a policy set, grid misses execute as *per-point* pool tasks under
+    supervision instead of contiguous shards:
+
+    * ``timeout`` -- wall-clock seconds a point may run before its worker
+      is presumed hung; the pool is killed and the point retried in
+      isolation.  ``None`` disables the clock.  A pure-serial engine
+      (no pool available) cannot preempt in-process work, so timeouts are
+      only enforceable across a process boundary.
+    * ``retries`` -- extra attempts a failing point gets, each in an
+      isolated single-inflight pool task so an innocent neighbour never
+      burns the budget of the point that actually killed the worker.
+    * ``backoff`` / ``backoff_cap`` / ``jitter`` -- exponential delay
+      between attempts (``backoff * 2**(attempt-1)``, capped, +/- jitter
+      fraction drawn from a ``seed``-ed RNG -- deterministic per session).
+    * ``quarantine`` -- exhausted points become first-class
+      ``Result(kind="error")`` envelopes (never checkpointed, so a
+      ``--resume`` retries them) instead of aborting the campaign;
+      ``False`` raises :class:`GridPointFailed`.
+
+    Without a policy (the default) grids run the legacy contiguous-shard
+    plane with byte-identical envelopes and fail-fast semantics.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+    quarantine: bool = True
+    seed: int = 0
+
+
+class GridPointFailed(RuntimeError):
+    """A grid point exhausted its retry budget under ``quarantine=False``."""
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One streamed grid point: its expansion index, spec and envelope."""
+
+    index: int
+    spec: ScenarioSpec
+    result: Result
+
+
+def _failure_info(exc: BaseException, note: Optional[str] = None) -> Tuple[str, str]:
+    """(error type, message) of a point failure, for the error envelope."""
+    return (type(exc).__name__, note if note is not None else str(exc))
+
+
+def _error_envelope(
+    spec: ScenarioSpec, failure: Tuple[str, str], attempts: int
+) -> Result:
+    """The quarantine envelope of a point that survived no attempt."""
+    error, message = failure
+    return Result(
+        kind="error",
+        subject=spec.describe(),
+        ok=False,
+        cache="none",
+        data={
+            "kind": spec.kind,
+            "error": error,
+            "message": message,
+            "attempts": attempts,
+            "quarantined": True,
+        },
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -211,15 +303,31 @@ def _simulate_shard_worker(
     ]
 
 
-def _spec_shard_worker(ref: StoreRef, specs: Sequence[ScenarioSpec]) -> List[Result]:
+def _spec_shard_worker(
+    ref: StoreRef, faults: Optional["FaultPlan"], specs: Sequence[ScenarioSpec]
+) -> List[Result]:
     """Execute one shard of a generic scenario grid.
 
     Each worker builds its own serial ``Engine``; with a disk-backed store
     reference the worker joins the parent's persistent cache, so repeated
-    grids are warm across processes.
+    grids are warm across processes -- and every completed point is a
+    durable checkpoint the moment its envelope is persisted.
     """
-    engine = Engine(store=store_from_ref(ref))
+    engine = Engine(store=store_from_ref(ref), faults=faults)
     return [engine.run(spec) for spec in specs]
+
+
+def _point_worker(
+    ref: StoreRef, faults: Optional["FaultPlan"], spec: ScenarioSpec
+) -> Result:
+    """Execute a single grid point: the failure-policy execution unit.
+
+    One point per pool task keeps blame assignment exact -- when a worker
+    dies or wedges, the supervisor knows precisely which spec it was
+    holding, retries it in isolation and quarantines only that point.
+    """
+    engine = Engine(store=store_from_ref(ref), faults=faults)
+    return engine.run(spec)
 
 
 #: (ROB entries, reservation stations) points of the window-length ablation:
@@ -351,10 +459,29 @@ class Engine:
         parallel: Optional[int] = None,
         cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
         store: Optional[ArtifactStore] = None,
+        policy: Optional[FailurePolicy] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.parallel = parallel
         self.cache_limit = cache_limit
         self.store = store
+        #: Optional :class:`FailurePolicy` supervising grid execution.
+        #: ``None`` keeps the legacy fail-fast shard plane (byte-identical
+        #: envelopes); a policy switches misses to supervised per-point
+        #: tasks with timeout / retry / quarantine semantics.
+        self.policy = policy
+        #: Optional :class:`~repro.faults.FaultPlan`: deterministic fault
+        #: injection, threaded to worker engines with the work.
+        self.faults = faults
+        #: Cumulative fault-tolerance counters (``stats()["grid"]``).
+        self._grid_summary: Dict[str, int] = {
+            "resumed": 0,
+            "retried": 0,
+            "quarantined": 0,
+            "timeouts": 0,
+            "pool_respawns": 0,
+            "serial_degradations": 0,
+        }
         self._builds: Dict[Tuple, BuildResult] = {}
         self._analyses: Dict[Tuple, AnalysisReport] = {}
         #: Keyed on the (frozen) Defense / AttackVariant objects themselves, so
@@ -423,6 +550,7 @@ class Engine:
             "misses": info.misses,
         }
         report["runs"] = dict(sorted(self._runs.items()))
+        report["grid"] = dict(self._grid_summary)
         if self.store is not None:
             report["store"] = self.store.stats()
         return report
@@ -496,6 +624,40 @@ class Engine:
             self._executor.shutdown()
             self._executor = None
             self._executor_workers = 0
+
+    def _kill_pool(self) -> None:
+        """Terminate worker processes and drop the pool *without waiting*.
+
+        The graceful :meth:`_shutdown_pool` joins every worker -- which
+        deadlocks when the reason for shutting down is a hung or dying
+        worker.  This path SIGTERMs the workers first and never waits; a
+        later parallel call respawns a fresh pool.
+        """
+        executor = self._executor
+        self._executor = None
+        self._executor_workers = 0
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - process already reaped
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executor internals
+            pass
+
+    def halt(self) -> None:
+        """End the session *now*: terminate workers, never wait.
+
+        The Ctrl-C path -- :meth:`close` would join a possibly hung pool.
+        Completed grid points already persisted through the artifact store
+        stay durable; everything in flight is abandoned.
+        """
+        self._kill_pool()
+        self._closed = True
 
     def close(self) -> None:
         """End the session: shut the pool down for good (caches are kept).
@@ -602,58 +764,79 @@ class Engine:
             cached = self.store.get(key)
             if isinstance(cached, Result):
                 return _warm_envelope(cached, aliased)
+        if self.faults is not None:
+            # Injected *after* the warm path: a checkpointed point must be
+            # servable on resume without re-tripping its fault.
+            self.faults.fire_point(spec.content_key())
         result = executor(spec, parallel)
         if self.store is not None:
             self.store.put(key, _store_snapshot(result, aliased))
         return result
 
-    def run_grid(
+    def iter_grid(
         self, grid: ScenarioGrid, *, parallel: Optional[int] = None
-    ) -> Result:
-        """Execute every point of a scenario grid and aggregate one envelope.
+    ) -> Iterator[GridPoint]:
+        """Stream a grid's points as they finish: the resumable pipeline.
 
-        Points already in the artifact store are served warm; the misses are
-        sharded over the execution plane (worker engines join a disk-backed
-        store, so cross-process grids converge on one persistent cache) and
-        absorbed back.  Rows come back in the grid's deterministic expansion
-        order -- parallel output is byte-identical to serial output.
+        Yields one :class:`GridPoint` per expansion point, *in completion
+        order* (checkpointed points first, then misses as their shard or
+        task completes).  Every completed point is persisted through the
+        session's artifact store before it is yielded -- with a
+        :class:`~repro.store.DiskStore` each yield is a durable checkpoint,
+        so a killed campaign relaunched against the same store recomputes
+        only the points never yielded (``stats()["grid"]["resumed"]``
+        counts the served checkpoints).
+
+        With a :class:`FailurePolicy` on the session the misses run as
+        supervised per-point tasks (timeout / retry / quarantine -- see the
+        policy's docstring); without one they run the legacy contiguous
+        shard plane and a point failure propagates fail-fast, exactly as
+        :meth:`run_grid` always did.
         """
         specs = grid.specs()
         self._runs["grid"] = self._runs.get("grid", 0) + len(specs)
-        results: List[Optional[Result]] = [None] * len(specs)
+        aliased = True
         misses: List[int] = []
         if self.store is not None:
             aliased = getattr(self.store, "aliases_values", True)
             for index, spec in enumerate(specs):
                 cached = self.store.get(spec.content_hash())
                 if isinstance(cached, Result):
-                    results[index] = _warm_envelope(cached, aliased)
+                    self._grid_summary["resumed"] += 1
+                    yield GridPoint(index, spec, _warm_envelope(cached, aliased))
                 else:
                     misses.append(index)
         else:
             misses = list(range(len(specs)))
+        if not misses:
+            return
         workers = self._workers(parallel)
-        if workers > 1 and len(misses) > 1:
-            ref = store_ref(self.store)
-            computed = self._run_sharded(
-                partial(_spec_shard_worker, ref),
-                [specs[index] for index in misses],
-                workers,
-            )
-            for index, result in zip(misses, computed):
-                results[index] = result
-                # Workers holding a disk-store reference persisted their
-                # points themselves; only process-local stores need the
-                # parent to absorb the result.
-                if self.store is not None and ref is None:
-                    self.store.put(
-                        specs[index].content_hash(),
-                        _store_snapshot(result, aliased),
-                    )
+        if self.policy is not None:
+            yield from self._iter_policy(specs, misses, workers, aliased)
+        elif workers > 1 and len(misses) > 1:
+            yield from self._iter_sharded(specs, misses, workers, aliased)
         else:
             for index in misses:
                 # run() handles the per-point store bookkeeping itself.
-                results[index] = self.run(specs[index])
+                yield GridPoint(index, specs[index], self.run(specs[index]))
+
+    def run_grid(
+        self, grid: ScenarioGrid, *, parallel: Optional[int] = None
+    ) -> Result:
+        """Execute every point of a scenario grid and aggregate one envelope.
+
+        The eager wrapper around :meth:`iter_grid`: drains the stream and
+        reassembles rows in the grid's deterministic expansion order --
+        parallel output is byte-identical to serial output, and a fault-free
+        run is byte-identical to the pre-streaming implementation.
+        Quarantined points (``kind="error"`` envelopes, only possible under
+        a :class:`FailurePolicy`) are surfaced as failed rows plus a
+        ``quarantined`` count in the grid data.
+        """
+        size = len(grid)
+        results: List[Optional[Result]] = [None] * size
+        for point in self.iter_grid(grid, parallel=parallel):
+            results[point.index] = point.result
         # No per-row cache provenance: a worker computes cold what a serial
         # run may serve warm, and grid rows must be byte-identical either
         # way.  Provenance is observable via stats()["store"] instead.
@@ -663,7 +846,7 @@ class Engine:
         ]
         data: Dict[str, object] = {
             "kind": grid.kind,
-            "points": len(specs),
+            "points": size,
             "ok_points": sum(1 for result in results if result.ok),
             "rows": rows,
         }
@@ -671,14 +854,253 @@ class Engine:
             data["axes"] = {
                 name: len(values) for name, values in grid.axes.items()
             }
+        quarantined = sum(1 for result in results if result.kind == "error")
+        if quarantined:
+            data["quarantined"] = quarantined
         return Result(
             kind=f"{grid.kind}_grid",
-            subject=f"grid {grid.kind} ({len(specs)} points)",
+            subject=f"grid {grid.kind} ({size} points)",
             ok=all(result.ok for result in results),
             cache="none",
             data=data,
             payload=list(results),
         )
+
+    def _absorb_point(
+        self, spec: ScenarioSpec, result: Result, aliased: bool, ref: StoreRef
+    ) -> None:
+        """Checkpoint a worker-computed point into a process-local store.
+
+        Workers holding a disk-store reference persisted their points
+        themselves; only process-local stores need the parent to absorb
+        the result.
+        """
+        if self.store is not None and ref is None:
+            self.store.put(spec.content_hash(), _store_snapshot(result, aliased))
+
+    def _iter_sharded(
+        self,
+        specs: Sequence[ScenarioSpec],
+        misses: List[int],
+        workers: int,
+        aliased: bool,
+    ) -> Iterator[GridPoint]:
+        """The legacy fail-fast plane, streaming per completed shard."""
+        ref = store_ref(self.store)
+        worker = partial(_spec_shard_worker, ref, self.faults)
+        payload = [specs[index] for index in misses]
+        pool = self._try_pool(workers)
+        if pool is None or not _picklable((worker, payload)):
+            for index in misses:
+                yield GridPoint(index, specs[index], self.run(specs[index]))
+            return
+        shards = _shards(misses, workers)
+        remaining: Dict[Future, List[int]] = {}
+        try:
+            for shard in shards:
+                remaining[pool.submit(worker, [specs[i] for i in shard])] = shard
+            for future in as_completed(list(remaining)):
+                rows = future.result()
+                shard = remaining.pop(future)
+                for index, result in zip(shard, rows):
+                    self._absorb_point(specs[index], result, aliased, ref)
+                    yield GridPoint(index, specs[index], result)
+        except (BrokenExecutor, PicklingError):
+            # A broken pool must not change results: the shards never
+            # yielded fall back to the deterministic serial path.
+            # Exceptions raised by a point itself propagate unchanged.
+            self._shutdown_pool()
+            for shard in remaining.values():
+                for index in shard:
+                    yield GridPoint(index, specs[index], self.run(specs[index]))
+
+    def _iter_policy(
+        self,
+        specs: Sequence[ScenarioSpec],
+        misses: List[int],
+        workers: int,
+        aliased: bool,
+    ) -> Iterator[GridPoint]:
+        """The supervised plane: per-point tasks under the failure policy."""
+        policy = self.policy
+        rng = random.Random(policy.seed)
+        ref = store_ref(self.store)
+        worker_fn = partial(_point_worker, ref, self.faults)
+        use_pool = workers > 1 and len(misses) > 1
+        pool = self._try_pool(workers) if use_pool else None
+        if pool is None or not _picklable(
+            (worker_fn, [specs[index] for index in misses])
+        ):
+            for index in misses:
+                yield GridPoint(
+                    index, specs[index], self._run_point_serial(specs[index], rng)
+                )
+            return
+        pending: Dict[Future, int] = {}
+        failed: List[Tuple[int, Tuple[str, str]]] = []
+        try:
+            for index in misses:
+                pending[pool.submit(worker_fn, specs[index])] = index
+        except (BrokenExecutor, PicklingError) as exc:
+            self._grid_summary["pool_respawns"] += 1
+            self._kill_pool()
+            submitted = set(pending.values())
+            failed.extend(
+                (index, _failure_info(exc, "task submission failed"))
+                for index in misses
+                if index not in submitted
+            )
+        while pending:
+            done, _ = wait(
+                list(pending), timeout=policy.timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Nothing finished inside the window: the workers holding
+                # these points are presumed hung.  Kill the pool (a plain
+                # shutdown would join the hung worker) and retry each
+                # point in isolation.
+                self._grid_summary["timeouts"] += 1
+                failure = ("Timeout", f"no completion within {policy.timeout}s")
+                failed.extend((index, failure) for index in pending.values())
+                pending.clear()
+                self._kill_pool()
+                break
+            broken = False
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    result = future.result()
+                except (BrokenExecutor, OSError) as exc:
+                    broken = True
+                    failed.append(
+                        (index, _failure_info(exc, "worker process died"))
+                    )
+                except Exception as exc:
+                    failed.append((index, _failure_info(exc)))
+                else:
+                    self._absorb_point(specs[index], result, aliased, ref)
+                    yield GridPoint(index, specs[index], result)
+            if broken:
+                # The whole pool is gone.  Harvest results that completed
+                # before the break; everything else joins the retry queue.
+                self._grid_summary["pool_respawns"] += 1
+                for future, index in list(pending.items()):
+                    try:
+                        result = future.result(timeout=0)
+                    except Exception as exc:
+                        failed.append(
+                            (index, _failure_info(exc, "worker process died"))
+                        )
+                    else:
+                        self._absorb_point(specs[index], result, aliased, ref)
+                        yield GridPoint(index, specs[index], result)
+                pending.clear()
+                self._kill_pool()
+        for index, failure in sorted(failed, key=lambda item: item[0]):
+            yield GridPoint(
+                index,
+                specs[index],
+                self._recover_point(specs[index], failure, rng, ref),
+            )
+
+    def _recover_point(
+        self,
+        spec: ScenarioSpec,
+        failure: Tuple[str, str],
+        rng: random.Random,
+        ref: StoreRef,
+    ) -> Result:
+        """Retry a failed point in isolation until it heals or quarantines."""
+        policy = self.policy
+        attempts = 1  # the failed first pass
+        last = failure
+        while attempts <= policy.retries:
+            self._grid_summary["retried"] += 1
+            delay = min(policy.backoff_cap, policy.backoff * (2 ** (attempts - 1)))
+            if policy.jitter:
+                delay *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0)
+            if delay > 0:
+                time.sleep(delay)
+            attempts += 1
+            outcome = self._attempt_isolated(spec, ref)
+            if isinstance(outcome, Result):
+                return outcome
+            last = outcome
+        if not policy.quarantine:
+            raise GridPointFailed(
+                f"{spec.describe()}: {last[0]}: {last[1]} (after {attempts} attempts)"
+            )
+        self._grid_summary["quarantined"] += 1
+        # Never checkpointed: a resume against the same store retries the
+        # quarantined point instead of replaying its failure.
+        return _error_envelope(spec, last, attempts)
+
+    def _attempt_isolated(
+        self, spec: ScenarioSpec, ref: StoreRef
+    ) -> Union[Result, Tuple[str, str]]:
+        """One supervised attempt of a single point; failure info on error.
+
+        The point rides alone in a (respawned if needed) pool task, so a
+        crash or timeout is unambiguously its own doing.  When no pool can
+        be spawned at all the engine degrades to in-process execution --
+        exceptions still count, but hangs and crashes can no longer be
+        contained (nothing preempts in-process work).
+        """
+        policy = self.policy
+        worker_fn = partial(_point_worker, ref, self.faults)
+        pool = self._try_pool(1)
+        if pool is not None and _picklable((worker_fn, spec)):
+            future = pool.submit(worker_fn, spec)
+            try:
+                result = future.result(timeout=policy.timeout)
+            except FutureTimeoutError:
+                self._grid_summary["timeouts"] += 1
+                self._kill_pool()
+                return ("Timeout", f"no result within {policy.timeout}s")
+            except (BrokenExecutor, OSError) as exc:
+                self._grid_summary["pool_respawns"] += 1
+                self._kill_pool()
+                return _failure_info(exc, "worker process died")
+            except Exception as exc:
+                return _failure_info(exc)
+            aliased = (
+                getattr(self.store, "aliases_values", True)
+                if self.store is not None
+                else True
+            )
+            self._absorb_point(spec, result, aliased, ref)
+            return result
+        self._grid_summary["serial_degradations"] += 1
+        try:
+            return self.run(spec)
+        except Exception as exc:
+            return _failure_info(exc)
+
+    def _run_point_serial(self, spec: ScenarioSpec, rng: random.Random) -> Result:
+        """The policy plane without any pool: in-process retry + quarantine."""
+        policy = self.policy
+        attempts = 0
+        last = ("Error", "never attempted")
+        while True:
+            attempts += 1
+            try:
+                return self.run(spec)
+            except Exception as exc:
+                last = _failure_info(exc)
+            if attempts > policy.retries:
+                break
+            self._grid_summary["retried"] += 1
+            delay = min(policy.backoff_cap, policy.backoff * (2 ** (attempts - 1)))
+            if policy.jitter:
+                delay *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0)
+            if delay > 0:
+                time.sleep(delay)
+        if not policy.quarantine:
+            raise GridPointFailed(
+                f"{spec.describe()}: {last[0]}: {last[1]} (after {attempts} attempts)"
+            )
+        self._grid_summary["quarantined"] += 1
+        return _error_envelope(spec, last, attempts)
 
     # -- Figure 9 program analysis ------------------------------------------
     def build(
@@ -1760,3 +2182,13 @@ def set_default_engine(engine: Optional[Engine]) -> Optional[Engine]:
     if engine is None and previous is not None:
         previous.close()
     return previous
+
+
+def halt_default_engine() -> None:
+    """Hard-stop the default session, if any (the Ctrl-C backstop).
+
+    Unlike ``set_default_engine(None)`` this never joins workers -- a hung
+    pool would block the interpreter's exit handlers indefinitely.
+    """
+    if _DEFAULT_ENGINE is not None and not _DEFAULT_ENGINE.closed:
+        _DEFAULT_ENGINE.halt()

@@ -1,0 +1,331 @@
+"""Deterministic fault injection for the fault-tolerant grid pipeline.
+
+Robustness code that is only exercised by real crashes is untestable, so
+this module provides *seeded, reproducible* failures that thread through
+:class:`~repro.engine.Engine` (``Engine(faults=plan)``) and the CLI
+(``repro run --faults plan.json``):
+
+* ``exception`` -- the executing engine raises :class:`FaultInjected`
+  before the point's executor runs (a worker that dies loudly).
+* ``hang`` -- the executing engine sleeps ``hang_seconds`` before the
+  executor runs (a worker that wedges; pair with
+  :class:`~repro.engine.FailurePolicy` timeouts).
+* ``crash`` -- the executing *process* SIGKILLs itself (a worker lost to
+  the OOM killer or a segfault).  Only meaningful under a process pool:
+  injected into a serial engine it kills that process, which is exactly
+  what the two-subprocess kill/resume tests use it for.
+* ``corrupt`` / ``partial_write`` -- the artifact store scribbles over or
+  truncates the entry it just persisted (a torn write surviving a power
+  cut), via :class:`FaultyDiskStore`.
+
+Whether a fault fires for a given grid point is a pure function of the
+plan ``seed``, the fault's position in the plan and the point's
+``content_key()`` -- the same plan hits the same points in every process
+and on every retry.  Three selectors compose per fault:
+
+* ``match`` -- substring of the spec's content key (e.g.
+  ``"attack='spectre_v2'"`` pins one grid point).
+* ``rate`` -- fraction of points hit, decided by hashing (seed, index,
+  key); ``1.0`` means every matched point.
+* ``count`` -- at most this many firings.  Counting is backed by token
+  files under ``state_dir`` so it holds across processes *and* retries
+  (claim-one-token = fire-once); without a ``state_dir`` the count is
+  per-plan-instance and resets at every pickle boundary, which makes a
+  worker-side fault fire on every retry -- pass ``state_dir`` for
+  heal-after-N-attempts scenarios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from .store import DiskStore
+
+#: Fault kinds injected at the execution site (engine, before a point's
+#: executor runs) vs. at the artifact-store write site.
+POINT_KINDS = frozenset({"exception", "hang", "crash"})
+STORE_KINDS = frozenset({"corrupt", "partial_write"})
+
+
+class FaultInjected(RuntimeError):
+    """The failure raised by an ``exception`` fault (so tests can tell an
+    injected fault from a genuine bug)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One seeded injector.
+
+    ``kind`` is one of :data:`POINT_KINDS` | :data:`STORE_KINDS`;
+    ``match`` / ``rate`` / ``count`` select the firing points (all
+    composable, see the module docstring); ``hang_seconds`` parameterizes
+    ``hang`` faults.
+    """
+
+    kind: str
+    match: Optional[str] = None
+    rate: float = 1.0
+    count: Optional[int] = None
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        known = POINT_KINDS | STORE_KINDS
+        if self.kind not in known:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(sorted(known))}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.count is not None and self.count < 0:
+            raise ValueError(f"fault count must be >= 0, got {self.count!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"kind": self.kind}
+        if self.match is not None:
+            out["match"] = self.match
+        if self.rate != 1.0:
+            out["rate"] = self.rate
+        if self.count is not None:
+            out["count"] = self.count
+        if self.kind == "hang":
+            out["hang_seconds"] = self.hang_seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FaultSpec":
+        known = {"kind", "match", "rate", "count", "hang_seconds"}
+        extra = set(raw) - known
+        if extra:
+            raise ValueError(
+                f"unknown fault field(s) {', '.join(sorted(extra))}; "
+                f"allowed: {', '.join(sorted(known))}"
+            )
+        if "kind" not in raw:
+            raise ValueError("a fault needs a 'kind'")
+        return cls(
+            kind=str(raw["kind"]),
+            match=None if raw.get("match") is None else str(raw["match"]),
+            rate=float(raw.get("rate", 1.0)),
+            count=None if raw.get("count") is None else int(raw["count"]),
+            hang_seconds=float(raw.get("hang_seconds", 30.0)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, picklable set of :class:`FaultSpec` injectors.
+
+    The plan crosses the process boundary with the work (workers fire
+    their own faults), so everything here must pickle; the in-memory
+    token counts deliberately do not survive that trip (see the module
+    docstring on ``count`` vs ``state_dir``).
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    state_dir: Optional[str] = None
+    _local_tokens: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __init__(
+        self,
+        faults: Iterable[FaultSpec] = (),
+        seed: int = 0,
+        state_dir: Optional[object] = None,
+    ) -> None:
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "seed", int(seed))
+        object.__setattr__(
+            self, "state_dir", None if state_dir is None else str(state_dir)
+        )
+        object.__setattr__(self, "_local_tokens", {})
+
+    # The mutable token counts are process-local instruments, not plan
+    # identity: a plan shipped to a worker starts with fresh credits (the
+    # documented count-vs-state_dir contract).
+    def __getstate__(self) -> Dict[str, object]:
+        return {
+            "faults": self.faults,
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        object.__setattr__(self, "faults", state["faults"])
+        object.__setattr__(self, "seed", state["seed"])
+        object.__setattr__(self, "state_dir", state["state_dir"])
+        object.__setattr__(self, "_local_tokens", {})
+
+    # -- selection ---------------------------------------------------------
+    def _chance(self, index: int, key: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{index}:{key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _claim_token(self, index: int, spec: FaultSpec) -> bool:
+        """One firing credit, exactly ``spec.count`` of which exist.
+
+        With a ``state_dir`` the credits are ``O_CREAT|O_EXCL`` token
+        files -- atomic across processes, durable across retries."""
+        if spec.count is None:
+            return True
+        if self.state_dir is None:
+            used = self._local_tokens.get(index, 0)
+            if used >= spec.count:
+                return False
+            self._local_tokens[index] = used + 1
+            return True
+        directory = Path(self.state_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for slot in range(spec.count):
+            token = directory / f"fault-{index}-{slot}.token"
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False
+            os.close(fd)
+            return True
+        return False
+
+    def _applies(self, index: int, spec: FaultSpec, key: str) -> bool:
+        if spec.match is not None and spec.match not in key:
+            return False
+        if spec.rate < 1.0 and self._chance(index, key) >= spec.rate:
+            return False
+        return self._claim_token(index, spec)
+
+    # -- firing ------------------------------------------------------------
+    def fire_point(self, key: str) -> None:
+        """Inject any matching point fault for the spec about to execute."""
+        for index, spec in enumerate(self.faults):
+            if spec.kind not in POINT_KINDS or not self._applies(index, spec, key):
+                continue
+            if spec.kind == "exception":
+                raise FaultInjected(f"injected worker exception for {key}")
+            if spec.kind == "hang":
+                time.sleep(spec.hang_seconds)
+            elif spec.kind == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def store_decision(self, key: str) -> Optional[str]:
+        """The store fault to apply to a freshly written entry, if any."""
+        for index, spec in enumerate(self.faults):
+            if spec.kind in STORE_KINDS and self._applies(index, spec, key):
+                return spec.kind
+        return None
+
+    @property
+    def has_store_faults(self) -> bool:
+        return any(spec.kind in STORE_KINDS for spec in self.faults)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+        if self.state_dir is not None:
+            out["state_dir"] = self.state_dir
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "FaultPlan":
+        known = {"seed", "state_dir", "faults"}
+        extra = set(raw) - known
+        if extra:
+            raise ValueError(
+                f"unknown fault-plan field(s) {', '.join(sorted(extra))}; "
+                f"allowed: {', '.join(sorted(known))}"
+            )
+        faults = raw.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("'faults' must be a list of fault objects")
+        return cls(
+            faults=tuple(FaultSpec.from_dict(item) for item in faults),
+            seed=int(raw.get("seed", 0)),
+            state_dir=raw.get("state_dir"),
+        )
+
+
+def load_fault_plan(path: object) -> FaultPlan:
+    """Read a JSON fault plan (the CLI's ``--faults plan.json``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict):
+        raise ValueError("a fault plan must be a JSON object")
+    return FaultPlan.from_dict(raw)
+
+
+class FaultyDiskStore(DiskStore):
+    """A :class:`~repro.store.DiskStore` whose writes can be sabotaged.
+
+    ``corrupt`` replaces the just-persisted entry with garbage bytes;
+    ``partial_write`` truncates it mid-stream -- both model a writer
+    killed between ``write`` and a durable ``replace``.  The sabotage
+    happens *after* the atomic publish, so readers exercise the
+    corrupted-entry recovery path (delete + recompute), which is the
+    property under test.
+
+    Pickling intentionally degrades to a plain :class:`DiskStore` (the
+    inherited ``__reduce__``): store faults are a parent-process
+    instrument; worker engines rebuilt from a store ref stay healthy.
+    """
+
+    def __init__(
+        self,
+        root: Optional[object] = None,
+        *,
+        plan: FaultPlan,
+        version: Optional[str] = None,
+        max_entries: Optional[int] = 4096,
+    ) -> None:
+        super().__init__(root, version=version, max_entries=max_entries)
+        self.plan = plan
+
+    def put(self, key: str, value: object) -> bool:
+        if not super().put(key, value):
+            return False
+        kind = self.plan.store_decision(key)
+        if kind is None:
+            return True
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            if kind == "partial_write":
+                # Cut inside the pickle frame: always unreadable, never empty.
+                path.write_bytes(blob[: max(1, len(blob) // 2)])
+            else:  # corrupt
+                garbage = hashlib.sha256(key.encode("utf-8")).digest()
+                path.write_bytes(garbage * max(1, len(blob) // len(garbage)))
+        except OSError:  # pragma: no cover - entry raced away mid-sabotage
+            pass
+        return True
+
+
+def apply_store_faults(store: Optional[object], plan: Optional[FaultPlan]) -> Optional[object]:
+    """Wrap a store with the plan's store faults, when both apply.
+
+    Only :class:`DiskStore` has byte-level entries to sabotage; memory
+    stores (and ``None``) pass through untouched.
+    """
+    if plan is None or not plan.has_store_faults:
+        return store
+    if isinstance(store, FaultyDiskStore) or not isinstance(store, DiskStore):
+        return store
+    return FaultyDiskStore(
+        root=store.root,
+        plan=plan,
+        version=store.version,
+        max_entries=store.max_entries,
+    )

@@ -314,6 +314,79 @@ def measure_disk_store(repeats: int = 3) -> Dict[str, object]:
     }
 
 
+def measure_grid_resume(points: int = 200, repeats: int = 2) -> Dict[str, object]:
+    """Checkpointing overhead and resume cost on a clean grid.
+
+    Three runs over the same ``points``-point ``exploit_suite`` grid
+    (distinct secrets force distinct end-to-end exploit campaigns, so
+    every point is real work): plain in-memory execution, the same grid
+    checkpointing every point through a fresh
+    :class:`~repro.store.DiskStore`, and a resumed run against the
+    populated store.  Each checkpointed repeat writes into its own fresh
+    version directory so the timed region is exactly the campaign plus
+    its durable per-point writes (no cleanup of a prior repeat).  The
+    checkpointed and resumed envelopes must match the plain run
+    byte-for-byte, the resume must recompute zero points
+    (``resume_recomputed`` counts the store misses), and the ROADMAP
+    floor caps ``overhead_fraction`` -- durability is only cheap
+    insurance while the per-point write cost stays marginal.
+    """
+    import shutil
+    import tempfile
+
+    from .engine import Engine
+    from .scenario import ScenarioGrid
+    from .store import DiskStore
+
+    grid = ScenarioGrid("exploit_suite", axes={"secret": list(range(points))})
+
+    def plain_run():
+        with Engine() as engine:
+            return engine.run_grid(grid)
+
+    plain_seconds, plain_result = _best_of(plain_run, repeats)
+    tmp = tempfile.mkdtemp(prefix="repro-resume-bench-")
+    try:
+        versions = iter(f"bench{i}" for i in range(repeats))
+        last_version = []
+
+        def checkpoint_run():
+            version = next(versions)
+            last_version.append(version)
+            with Engine(store=DiskStore(root=tmp, version=version)) as engine:
+                return engine.run_grid(grid)
+
+        checkpoint_seconds, checkpoint_result = _best_of(checkpoint_run, repeats)
+        if checkpoint_result.data != plain_result.data:
+            raise RuntimeError("checkpointed grid diverged from the plain run")
+
+        def resume_run():
+            store = DiskStore(root=tmp, version=last_version[-1])
+            with Engine(store=store) as engine:
+                result = engine.run_grid(grid)
+            return store.stats()["misses"], result
+
+        resume_seconds, (recomputed, resume_result) = _best_of(resume_run, repeats)
+        if resume_result.data != plain_result.data:
+            raise RuntimeError("resumed grid diverged from the plain run")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "benchmark": "grid-resume-overhead",
+        "points": points,
+        "plain_seconds": plain_seconds,
+        "checkpoint_seconds": checkpoint_seconds,
+        "overhead_fraction": (
+            checkpoint_seconds / plain_seconds - 1.0 if plain_seconds > 0 else 0.0
+        ),
+        "resume_seconds": resume_seconds,
+        "resume_recomputed": recomputed,
+        "speedup_resume": (
+            plain_seconds / resume_seconds if resume_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def _legacy_attack_space_rows() -> List[Tuple]:
     """The pre-engine sweep: one graph build + full analysis per combination."""
     from .attacks.generator import enumerate_attack_space
@@ -505,6 +578,7 @@ def run_perf_suite(
             measure_engine_analyze(repeats=repeats),
             measure_engine_attack_space(workers=engine_workers, repeats=repeats),
             measure_disk_store(repeats=repeats),
+            measure_grid_resume(repeats=min(repeats, 2)),
         ]
     if include_timing:
         run["timing_results"] = [
@@ -555,6 +629,10 @@ THRESHOLDS = {
     # The arbitrated (port/CDB contention) event path must keep beating the
     # contended rescan loop by the same margin class.
     "timing_contended_event_speedup_min": 5.0,
+    # Checkpointing every grid point through the DiskStore must stay cheap
+    # insurance: <= 10% over the plain in-memory grid on a clean 200-point
+    # run, and a resume against the populated store recomputes nothing.
+    "grid_resume_overhead_max": 0.10,
 }
 
 
@@ -592,6 +670,7 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
         failures.append("no engine benchmark recorded")
     else:
         disk_seen = False
+        resume_seen = False
         for record in engine_run["engine_results"]:
             if record["benchmark"] == "engine-analyze-warm-cache":
                 if record["speedup_warm"] < THRESHOLDS["warm_analyze_speedup_min"]:
@@ -614,8 +693,24 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
                         f"warm DiskStore run {speedup:.1f}x over cold, below "
                         f"the {THRESHOLDS['disk_warm_speedup_min']:.0f}x floor"
                     )
+            elif record["benchmark"] == "grid-resume-overhead":
+                resume_seen = True
+                overhead = record["overhead_fraction"]
+                if overhead > THRESHOLDS["grid_resume_overhead_max"]:
+                    failures.append(
+                        f"grid checkpointing overhead {overhead:.1%} on "
+                        f"{record['points']} points, above the "
+                        f"{THRESHOLDS['grid_resume_overhead_max']:.0%} ceiling"
+                    )
+                if record.get("resume_recomputed", 0) != 0:
+                    failures.append(
+                        f"grid resume recomputed {record['resume_recomputed']} "
+                        "checkpointed points (expected 0)"
+                    )
         if not disk_seen:
             failures.append("no disk-store (warm spec run) benchmark recorded")
+        if not resume_seen:
+            failures.append("no grid-resume (checkpointed grid) benchmark recorded")
 
     timing_run = _latest_run_with(trajectory, "timing_results")
     if timing_run is None:
@@ -727,5 +822,14 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
                 f"cold {record['cold_seconds'] * 1e3:.1f} ms vs warm fresh-session "
                 f"hit {record['warm_seconds'] * 1e3:.2f} ms -> "
                 f"{record['speedup_warm_disk']:.0f}x disk-warm speedup"
+            )
+        elif record["benchmark"] == "grid-resume-overhead":
+            lines.append(
+                f"grid resume ({record['points']} points): plain "
+                f"{record['plain_seconds'] * 1e3:.0f} ms vs checkpointed "
+                f"{record['checkpoint_seconds'] * 1e3:.0f} ms "
+                f"({record['overhead_fraction']:+.1%} overhead); resume "
+                f"{record['resume_seconds'] * 1e3:.0f} ms recomputing "
+                f"{record['resume_recomputed']} points"
             )
     return lines

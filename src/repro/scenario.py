@@ -265,7 +265,7 @@ class ScenarioSpec:
     content, making them directly usable as cache keys.
     """
 
-    __slots__ = ("kind", "_params", "_content_key", "_hash")
+    __slots__ = ("kind", "_params", "_content_key", "_content_hash", "_hash")
 
     def __init__(self, kind: str, /, **params: object) -> None:
         info = KINDS.get(kind)
@@ -295,6 +295,7 @@ class ScenarioSpec:
             self, "_params", MappingProxyType(dict(sorted(cleaned.items())))
         )
         object.__setattr__(self, "_content_key", None)
+        object.__setattr__(self, "_content_hash", None)
         object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -335,8 +336,16 @@ class ScenarioSpec:
         return self._content_key
 
     def content_hash(self) -> str:
-        """SHA-256 of the content key: the spec's artifact-store cache key."""
-        return hashlib.sha256(self.content_key().encode("utf-8")).hexdigest()
+        """SHA-256 of the content key: the spec's artifact-store cache key.
+
+        Cached after the first call -- the checkpointing grid pipeline asks
+        for it once per warm-store probe, once per miss execution, and once
+        per fault-plan match, for every point of a campaign.
+        """
+        if self._content_hash is None:
+            digest = hashlib.sha256(self.content_key().encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", digest)
+        return self._content_hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ScenarioSpec):

@@ -35,12 +35,12 @@ cacheable and how to mark provenance.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, Iterator, Optional, Protocol, Set, Tuple, runtime_checkable
 
 #: Version tag of the cached artifact layout.  Part of every
 #: :class:`DiskStore` path: bump it when the pickled ``Result`` shapes (or
@@ -53,6 +53,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default on-disk cache root (``~/.cache/repro``).
 DEFAULT_CACHE_ROOT = Path.home() / ".cache" / "repro"
+
+#: Process-wide uniquifier for temp-file names: combined with the pid it
+#: makes every in-flight write target distinct without a mkstemp random
+#: probe loop on the hot put path.
+_tmp_counter = itertools.count()
 
 
 @runtime_checkable
@@ -162,6 +167,12 @@ class DiskStore:
     Hit/miss counters are per-instance (per process); ``entries`` and
     ``bytes`` are measured on disk, so two processes sharing one root see
     each other's writes -- that cross-process reuse is the point.
+
+    Every path is safe against concurrent siblings: entries deleted under
+    an LRU walk or between read and touch are tolerated, version/bucket
+    directory creation races are absorbed (a put retries once when its
+    bucket vanishes mid-write), and only a *corrupt* entry is ever deleted
+    by ``get`` -- a transient read error is just a miss.
     """
 
     aliases_values = False  # every get/put round-trips through pickle
@@ -186,6 +197,11 @@ class DiskStore:
         #: re-trued by every real eviction scan), which only means eviction
         #: may trigger a put early or late -- never incorrectly.
         self._entry_estimate: Optional[int] = None
+        #: Bucket directories this instance has already created, so the
+        #: per-put fast path skips the mkdir syscall.  A bucket removed
+        #: behind our back (external cleanup) is detected by the failed
+        #: temp-file open and recreated.
+        self._seen_buckets: Set[str] = set()
 
     # Workers of a sharded grid reconstruct the store from (root, version,
     # max_entries) on their side of the process boundary.
@@ -204,19 +220,36 @@ class DiskStore:
         return self.directory / key[:2] / f"{key}.pkl"
 
     def _iter_entries(self) -> Iterator[Path]:
-        if not self.directory.is_dir():
-            return iter(())
-        return self.directory.glob("*/*.pkl")
+        # Listed eagerly per directory level: a concurrent evictor (another
+        # process sharing the root) may delete buckets or entries mid-walk,
+        # and a lazy glob would raise out of the iterator at the call site.
+        try:
+            buckets = list(self.directory.iterdir())
+        except OSError:
+            return
+        for bucket in buckets:
+            try:
+                children = list(bucket.iterdir())
+            except OSError:  # bucket raced away under the walk
+                continue
+            for path in children:
+                if path.suffix == ".pkl":
+                    yield path
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[object]:
         path = self._path(key)
         try:
             blob = path.read_bytes()
-            value = pickle.loads(blob)
-        except FileNotFoundError:
+        except OSError:
+            # Missing entry -- or a transient read failure (the entry was
+            # evicted under us by a concurrent process, a permission hiccup):
+            # either way a plain miss.  Only *corruption* warrants deleting,
+            # a failed read must never destroy a possibly healthy entry.
             self._misses += 1
             return None
+        try:
+            value = pickle.loads(blob)
         except Exception:
             # Corrupted / truncated entry (a killed writer, a partial disk):
             # drop it and report a miss so the caller recomputes and the next
@@ -241,28 +274,48 @@ class DiskStore:
         if blob is None:
             return False
         path = self._path(key)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            new_entry = not path.exists()
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
-            )
+        bucket = path.parent
+        # Two rounds: the second absorbs a bucket directory deleted between
+        # our mkdir/cached check and the temp-file open (a concurrent
+        # cleaner racing version-dir creation).
+        for _ in range(2):
+            if bucket.name not in self._seen_buckets:
+                try:
+                    bucket.mkdir(parents=True, exist_ok=True)
+                except OSError:  # a non-directory in the way, permissions
+                    return False
+                self._seen_buckets.add(bucket.name)
+            tmp = bucket / f".{key[:8]}-{os.getpid()}-{next(_tmp_counter)}.tmp"
+            try:
+                fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except OSError:
+                self._seen_buckets.discard(bucket.name)
+                continue
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
-                os.replace(tmp_name, path)  # atomic: readers never see a torn file
+                os.replace(tmp, path)  # atomic: readers never see a torn file
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                self._seen_buckets.discard(bucket.name)
+                continue
             except BaseException:
                 try:
-                    os.unlink(tmp_name)
+                    os.unlink(tmp)
                 except OSError:
                     pass
                 raise
-        except OSError:
-            return False
-        if new_entry and self._entry_estimate is not None:
-            self._entry_estimate += 1
-        self._evict()
-        return True
+            if self._entry_estimate is not None:
+                # Overwrites of an existing key inflate the estimate (there
+                # is no per-put stat on the fast path); an early eviction
+                # scan re-trues it, so the drift is only ever a scan early.
+                self._entry_estimate += 1
+            self._evict()
+            return True
+        return False
 
     def _entry_age(self, path: Path) -> Tuple[int, str]:
         try:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.attacks import get as get_attack
@@ -39,6 +41,35 @@ kernel_secret: address=0xffff0000 size=64 kernel protected
     mov rbx, [probe_array + rax]
     hlt
 """
+
+
+#: Wall-clock ceiling for a single ``faults``-marked test.  Fault-injection
+#: tests exercise hangs, kills, and pool respawns -- a regression there shows
+#: up as a stuck test, so the guard turns it into a loud failure instead.
+FAULT_TEST_TIMEOUT_SECONDS = 90.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Abort any ``faults``-marked test that overruns its wall-clock budget."""
+    if item.get_closest_marker("faults") is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    marker = item.get_closest_marker("faults")
+    limit = float(marker.kwargs.get("timeout", FAULT_TEST_TIMEOUT_SECONDS))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"fault-injection test exceeded its {limit:.0f}s wall-clock guard"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

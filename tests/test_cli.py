@@ -283,6 +283,10 @@ class TestPerfCheck:
                      "speedup_sharded_vs_serial": 0.5},
                     {"benchmark": "engine-disk-warm-run",
                      "speedup_warm_disk": 2.0},
+                    {"benchmark": "grid-resume-overhead", "points": 200,
+                     "plain_seconds": 1.5, "checkpoint_seconds": 2.25,
+                     "overhead_fraction": 0.5, "resume_seconds": 0.9,
+                     "resume_recomputed": 3, "speedup_resume": 1.7},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -296,7 +300,7 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL") == 6
+        assert out.count("FAIL") == 8
         assert "contended event-queue scheduler" in out
         assert "warm DiskStore run" in out
 
@@ -310,6 +314,10 @@ class TestPerfCheck:
                      "speedup_sharded_vs_serial": 4.0},
                     {"benchmark": "engine-disk-warm-run",
                      "speedup_warm_disk": 100.0},
+                    {"benchmark": "grid-resume-overhead", "points": 200,
+                     "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
+                     "overhead_fraction": 0.02, "resume_seconds": 0.04,
+                     "resume_recomputed": 0, "speedup_resume": 37.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -330,6 +338,10 @@ class TestPerfCheck:
                     {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
                     {"benchmark": "engine-attack-space-sharded",
                      "speedup_sharded_vs_serial": 4.0},
+                    {"benchmark": "grid-resume-overhead", "points": 200,
+                     "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
+                     "overhead_fraction": 0.02, "resume_seconds": 0.04,
+                     "resume_recomputed": 0, "speedup_resume": 37.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -354,6 +366,10 @@ class TestPerfCheck:
                      "speedup_sharded_vs_serial": 4.0},
                     {"benchmark": "engine-disk-warm-run",
                      "speedup_warm_disk": 100.0},
+                    {"benchmark": "grid-resume-overhead", "points": 200,
+                     "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
+                     "overhead_fraction": 0.02, "resume_seconds": 0.04,
+                     "resume_recomputed": 0, "speedup_resume": 37.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -396,6 +412,30 @@ class TestPerfCheck:
     def test_perf_check_missing_file(self, tmp_path, capsys):
         assert main(["perf", "--check", "-o", str(tmp_path / "absent.json")]) == 1
         assert "does not exist" in capsys.readouterr().out
+
+    def test_perf_check_flags_missing_grid_resume_benchmark(self, tmp_path, capsys):
+        stale = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 4.0},
+                    {"benchmark": "engine-disk-warm-run",
+                     "speedup_warm_disk": 100.0},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 100.0},
+                    {"benchmark": "timing-event-queue-contended",
+                     "instructions": 500, "speedup_event_vs_rescan": 80.0},
+                ],
+            }]
+        }
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        assert main(["perf", "--check", "-o", str(path)]) == 1
+        assert "no grid-resume" in capsys.readouterr().out
 
 
 class TestRunCommand:
@@ -519,3 +559,72 @@ class TestStoreFlag:
         ):
             args = parser.parse_args([argv[0], "--store", "disk", *argv[1:]])
             assert args.store == "disk"
+
+
+class TestResumeAndFaults:
+    """--resume / --timeout / --retries / --faults on `repro run`."""
+
+    GRID = ["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+            "--axis", "secret=1,2,3", "--json"]
+
+    def test_resume_serves_a_completed_grid_from_checkpoints(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main([*self.GRID, "--store", store]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main([*self.GRID, "--store", store, "--resume"]) == 1
+        captured = capsys.readouterr()
+        warm = json.loads(captured.out)
+        assert warm["data"] == cold["data"]  # byte-identical envelope
+        assert ("resume: 3/3 points served from checkpoints, "
+                "0 recomputed, 0 quarantined") in captured.err
+
+    def test_resume_accounting_for_a_partial_store(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        single = ["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+                  "--param", "secret=2", "--store", store, "--json"]
+        assert main(single) == 1  # checkpoint one of the three points
+        capsys.readouterr()
+        assert main([*self.GRID, "--store", store, "--resume"]) == 1
+        captured = capsys.readouterr()
+        assert ("resume: 1/3 points served from checkpoints, "
+                "2 recomputed, 0 quarantined") in captured.err
+
+    def test_resume_single_spec_reports_checkpoint_state(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        argv = ["run", "--kind", "simulate", "--param", "attack=spectre_v1",
+                "--store", store, "--resume", "--json"]
+        assert main(argv) == 1
+        assert "resume: recomputed" in capsys.readouterr().err
+        assert main(argv) == 1
+        assert "resume: served from checkpoint" in capsys.readouterr().err
+
+    def test_faults_plan_quarantines_a_point_end_to_end(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "exception", "match": "secret=2"}],
+        }))
+        argv = [*self.GRID, "--faults", str(plan), "--retries", "1"]
+        assert main(argv) == 1
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["data"]["quarantined"] == 1
+        failed = [row for row in envelope["data"]["rows"]
+                  if row["data"].get("quarantined")]
+        assert len(failed) == 1
+        assert failed[0]["data"]["error"] == "FaultInjected"
+
+    def test_unreadable_fault_plan_exits_cleanly(self, tmp_path):
+        missing = tmp_path / "absent.json"
+        with pytest.raises(SystemExit, match="run failed"):
+            main([*self.GRID, "--faults", str(missing)])
+
+    def test_invalid_fault_plan_exits_cleanly(self, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"faults": [{"kind": "meteor"}]}))
+        with pytest.raises(SystemExit, match="unknown fault kind"):
+            main([*self.GRID, "--faults", str(plan)])
+
+    def test_policy_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--kind", "simulate",
+                                  "--timeout", "2.5", "--retries", "3"])
+        assert args.timeout == 2.5 and args.retries == 3

@@ -1,0 +1,149 @@
+"""Kill-and-resume acceptance tests: a campaign must survive its process.
+
+Two-subprocess tests: the first ``repro run`` is killed mid-grid (SIGKILL --
+nothing gets to clean up; and SIGINT -- the graceful path), the second is
+relaunched with ``--resume`` against the same store and must recompute only
+the points the first never checkpointed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.faults
+
+#: Grid axis: eight attacks, executed serially in listed order.  The hang
+#: fault pins the fifth, so exactly four points are durable when the first
+#: process dies.
+ATTACKS = [
+    "foreshadow",
+    "lazy_fp",
+    "mds",
+    "meltdown",
+    "spectre_rsb",
+    "spectre_v1",
+    "spectre_v2",
+    "spectre_v4",
+]
+HANG_AT = ATTACKS[4]
+CHECKPOINTED = 4
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _grid_argv(store_dir: str, *extra: str) -> list:
+    return [
+        sys.executable, "-m", "repro.cli", "run",
+        "--kind", "simulate",
+        "--axis", "attack=" + ",".join(ATTACKS),
+        "--store", store_dir,
+        "--json",
+        *extra,
+    ]
+
+
+def _write_hang_plan(tmp_path: Path) -> Path:
+    plan = tmp_path / "hang.json"
+    plan.write_text(json.dumps({
+        "faults": [
+            {"kind": "hang", "match": f"attack='{HANG_AT}'", "hang_seconds": 120.0},
+        ],
+    }))
+    return plan
+
+
+def _entries(store_dir: str) -> int:
+    return len(list(Path(store_dir).rglob("*.pkl")))
+
+
+def _spawn_until_checkpointed(tmp_path, store_dir: str) -> subprocess.Popen:
+    """Launch the grid with the hang plan; return once 4 points are durable."""
+    plan = _write_hang_plan(tmp_path)
+    process = subprocess.Popen(
+        _grid_argv(store_dir, "--faults", str(plan)),
+        env=_cli_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if _entries(store_dir) >= CHECKPOINTED:
+            return process
+        if process.poll() is not None:
+            out, err = process.communicate()
+            raise AssertionError(
+                f"grid process exited early (rc={process.returncode}): {err}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("grid never reached the checkpoint watermark")
+
+
+def _resume(tmp_path, store_dir: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        _grid_argv(store_dir, "--resume"),
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestKillAndResume:
+    def test_sigkilled_grid_resumes_with_only_missing_points_recomputed(
+        self, tmp_path
+    ):
+        store_dir = str(tmp_path / "cache")
+        process = _spawn_until_checkpointed(tmp_path, store_dir)
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+        assert _entries(store_dir) == CHECKPOINTED  # died mid-grid, 4 durable
+
+        completed = _resume(tmp_path, store_dir)
+        # simulate envelopes report ok=False for leaking attacks, so the
+        # exit code carries the verdict, not the campaign's health -- the
+        # envelope and the resume accounting are the contract.
+        envelope = json.loads(completed.stdout)
+        assert envelope["data"]["points"] == len(ATTACKS)
+        assert len(envelope["data"]["rows"]) == len(ATTACKS)
+        assert "quarantined" not in envelope["data"]
+        recomputed = len(ATTACKS) - CHECKPOINTED
+        assert (
+            f"resume: {CHECKPOINTED}/{len(ATTACKS)} points served from "
+            f"checkpoints, {recomputed} recomputed, 0 quarantined"
+        ) in completed.stderr
+        # Cache accounting pins the recompute count: the resumed store must
+        # show exactly one durable entry per grid point, no rewrites of the
+        # four checkpoints that survived the kill.
+        assert _entries(store_dir) == len(ATTACKS)
+
+    def test_sigint_exits_resumably_instead_of_a_traceback(self, tmp_path):
+        store_dir = str(tmp_path / "cache")
+        process = _spawn_until_checkpointed(tmp_path, store_dir)
+        os.kill(process.pid, signal.SIGINT)
+        out, err = process.communicate(timeout=30)
+        assert process.returncode == 130
+        assert "Traceback" not in err
+        assert "--resume" in err  # tells the user how to continue
+        assert _entries(store_dir) == CHECKPOINTED  # checkpoints survived
+
+        completed = _resume(tmp_path, store_dir)
+        envelope = json.loads(completed.stdout)
+        assert envelope["data"]["points"] == len(ATTACKS)
+        assert (
+            f"resume: {CHECKPOINTED}/{len(ATTACKS)} points served from"
+        ) in completed.stderr

@@ -5,13 +5,17 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import shutil
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.engine import Engine, Result
+from repro.faults import FaultPlan, FaultSpec, FaultyDiskStore
 from repro.scenario import ScenarioSpec
 from repro.store import (
     CODE_VERSION,
@@ -304,3 +308,116 @@ class TestCrossProcess:
         assert second["cache"] == "warm"
         assert second["data"] == first["data"]  # byte-identical rows
         assert DiskStore(root=store_dir).stats()["entries"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery properties: damaged entries heal, corruption never propagates
+# ---------------------------------------------------------------------------
+class TestCorruptionRecovery:
+    """Hypothesis properties over the on-disk entry format.
+
+    A killed writer (or a torn disk) can leave an entry truncated at *any*
+    byte offset; the store must treat every such entry as a recomputable
+    miss -- never return garbage, never wedge, and heal on the next put.
+    """
+
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_entry_truncated_at_any_offset_is_a_recoverable_miss(self, frac):
+        key = "ab" + "7" * 62
+        with tempfile.TemporaryDirectory() as root:
+            store = DiskStore(root=root, version="t")
+            assert store.put(key, _envelope("good"))
+            path = Path(root) / "t" / key[:2] / f"{key}.pkl"
+            blob = path.read_bytes()
+            offset = min(len(blob) - 1, int(frac * len(blob)))
+            path.write_bytes(blob[:offset])
+            assert store.get(key) is None  # never the torn object
+            assert not path.exists()  # the damaged entry was dropped
+            # The next campaign recomputes and the store heals.
+            assert store.put(key, _envelope("good"))
+            healed = store.get(key)
+            assert healed is not None and healed.data == {"tag": "good"}
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_injected_partial_write_never_propagates(self, seed):
+        key = "cd" + "8" * 62
+        with tempfile.TemporaryDirectory() as root:
+            plan = FaultPlan(
+                [FaultSpec(kind="partial_write", count=1)], seed=seed
+            )
+            faulty = FaultyDiskStore(root=root, plan=plan, version="t")
+            assert faulty.put(key, _envelope("good"))  # sabotaged on disk
+            reader = DiskStore(root=root, version="t")
+            assert reader.get(key) is None  # detected, deleted, a plain miss
+            assert reader.put(key, _envelope("good"))  # recompute + heal
+            healed = reader.get(key)
+            assert healed is not None and healed.data == {"tag": "good"}
+            assert reader.get(key).data == {"tag": "good"}  # stable after heal
+
+
+# ---------------------------------------------------------------------------
+# Concurrent-eviction races: another process deleting under our feet
+# ---------------------------------------------------------------------------
+class TestConcurrentRaces:
+    def test_get_survives_entry_touch_failure(self, disk, monkeypatch):
+        key = "aa" + "4" * 62
+        disk.put(key, _envelope("kept"))
+
+        def flaky_utime(path, *args, **kwargs):
+            raise OSError("entry evicted under the LRU touch")
+
+        monkeypatch.setattr("repro.store.os.utime", flaky_utime)
+        loaded = disk.get(key)  # the hit survives losing its LRU touch
+        assert loaded is not None and loaded.data == {"tag": "kept"}
+
+    def test_put_reports_failure_when_bucket_is_blocked(self, tmp_path):
+        store = DiskStore(root=tmp_path, version="t")
+        key = "ee" + "5" * 62
+        (tmp_path / "t").mkdir()
+        (tmp_path / "t" / key[:2]).write_text("not a directory")
+        assert store.put(key, _envelope()) is False  # reported, not raised
+        assert store.get(key) is None
+
+    def test_put_retries_when_bucket_vanishes_mid_write(self, tmp_path, monkeypatch):
+        store = DiskStore(root=tmp_path, version="t")
+        key = "ff" + "6" * 62
+        real_replace = os.replace
+        raised = {"count": 0}
+
+        def racing_replace(src, dst):
+            if raised["count"] == 0:
+                # A concurrent cleaner deleted the bucket between our
+                # temp-file write and the atomic publish.
+                raised["count"] += 1
+                os.unlink(src)
+                Path(dst).parent.rmdir()
+                raise FileNotFoundError(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.store.os.replace", racing_replace)
+        assert store.put(key, _envelope("raced")) is True  # second round wins
+        assert raised["count"] == 1
+        assert store.get(key).data == {"tag": "raced"}
+
+    def test_eviction_walk_survives_entries_deleted_underneath(self, tmp_path):
+        store = DiskStore(root=tmp_path, version="t", max_entries=2)
+        keys = [f"{i:02x}" + "9" * 62 for i in range(4)]
+        for key in keys[:3]:
+            assert store.put(key, _envelope(key))
+        # A concurrent evictor wipes the tree between two puts: the next
+        # put's eviction walk sees dangling state and must not raise.
+        for path in list(Path(tmp_path / "t").rglob("*.pkl")):
+            path.unlink()
+        assert store.put(keys[3], _envelope("last"))
+        assert store.get(keys[3]).data == {"tag": "last"}
+
+    def test_stats_and_clear_survive_a_vanishing_tree(self, tmp_path):
+        store = DiskStore(root=tmp_path, version="t")
+        key = "ab" + "a" * 62
+        store.put(key, _envelope())
+        shutil.rmtree(tmp_path / "t")
+        stats = store.stats()  # walking a deleted tree is an empty store
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+        assert store.clear() == 0
