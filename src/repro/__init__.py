@@ -46,6 +46,29 @@ from .defenses import DefenseStrategy, attack_succeeds, evaluate_defense
 
 __version__ = "1.0.0"
 
+
+def build_info() -> str:
+    """``repro <version> (<short-commit>)`` -- identifies a deployment.
+
+    The commit hash comes from the git checkout the package runs from;
+    outside a checkout (an installed wheel, a bare copy) it is omitted.
+    """
+    import os
+    import subprocess
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip()
+    except Exception:
+        commit = ""
+    return f"repro {__version__} ({commit})" if commit else f"repro {__version__}"
+
 __all__ = [
     "AttackGraph",
     "AttackStep",
@@ -68,6 +91,7 @@ __all__ = [
     "analysis",
     "attacks",
     "attack_succeeds",
+    "build_info",
     "channels",
     "core",
     "default_engine",

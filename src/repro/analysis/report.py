@@ -9,7 +9,7 @@ artifact to diff when they extend the catalog.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from ..attacks import ALL_VARIANTS, AttackVariant, variants
 from ..defenses import ALL_DEFENSES, Defense
@@ -289,6 +289,39 @@ def render_result(result: "Result", kind: Optional[str] = None) -> str:
             f"{data['leaking']} leaking"
         )
     return result.to_json()
+
+
+def service_response_summary(envelope: Mapping[str, object]) -> str:
+    """Human lines for one analysis-service response envelope.
+
+    The envelope's ``result`` field is a plain ``Result.to_dict()`` dict;
+    rebuilding a (payload-less) :class:`~repro.engine.Result` around it
+    reuses every per-kind renderer above, so ``repro request`` output
+    matches what the same spec prints locally -- prefixed with the
+    service-side provenance (request id, hit source, latencies).
+    """
+    from ..engine import Result
+
+    spec = envelope.get("spec") or {}
+    latency = envelope.get("latency_ms") or {}
+    head = (
+        f"request {envelope.get('request_id')}: {spec.get('kind', '?')} "
+        f"[{envelope.get('hit', '?')}] "
+        f"queue {latency.get('queue', 0):.1f} ms + "
+        f"compute {latency.get('compute', 0):.1f} ms = "
+        f"total {latency.get('total', 0):.1f} ms"
+    )
+    raw = envelope.get("result")
+    if not isinstance(raw, Mapping):
+        return head
+    result = Result(
+        kind=str(raw.get("kind", "?")),
+        subject=str(raw.get("subject", "?")),
+        ok=bool(raw.get("ok")),
+        cache=str(raw.get("cache", "none")),
+        data=dict(raw.get("data") or {}),
+    )
+    return f"{head}\n{render_result(result, spec.get('kind'))}"
 
 
 def defense_matrix_section(

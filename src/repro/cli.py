@@ -31,6 +31,10 @@ Subcommands::
               --axis defenses='[["PREVENT_SPECULATIVE_LOADS"],null]'  # a grid
     repro report                       # full Markdown report
     repro perf [--check] [--full]      # core + engine + timing perf -> BENCH_core.json
+    repro serve --store disk           # the async analysis service (HTTP)
+    repro request --url URL --kind simulate --param attack=spectre_v1
+    repro request --url URL --stats    # the server's /stats document
+    repro --version                    # package version + short commit
 
 Every engine-backed subcommand accepts ``--store memory|disk|PATH``: the
 spec-level artifact store that memoizes whole ``Result`` envelopes by
@@ -52,8 +56,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from . import analysis
-from .analysis.report import full_report, render_result
+from . import analysis, build_info
+from .analysis.report import full_report, render_result, service_response_summary
 from .attacks import ALL_VARIANTS, get as get_attack
 from .defenses import ALL_DEFENSES, get as get_defense
 from .engine import Engine, FailurePolicy, default_engine, halt_default_engine
@@ -403,6 +407,65 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServiceConfig, serve
+    from .store import open_store
+
+    store = open_store(args.store if args.store is not None else "disk")
+    engine = Engine(store=store, parallel=args.parallel)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        queue_depth=args.queue_depth,
+        max_body_bytes=args.max_body,
+        parallel=args.parallel,
+    )
+    try:
+        return serve(engine, config)
+    finally:
+        engine.close()
+
+
+def _request_payload(args: argparse.Namespace) -> Dict[str, object]:
+    if args.spec:
+        plan = load_scenario(args.spec)
+        if isinstance(plan, ScenarioGrid):
+            raise SystemExit(
+                "the service accepts point specs, not grids (it batches "
+                "points itself); expand the grid client-side or use repro run"
+            )
+        return plan.to_dict()
+    if not args.kind:
+        raise SystemExit("request needs --stats, --spec FILE or --kind KIND")
+    params = _parse_params(args.param)
+    resolve_program_params(params, Path.cwd())
+    return {"kind": args.kind, "params": params}
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True, default=str))
+            return 0
+        envelope = client.run(_request_payload(args))
+    except ServiceError as exc:
+        print(json.dumps(exc.envelope, indent=2, sort_keys=True, default=str),
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc}")
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True, default=str))
+    else:
+        print(service_response_summary(envelope))
+    return 0 if envelope.get("ok") else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from . import perf
 
@@ -427,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Attack-graph models for speculative execution attacks (HPCA 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=build_info(),
+        help="print the package version (+ short commit in a git checkout)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -599,6 +666,57 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--no-matrix", action="store_true",
                                help="skip the defense x attack matrix (faster)")
     report_parser.set_defaults(handler=_cmd_report)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the async analysis service over one shared engine",
+        parents=[store_parent],
+        description="Serve JSON ScenarioSpec requests over HTTP: single-"
+                    "flight dedup by content hash, micro-batched grids "
+                    "through Engine.iter_grid, a bounded admission queue "
+                    "(503 + Retry-After on overflow) and /stats.  SIGTERM "
+                    "or Ctrl-C drains gracefully; completed points are "
+                    "checkpointed through the store, so a restarted server "
+                    "warm-serves them.  Default store: disk.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="port to bind (default 0 = ephemeral, "
+                                   "printed on startup)")
+    serve_parser.add_argument("--batch-size", type=int, default=16,
+                              help="max specs per dispatched grid batch")
+    serve_parser.add_argument("--batch-window", type=float, default=0.005,
+                              metavar="SECONDS",
+                              help="how long a partial batch waits for "
+                                   "stragglers before dispatching")
+    serve_parser.add_argument("--queue-depth", type=int, default=64,
+                              help="admission queue bound (backpressure)")
+    serve_parser.add_argument("--max-body", type=int, default=1 << 20,
+                              metavar="BYTES",
+                              help="largest accepted request body")
+    serve_parser.add_argument("--parallel", type=int, default=None,
+                              help="shard each batch over N engine workers")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    request_parser = subparsers.add_parser(
+        "request",
+        help="submit one spec to a running analysis service",
+    )
+    request_parser.add_argument("--url", required=True,
+                                help="service base URL, e.g. http://127.0.0.1:8377")
+    request_parser.add_argument("--spec", help="JSON file holding one point spec")
+    request_parser.add_argument("--kind", help=f"scenario kind: {', '.join(sorted(KINDS))}")
+    request_parser.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="spec parameter (repeatable), like repro run --param",
+    )
+    request_parser.add_argument("--stats", action="store_true",
+                                help="fetch the server's /stats document instead")
+    request_parser.add_argument("--timeout", type=float, default=120.0,
+                                help="request timeout in seconds")
+    request_parser.add_argument("--json", action="store_true",
+                                help="emit the full response envelope as JSON")
+    request_parser.set_defaults(handler=_cmd_request)
 
     perf_parser = subparsers.add_parser(
         "perf", help="run the TSG-core perf suite and append to BENCH_core.json"

@@ -66,6 +66,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -501,6 +502,10 @@ class Engine:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
         self._closed = False
+        #: Named external counter providers merged into :meth:`stats` --
+        #: the analysis service registers itself here so one ``stats()``
+        #: call reports engine *and* service counters in one document.
+        self._stats_providers: Dict[str, Callable[[], Dict[str, object]]] = {}
 
     # -- cache plumbing -----------------------------------------------------
     @staticmethod
@@ -553,7 +558,60 @@ class Engine:
         report["grid"] = dict(self._grid_summary)
         if self.store is not None:
             report["store"] = self.store.stats()
+        for name, provider in list(self._stats_providers.items()):
+            report[name] = dict(provider())
         return report
+
+    def register_stats(
+        self, name: str, provider: Callable[[], Dict[str, object]]
+    ) -> None:
+        """Merge ``provider()`` into every :meth:`stats` report under ``name``.
+
+        Reserved section names (``runs`` / ``grid`` / ``store`` / the cache
+        names) are refused -- a provider must not shadow engine counters.
+        """
+        reserved = set(self._stores()) | {"expansions", "runs", "grid", "store"}
+        if name in reserved:
+            raise ValueError(f"stats section {name!r} is reserved by the engine")
+        self._stats_providers[name] = provider
+
+    def unregister_stats(self, name: str) -> None:
+        self._stats_providers.pop(name, None)
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """A deep copy of :meth:`stats`, safe to keep as a window baseline."""
+        return copy.deepcopy(self.stats())
+
+    @staticmethod
+    def stats_delta(
+        before: Mapping[str, object], after: Mapping[str, object]
+    ) -> Dict[str, object]:
+        """Per-window counters: ``after - before``, recursively.
+
+        Numeric leaves are differenced (a counter absent from ``before``
+        counts from zero), nested mappings recurse, and non-numeric leaves
+        pass through from ``after``.  ``stats_delta(snapshot, stats())``
+        is the canonical "what happened since" report -- the service's
+        ``/stats`` window uses exactly this.
+        """
+        delta: Dict[str, object] = {}
+        for key, value in after.items():
+            previous = before.get(key) if isinstance(before, Mapping) else None
+            if isinstance(value, Mapping):
+                delta[key] = Engine.stats_delta(
+                    previous if isinstance(previous, Mapping) else {}, value
+                )
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                baseline = (
+                    previous
+                    if isinstance(previous, (int, float))
+                    and not isinstance(previous, bool)
+                    else 0
+                )
+                delta[key] = value - baseline
+            else:
+                delta[key] = value
+        return delta
 
     def invalidate(self, cache: Optional[str] = None) -> int:
         """Drop cached artifacts; returns the number of entries removed.

@@ -387,6 +387,72 @@ def measure_grid_resume(points: int = 200, repeats: int = 2) -> Dict[str, object
     }
 
 
+def measure_service_throughput(
+    clients: int = 8,
+    per_client: int = 10,
+    overlap: float = 0.5,
+) -> Dict[str, object]:
+    """The load-generator benchmark: N concurrent clients, overlapping specs.
+
+    Starts an in-process analysis service over one engine + one fresh
+    :class:`~repro.store.DiskStore`, then fires ``clients`` threads each
+    submitting ``per_client`` cheap exploit specs of which ``overlap`` are
+    shared across all clients.  Perfect single-flight + store dedup means
+    the engine computes exactly ``unique_specs`` points -- the benchmark
+    *asserts* that (a violated assertion is a dedup regression, not a slow
+    run) -- and the dedup hit-rate / p50 / p99 land in BENCH_core.json
+    with a floor in ``repro perf --check``.
+    """
+    import shutil
+    import tempfile
+
+    from .engine import Engine
+    from .service.loadgen import overlapping_workload, run_load
+    from .service.server import ServiceConfig, ServiceThread
+    from .store import DiskStore
+
+    workload, unique = overlapping_workload(clients, per_client, overlap)
+    total_requests = sum(len(requests) for requests in workload)
+    tmp = tempfile.mkdtemp(prefix="repro-service-bench-")
+    try:
+        engine = Engine(store=DiskStore(root=tmp, version="bench"))
+        config = ServiceConfig(queue_depth=max(64, total_requests))
+        with ServiceThread(engine=engine, config=config) as handle:
+            report = run_load(handle.url, workload, unique)
+        computed_runs = sum(
+            count
+            for kind, count in engine.stats()["runs"].items()
+            if kind not in ("grid",)
+        )
+        engine.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if report.errors or report.rejected:
+        raise RuntimeError(
+            f"service load run degraded: {report.errors} errors, "
+            f"{report.rejected} rejections"
+        )
+    if computed_runs != unique:
+        raise RuntimeError(
+            f"single-flight dedup violated: {computed_runs} computes for "
+            f"{unique} unique specs"
+        )
+    return {
+        "benchmark": "service-throughput",
+        "clients": clients,
+        "requests": total_requests,
+        "unique_specs": unique,
+        "computed": computed_runs,
+        "perfect_dedup": computed_runs == unique,
+        "dedup_hit_rate": report.dedup_hit_rate,
+        "completed": report.completed,
+        "elapsed_seconds": report.elapsed_seconds,
+        "requests_per_second": report.requests_per_second,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+    }
+
+
 def _legacy_attack_space_rows() -> List[Tuple]:
     """The pre-engine sweep: one graph build + full analysis per combination."""
     from .attacks.generator import enumerate_attack_space
@@ -579,6 +645,7 @@ def run_perf_suite(
             measure_engine_attack_space(workers=engine_workers, repeats=repeats),
             measure_disk_store(repeats=repeats),
             measure_grid_resume(repeats=min(repeats, 2)),
+            measure_service_throughput(),
         ]
     if include_timing:
         run["timing_results"] = [
@@ -633,6 +700,12 @@ THRESHOLDS = {
     # insurance: <= 10% over the plain in-memory grid on a clean 200-point
     # run, and a resume against the populated store recomputes nothing.
     "grid_resume_overhead_max": 0.10,
+    # The analysis service must dedup the 50%-overlap load: with 8 clients
+    # sharing half their specs the ideal hit-rate is ~0.44 (35/80); the
+    # floor leaves headroom for workload-shape tweaks but catches a broken
+    # single-flight (hit-rate 0) immediately.  Computed-equals-unique is
+    # additionally pinned exactly via the record's perfect_dedup flag.
+    "service_dedup_hit_rate_min": 0.30,
 }
 
 
@@ -671,6 +744,7 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
     else:
         disk_seen = False
         resume_seen = False
+        service_seen = False
         for record in engine_run["engine_results"]:
             if record["benchmark"] == "engine-analyze-warm-cache":
                 if record["speedup_warm"] < THRESHOLDS["warm_analyze_speedup_min"]:
@@ -707,10 +781,28 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
                         f"grid resume recomputed {record['resume_recomputed']} "
                         "checkpointed points (expected 0)"
                     )
+            elif record["benchmark"] == "service-throughput":
+                service_seen = True
+                hit_rate = record["dedup_hit_rate"]
+                if hit_rate < THRESHOLDS["service_dedup_hit_rate_min"]:
+                    failures.append(
+                        f"service dedup hit-rate {hit_rate:.1%} on "
+                        f"{record['clients']} clients x {record['requests']} "
+                        f"requests, below the "
+                        f"{THRESHOLDS['service_dedup_hit_rate_min']:.0%} floor"
+                    )
+                if not record.get("perfect_dedup", False):
+                    failures.append(
+                        f"service computed {record['computed']} points for "
+                        f"{record['unique_specs']} unique specs (single-flight "
+                        "+ store dedup must make these equal)"
+                    )
         if not disk_seen:
             failures.append("no disk-store (warm spec run) benchmark recorded")
         if not resume_seen:
             failures.append("no grid-resume (checkpointed grid) benchmark recorded")
+        if not service_seen:
+            failures.append("no service-throughput (load generator) benchmark recorded")
 
     timing_run = _latest_run_with(trajectory, "timing_results")
     if timing_run is None:
@@ -831,5 +923,14 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
                 f"({record['overhead_fraction']:+.1%} overhead); resume "
                 f"{record['resume_seconds'] * 1e3:.0f} ms recomputing "
                 f"{record['resume_recomputed']} points"
+            )
+        elif record["benchmark"] == "service-throughput":
+            lines.append(
+                f"service load ({record['clients']} clients x "
+                f"{record['requests'] // record['clients']} specs, "
+                f"{record['unique_specs']} unique): {record['computed']} computed, "
+                f"hit-rate {record['dedup_hit_rate']:.1%}, "
+                f"{record['requests_per_second']:.0f} req/s, "
+                f"p50 {record['p50_ms']:.1f} ms / p99 {record['p99_ms']:.1f} ms"
             )
     return lines

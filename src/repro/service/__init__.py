@@ -1,0 +1,57 @@
+"""The asyncio analysis service: many clients, one shared engine.
+
+The "millions of users" direction of the ROADMAP made concrete.  A
+:class:`~repro.service.server.AnalysisService` accepts JSON-encoded
+:class:`~repro.scenario.ScenarioSpec` requests over plain HTTP/1.1 (stdlib
+sockets only -- no new dependencies) and multiplexes them over **one**
+shared :class:`~repro.engine.Engine` and **one**
+:class:`~repro.store.DiskStore`:
+
+* **single-flight dedup** -- concurrent requests whose specs share a
+  content hash attach to one in-flight entry; the spec computes once and
+  every waiter receives the same ``Result`` envelope.
+* **micro-batching** -- admitted specs are coalesced into explicit
+  :class:`~repro.scenario.ScenarioGrid` batches and executed through
+  :meth:`Engine.iter_grid`, so each completed point is streamed back to its
+  waiters (and checkpointed through the store) the moment it lands.
+* **backpressure** -- a bounded admission queue; overflow is rejected with
+  ``503`` and a ``Retry-After`` hint instead of growing without bound.
+* **observability** -- every response envelope carries a request id, its
+  queue / compute / total latency and the hit source
+  (``memory`` / ``disk`` / ``in-flight`` / ``computed``); ``/stats``
+  aggregates hit-rate, queue depth, in-flight count and p50/p99 latency,
+  and the same counters surface in ``Engine.stats()["service"]``.
+
+Modules: :mod:`~repro.service.protocol` (wire format + error envelopes),
+:mod:`~repro.service.server` (the service, graceful drain, the blocking
+``serve()`` loop behind ``repro serve``), :mod:`~repro.service.client`
+(stdlib client behind ``repro request``), :mod:`~repro.service.stats`
+(latency/hit accounting) and :mod:`~repro.service.loadgen` (the concurrent
+load generator behind the ``service-throughput`` benchmark).
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import (
+    BadRequest,
+    Overloaded,
+    PayloadTooLarge,
+    RequestError,
+    decode_spec_payload,
+)
+from .server import AnalysisService, ServiceConfig, ServiceThread, serve
+from .stats import ServiceStats
+
+__all__ = [
+    "AnalysisService",
+    "BadRequest",
+    "Overloaded",
+    "PayloadTooLarge",
+    "RequestError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "ServiceThread",
+    "decode_spec_payload",
+    "serve",
+]

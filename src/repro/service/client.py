@@ -1,0 +1,159 @@
+"""A stdlib client for the analysis service (``repro request``'s engine).
+
+Pure ``http.client`` -- no dependencies, safe to use from threads (each
+request opens its own connection, mirroring the server's one-request-per-
+connection protocol)::
+
+    client = ServiceClient("http://127.0.0.1:8377")
+    envelope = client.run({"kind": "simulate", "params": {"attack": "spectre_v1"}})
+    print(envelope["hit"], envelope["result"]["ok"])
+
+Error envelopes (4xx/5xx) raise :class:`ServiceError` carrying the decoded
+envelope, the HTTP status and the server's ``Retry-After`` hint when one
+was sent.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Dict, Optional, Union
+
+from ..scenario import ScenarioSpec
+
+
+class ServiceError(RuntimeError):
+    """A non-200 response from the service."""
+
+    def __init__(
+        self,
+        status: int,
+        envelope: Dict[str, object],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        error = envelope.get("error") if isinstance(envelope, dict) else None
+        message = (
+            error.get("message") if isinstance(error, dict) else None
+        ) or f"service returned HTTP {status}"
+        super().__init__(message)
+        self.status = status
+        self.envelope = envelope
+        self.retry_after = retry_after
+
+    @property
+    def code(self) -> Optional[str]:
+        error = self.envelope.get("error") if isinstance(self.envelope, dict) else None
+        return error.get("code") if isinstance(error, dict) else None
+
+
+class ServiceClient:
+    """Blocking client over one service base URL."""
+
+    def __init__(self, url: str, timeout: float = 120.0) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    # -- raw transport (also the fuzz harness's entry point) -------------
+    def post_bytes(
+        self, path: str, body: bytes, content_length: Optional[int] = None
+    ) -> Dict[str, object]:
+        """POST raw bytes; returns the decoded envelope or raises ServiceError.
+
+        ``content_length`` overrides the header (tests use it to lie about
+        the body size and probe the 413 path without shipping megabytes).
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.putrequest("POST", path)
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader(
+                "Content-Length",
+                str(len(body) if content_length is None else content_length),
+            )
+            connection.endheaders()
+            connection.send(body)
+            return self._read(connection)
+        finally:
+            connection.close()
+
+    def get(self, path: str) -> Dict[str, object]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", path)
+            return self._read(connection)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _read(connection: http.client.HTTPConnection) -> Dict[str, object]:
+        response = connection.getresponse()
+        raw = response.read()
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            envelope = {"ok": False, "error": {"message": raw.decode("latin-1")}}
+        if response.status != 200:
+            retry_after = response.getheader("Retry-After")
+            raise ServiceError(
+                response.status,
+                envelope,
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return envelope
+
+    # -- the API ---------------------------------------------------------
+    def run(
+        self, spec: Union[ScenarioSpec, Dict[str, object]]
+    ) -> Dict[str, object]:
+        """Submit one spec; returns the response envelope."""
+        payload = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        return self.post_bytes("/run", json.dumps(payload).encode("utf-8"))
+
+    def run_with_retry(
+        self,
+        spec: Union[ScenarioSpec, Dict[str, object]],
+        *,
+        attempts: int = 5,
+        backoff: float = 0.05,
+    ) -> Dict[str, object]:
+        """:meth:`run`, honoring 503 ``Retry-After`` hints up to ``attempts``."""
+        last: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            try:
+                return self.run(spec)
+            except ServiceError as exc:
+                if exc.status != 503:
+                    raise
+                last = exc
+                delay = exc.retry_after or backoff * (2 ** attempt)
+                time.sleep(min(delay, 2.0))
+        assert last is not None
+        raise last
+
+    def stats(self) -> Dict[str, object]:
+        return self.get("/stats")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self.get("/healthz").get("ok"))
+        except (OSError, ServiceError):
+            return False
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Poll ``/healthz`` until the server answers (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.healthy():
+                return
+            time.sleep(0.05)
+        raise TimeoutError(f"service at {self.host}:{self.port} never became ready")

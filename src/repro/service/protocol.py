@@ -1,0 +1,254 @@
+"""Wire format of the analysis service: tiny HTTP/1.1 + JSON envelopes.
+
+The service speaks just enough HTTP for stdlib clients (``curl``,
+``http.client``, a browser hitting ``/stats``) without importing a web
+framework: one request per connection, ``Content-Length`` bodies only, a
+JSON object in and a JSON envelope out.
+
+Every failure a client can provoke -- malformed JSON, an unknown scenario
+kind, bad parameters, an oversized body, an overloaded queue -- maps to a
+:class:`RequestError` subclass carrying an HTTP status and a stable machine
+``code``, rendered as a structured error envelope::
+
+    {"request_id": "...", "ok": false,
+     "error": {"status": 400, "code": "bad-json", "message": "..."}}
+
+The accept loop converts *any* exception into one of these; a request can
+fail, the server cannot be crashed by one (the fuzz suite in
+``tests/test_service_protocol.py`` holds the line).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..scenario import ScenarioSpec
+
+#: Phrases for the handful of statuses the service emits.
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Upper bound on header lines per request -- far above any real client,
+#: low enough that a header flood cannot balloon the parser.
+MAX_HEADER_LINES = 100
+
+
+class RequestError(Exception):
+    """A request-scoped failure with an HTTP status and a stable code.
+
+    Raised anywhere between the socket read and the engine dispatch; the
+    handler renders it as a structured error envelope and moves on to the
+    next connection.  ``retry_after`` (seconds) is surfaced both in the
+    envelope and as a ``Retry-After`` header -- the backpressure hint.
+    """
+
+    status = 400
+    code = "bad-request"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+        if code is not None:
+            self.code = code
+        self.retry_after = retry_after
+
+    @property
+    def message(self) -> str:
+        return self.args[0] if self.args else self.__class__.__name__
+
+    def envelope(self, request_id: Optional[str] = None) -> Dict[str, object]:
+        error: Dict[str, object] = {
+            "status": self.status,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"request_id": request_id, "ok": False, "error": error}
+
+    def headers(self) -> Dict[str, str]:
+        if self.retry_after is None:
+            return {}
+        # Retry-After takes integral seconds; always hint at least 1.
+        return {"Retry-After": str(max(1, round(self.retry_after)))}
+
+
+class BadRequest(RequestError):
+    """The client sent something the decoder cannot turn into a spec."""
+
+    status = 400
+    code = "bad-request"
+
+
+class NotFound(RequestError):
+    status = 404
+    code = "not-found"
+
+
+class MethodNotAllowed(RequestError):
+    status = 405
+    code = "method-not-allowed"
+
+
+class PayloadTooLarge(RequestError):
+    status = 413
+    code = "payload-too-large"
+
+
+class Overloaded(RequestError):
+    """Backpressure: the admission queue is full (or the server is draining)."""
+
+    status = 503
+    code = "overloaded"
+
+
+class ExecutionFailed(RequestError):
+    """The spec was admitted but its executor raised."""
+
+    status = 500
+    code = "execution-failed"
+
+
+# ---------------------------------------------------------------------------
+# Request decoding: JSON body -> ScenarioSpec
+# ---------------------------------------------------------------------------
+def decode_spec_payload(payload: object) -> ScenarioSpec:
+    """A :class:`ScenarioSpec` from a decoded JSON request body.
+
+    Accepts the ``{"kind": ..., "params": {...}}`` shape of
+    :meth:`ScenarioSpec.to_dict`.  Everything a hostile or confused client
+    can send -- a non-object body, a grid, an unknown kind, bogus
+    parameters, absurd nesting -- raises :class:`BadRequest` with a stable
+    ``code``; nothing escapes as a bare exception.
+    """
+    if not isinstance(payload, Mapping):
+        raise BadRequest(
+            "request body must be a JSON object with 'kind' and 'params'",
+            code="bad-shape",
+        )
+    if "axes" in payload or "specs" in payload:
+        raise BadRequest(
+            "grid requests are not accepted; submit point specs -- the "
+            "server micro-batches them into grids itself",
+            code="grid-request",
+        )
+    try:
+        return ScenarioSpec.from_dict(payload)
+    except RecursionError:
+        raise BadRequest("request body is nested too deeply", code="bad-shape")
+    except (KeyError, TypeError, ValueError) as exc:
+        message = str(exc.args[0]) if exc.args else exc.__class__.__name__
+        raise BadRequest(message, code="bad-spec")
+
+
+def decode_spec_body(body: bytes) -> ScenarioSpec:
+    """A :class:`ScenarioSpec` from a raw request body (bytes -> JSON -> spec)."""
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError:
+        raise BadRequest("request body is not valid UTF-8", code="bad-encoding")
+    try:
+        payload = json.loads(text)
+    except (ValueError, RecursionError):
+        raise BadRequest("request body is not valid JSON", code="bad-json")
+    return decode_spec_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# HTTP framing
+# ---------------------------------------------------------------------------
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Read one HTTP/1.1 request: ``(method, path, headers, body)``.
+
+    Only what the service needs: a request line, ``Content-Length``-framed
+    bodies (chunked encoding is rejected), a hard cap on body size *before*
+    the body is read -- an oversized upload costs the server one header
+    parse, not ``max_body_bytes`` of buffering.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise BadRequest("request line too long")
+    if not request_line.strip():
+        raise BadRequest("empty request", code="empty-request")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise BadRequest("malformed HTTP request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise BadRequest("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_LINES:
+            raise BadRequest("too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest("malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise BadRequest("chunked request bodies are not supported")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length header")
+    if length < 0:
+        raise BadRequest("malformed Content-Length header")
+    if length > max_body_bytes:
+        raise PayloadTooLarge(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit"
+        )
+    if length == 0:
+        return method, target, headers, b""
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise BadRequest("request body shorter than Content-Length")
+    return method, target, headers, body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Mapping[str, object],
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Serialize one JSON response and flush it (connection closes after)."""
+    body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {phrase}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+    try:
+        await writer.drain()
+    except ConnectionError:  # client went away mid-write; its loss
+        pass

@@ -1,0 +1,144 @@
+"""Request accounting for the analysis service.
+
+One :class:`ServiceStats` per service instance, mutated only on the event
+loop thread (admission, completion and rejection all happen there), read by
+``/stats`` and -- through :meth:`Engine.register_stats` -- by
+``Engine.stats()["service"]``.
+
+Two views:
+
+* :meth:`counters` -- the monotonic counters (requests / completed /
+  rejected / errors, hits per source, batch shape).  This is what lands in
+  ``Engine.stats()["service"]``, so :meth:`Engine.stats_delta` can window
+  it like every other engine counter.
+* :meth:`snapshot` -- the operator view served by ``/stats``: the counters
+  plus derived gauges (``hit_rate``, queue ``depth``, ``inflight``) and
+  p50/p99 over a bounded ring of recent request latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+#: Hit sources a completed request can report.  ``computed`` is the only
+#: one that cost engine work; the other three are the dedup/cache wins the
+#: whole service exists for.
+HIT_SOURCES = ("computed", "memory", "disk", "in-flight")
+
+
+class LatencyWindow:
+    """A bounded ring of recent latency samples (milliseconds)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = max(1, capacity)
+        self._samples: List[float] = []
+        self._cursor = 0
+
+    def add(self, value: float) -> None:
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        """The nearest-rank percentile of the window; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+        return ordered[rank]
+
+
+def percentiles(samples: Sequence[float], fractions: Sequence[float]) -> List[float]:
+    """Nearest-rank percentiles of an arbitrary sample list (0.0 when empty)."""
+    if not samples:
+        return [0.0 for _ in fractions]
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return [ordered[min(last, int(f * last + 0.5))] for f in fractions]
+
+
+class ServiceStats:
+    """Counters + latency ring for one service instance."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        #: Admitted or attached requests (rejected ones are *not* requests
+        #: that entered the system; they count under ``rejected``).
+        self.requests = 0
+        #: Requests whose waiter received an envelope.
+        self.completed = 0
+        #: Backpressure rejections (queue full / draining).
+        self.rejected = 0
+        #: Entries whose executor raised (rendered as 500 envelopes).
+        self.errors = 0
+        #: Batches dispatched and the points they carried.
+        self.batches = 0
+        self.batched_points = 0
+        self.max_batch = 0
+        self.hits: Dict[str, int] = {source: 0 for source in HIT_SOURCES}
+        self.queue_ms_total = 0.0
+        self.compute_ms_total = 0.0
+        self._latency = LatencyWindow(latency_window)
+
+    # -- recording (event-loop thread only) ----------------------------
+    def record_hit(self, source: str) -> None:
+        self.hits[source] = self.hits.get(source, 0) + 1
+
+    def record_batch(self, points: int) -> None:
+        self.batches += 1
+        self.batched_points += points
+        self.max_batch = max(self.max_batch, points)
+
+    def record_completion(self, queue_ms: float, compute_ms: float, total_ms: float) -> None:
+        self.completed += 1
+        self.queue_ms_total += queue_ms
+        self.compute_ms_total += compute_ms
+        self._latency.add(total_ms)
+
+    # -- reading -------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of admitted requests served without a fresh compute."""
+        if self.requests <= 0:
+            return 0.0
+        return 1.0 - self.hits.get("computed", 0) / self.requests
+
+    def counters(self) -> Dict[str, object]:
+        """The monotonic counters (``Engine.stats()["service"]``)."""
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "batches": self.batches,
+            "batched_points": self.batched_points,
+            "max_batch": self.max_batch,
+            "hits": dict(self.hits),
+        }
+
+    def snapshot(self, *, depth: int = 0, inflight: int = 0) -> Dict[str, object]:
+        """The operator view: counters + derived gauges + latency percentiles."""
+        report = self.counters()
+        report.update(
+            {
+                "hit_rate": round(self.hit_rate, 6),
+                "depth": depth,
+                "inflight": inflight,
+                "latency_ms": {
+                    "p50": round(self._latency.percentile(0.50), 3),
+                    "p99": round(self._latency.percentile(0.99), 3),
+                    "samples": len(self._latency),
+                    "queue_mean": round(
+                        self.queue_ms_total / self.completed, 3
+                    ) if self.completed else 0.0,
+                    "compute_mean": round(
+                        self.compute_ms_total / self.completed, 3
+                    ) if self.completed else 0.0,
+                },
+            }
+        )
+        return report

@@ -125,6 +125,7 @@ class MemoryStore:
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._puts = 0
 
     def get(self, key: str) -> Optional[object]:
         try:
@@ -139,6 +140,7 @@ class MemoryStore:
     def put(self, key: str, value: object) -> bool:
         self._entries[key] = value
         self._entries.move_to_end(key)
+        self._puts += 1
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -149,6 +151,8 @@ class MemoryStore:
             "entries": len(self._entries),
             "hits": self._hits,
             "misses": self._misses,
+            "puts": self._puts,
+            "put_failures": 0,  # a dictionary insert cannot fail
         }
 
     def clear(self) -> int:
@@ -191,6 +195,13 @@ class DiskStore:
         self.max_entries = max_entries
         self._hits = 0
         self._misses = 0
+        #: Persist outcomes.  ``put`` returning ``False`` used to be
+        #: invisible (a write-only signal nobody read); the counters make a
+        #: store that is silently failing to persist observable in
+        #: ``stats()`` -- and through it in ``Engine.stats()["store"]`` and
+        #: the service's ``/stats``.
+        self._puts = 0
+        self._put_failures = 0
         #: Approximate on-disk entry count, so a put under the limit does
         #: not pay a full directory scan.  Initialized lazily by the first
         #: eviction check; concurrent writers can make it drift (it is
@@ -270,6 +281,14 @@ class DiskStore:
         return value
 
     def put(self, key: str, value: object) -> bool:
+        persisted = self._write(key, value)
+        if persisted:
+            self._puts += 1
+        else:
+            self._put_failures += 1
+        return persisted
+
+    def _write(self, key: str, value: object) -> bool:
         blob = _dumps(value)
         if blob is None:
             return False
@@ -362,6 +381,8 @@ class DiskStore:
             "bytes": total_bytes,
             "hits": self._hits,
             "misses": self._misses,
+            "puts": self._puts,
+            "put_failures": self._put_failures,
         }
 
     def clear(self) -> int:
@@ -378,6 +399,18 @@ class DiskStore:
 
 def _rebuild_disk_store(root: str, version: str, max_entries: Optional[int]) -> DiskStore:
     return DiskStore(root, version=version, max_entries=max_entries)
+
+
+def store_label(store: Optional[object]) -> str:
+    """The hit-source name of a store layer: ``disk`` / ``memory`` / ``none``.
+
+    Serializing stores (``aliases_values is False``) are "disk-class" --
+    the value survived a process boundary; aliasing stores are in-memory.
+    The analysis service stamps warm hits with this label.
+    """
+    if store is None:
+        return "none"
+    return "memory" if getattr(store, "aliases_values", True) else "disk"
 
 
 def open_store(selector: Optional[str]) -> Optional[object]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import signal
+import socket
 
 import pytest
 
@@ -43,24 +44,35 @@ kernel_secret: address=0xffff0000 size=64 kernel protected
 """
 
 
-#: Wall-clock ceiling for a single ``faults``-marked test.  Fault-injection
-#: tests exercise hangs, kills, and pool respawns -- a regression there shows
+#: Wall-clock ceiling for a single ``faults``- or ``service``-marked test.
+#: Fault-injection tests exercise hangs, kills, and pool respawns; service
+#: tests run socket servers and subprocesses -- a regression in either shows
 #: up as a stuck test, so the guard turns it into a loud failure instead.
 FAULT_TEST_TIMEOUT_SECONDS = 90.0
+
+#: Markers whose tests run under the SIGALRM wall-clock guard.
+GUARDED_MARKERS = ("faults", "service")
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    """Abort any ``faults``-marked test that overruns its wall-clock budget."""
-    if item.get_closest_marker("faults") is None or not hasattr(signal, "SIGALRM"):
+    """Abort any guarded-marker test that overruns its wall-clock budget."""
+    marker = next(
+        (
+            found
+            for name in GUARDED_MARKERS
+            if (found := item.get_closest_marker(name)) is not None
+        ),
+        None,
+    )
+    if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    marker = item.get_closest_marker("faults")
     limit = float(marker.kwargs.get("timeout", FAULT_TEST_TIMEOUT_SECONDS))
 
     def _expired(signum, frame):
         raise TimeoutError(
-            f"fault-injection test exceeded its {limit:.0f}s wall-clock guard"
+            f"{marker.name} test exceeded its {limit:.0f}s wall-clock guard"
         )
 
     previous = signal.signal(signal.SIGALRM, _expired)
@@ -70,6 +82,19 @@ def pytest_runtest_call(item):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def ephemeral_port():
+    """A free TCP port on loopback for service subprocesses.
+
+    In-process servers bind ``port=0`` and read the port back; subprocess
+    servers (``repro serve``) need the number up front, so probe one here.
+    The tiny close-to-bind race is acceptable for loopback tests.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
 
 
 @pytest.fixture

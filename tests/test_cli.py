@@ -41,9 +41,24 @@ class TestParser:
         parser = build_parser()
         for argv in (["tables"], ["attacks"], ["attack", "spectre_v1"],
                      ["defenses"], ["evaluate", "lfence", "spectre_v1"],
-                     ["exploit", "meltdown"], ["ablation", "spectre_v1"], ["report"]):
+                     ["exploit", "meltdown"], ["ablation", "spectre_v1"], ["report"],
+                     ["serve", "--port", "0"],
+                     ["request", "--url", "http://127.0.0.1:1", "--stats"]):
             args = parser.parse_args(argv)
             assert callable(args.handler)
+
+    def test_version_flag_prints_version_and_commit(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        banner = capsys.readouterr().out.strip()
+        assert banner.startswith("repro ")
+
+    def test_build_info_degrades_to_version_only(self):
+        from repro import __version__, build_info
+
+        banner = build_info()
+        assert banner.startswith(f"repro {__version__}")
 
 
 class TestCommands:
@@ -257,6 +272,19 @@ class TestJsonEnvelopes:
         assert envelope["data"]["rows"]
 
 
+#: A healthy service-throughput record for synthetic perf trajectories:
+#: perfect single-flight dedup (computed == unique) over the 50%-overlap load.
+GOOD_SERVICE_RECORD = {
+    "benchmark": "service-throughput",
+    "clients": 8,
+    "requests": 80,
+    "unique_specs": 45,
+    "computed": 45,
+    "perfect_dedup": True,
+    "dedup_hit_rate": 0.4375,
+}
+
+
 class TestPerfCheck:
     def test_perf_quick_smoke_and_check_roundtrip(self, tmp_path, capsys):
         output = tmp_path / "bench.json"
@@ -287,6 +315,9 @@ class TestPerfCheck:
                      "plain_seconds": 1.5, "checkpoint_seconds": 2.25,
                      "overhead_fraction": 0.5, "resume_seconds": 0.9,
                      "resume_recomputed": 3, "speedup_resume": 1.7},
+                    {"benchmark": "service-throughput", "clients": 8,
+                     "requests": 80, "unique_specs": 45, "computed": 80,
+                     "perfect_dedup": False, "dedup_hit_rate": 0.0},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -300,9 +331,11 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL") == 8
+        assert out.count("FAIL") == 10
         assert "contended event-queue scheduler" in out
         assert "warm DiskStore run" in out
+        assert "service dedup hit-rate" in out
+        assert "single-flight" in out
 
     def test_perf_check_flags_missing_contended_benchmark(self, tmp_path, capsys):
         stale = {
@@ -318,6 +351,7 @@ class TestPerfCheck:
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
                      "resume_recomputed": 0, "speedup_resume": 37.0},
+                    dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -342,6 +376,7 @@ class TestPerfCheck:
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
                      "resume_recomputed": 0, "speedup_resume": 37.0},
+                    dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -370,6 +405,7 @@ class TestPerfCheck:
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
                      "resume_recomputed": 0, "speedup_resume": 37.0},
+                    dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -423,6 +459,7 @@ class TestPerfCheck:
                      "speedup_sharded_vs_serial": 4.0},
                     {"benchmark": "engine-disk-warm-run",
                      "speedup_warm_disk": 100.0},
+                    dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,
@@ -436,6 +473,83 @@ class TestPerfCheck:
         path.write_text(json.dumps(stale))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         assert "no grid-resume" in capsys.readouterr().out
+
+    def test_perf_check_flags_missing_service_benchmark(self, tmp_path, capsys):
+        stale = {
+            "runs": [{
+                "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
+                "engine_results": [
+                    {"benchmark": "engine-analyze-warm-cache", "speedup_warm": 30.0},
+                    {"benchmark": "engine-attack-space-sharded",
+                     "speedup_sharded_vs_serial": 4.0},
+                    {"benchmark": "engine-disk-warm-run",
+                     "speedup_warm_disk": 100.0},
+                    {"benchmark": "grid-resume-overhead", "points": 200,
+                     "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
+                     "overhead_fraction": 0.02, "resume_seconds": 0.05,
+                     "resume_recomputed": 0, "speedup_resume": 30.0},
+                ],
+                "timing_results": [
+                    {"benchmark": "timing-event-queue", "instructions": 500,
+                     "speedup_event_vs_rescan": 100.0},
+                    {"benchmark": "timing-event-queue-contended",
+                     "instructions": 500, "speedup_event_vs_rescan": 80.0},
+                ],
+            }]
+        }
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        assert main(["perf", "--check", "-o", str(path)]) == 1
+        assert "no service-throughput" in capsys.readouterr().out
+
+
+@pytest.mark.service
+class TestRequestCommand:
+    """`repro request` against a live in-process service."""
+
+    def test_request_summary_json_stats_and_error_paths(self, tmp_path, capsys):
+        from repro.engine import Engine
+        from repro.service import ServiceConfig, ServiceThread
+        from repro.store import DiskStore
+
+        engine = Engine(store=DiskStore(root=str(tmp_path), version="cli"))
+        point = ["--kind", "exploit", "--param", "exploit=spectre_v1",
+                 "--param", "secret=0x41"]
+        with ServiceThread(engine=engine, config=ServiceConfig()) as handle:
+            assert main(["request", "--url", handle.url, *point]) == 0
+            summary = capsys.readouterr().out
+            assert "[computed]" in summary
+            assert "exploit" in summary
+
+            assert main(["request", "--url", handle.url, *point, "--json"]) == 0
+            envelope = json.loads(capsys.readouterr().out)
+            assert envelope["hit"] == "disk"  # warm repeat of the same spec
+            assert envelope["ok"] is True
+
+            assert main(["request", "--url", handle.url, "--stats"]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["service"]["requests"] == 2
+
+            assert main(["request", "--url", handle.url, "--kind", "warp"]) == 2
+            captured = capsys.readouterr()
+            error = json.loads(captured.err)
+            assert error["ok"] is False
+            assert error["error"]["code"] == "bad-spec"
+        engine.close()
+
+    def test_request_refuses_grid_specs(self, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps(
+            {"kind": "exploit", "axes": {"secret": [1, 2]}}
+        ))
+        with pytest.raises(SystemExit, match="point specs"):
+            main(["request", "--url", "http://127.0.0.1:1",
+                  "--spec", str(grid)])
+
+    def test_request_unreachable_server_exits_cleanly(self, ephemeral_port):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["request", "--url", f"http://127.0.0.1:{ephemeral_port}",
+                  "--stats"])
 
 
 class TestRunCommand:

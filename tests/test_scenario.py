@@ -6,6 +6,7 @@ import json
 import pickle
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.defenses import get as get_defense
 from repro.engine import Engine
@@ -278,6 +279,53 @@ class TestDecoders:
         assert decode_secret("0x5a") == 0x5A
         assert decode_secret(7) == 7
         assert decode_secret(None) is None
+
+
+class TestDecoderProperties:
+    """Hypothesis companions to the decoders: hostile dicts cannot escape.
+
+    The service request decoder (``repro.service.protocol``) leans on
+    these contracts: every failure out of ``ScenarioSpec.from_dict`` is a
+    ``KeyError`` / ``TypeError`` / ``ValueError`` it can map to a 400.
+    """
+
+    _json = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-(2**40), max_value=2**40)
+        | st.text(max_size=16),
+        lambda children: st.lists(children, max_size=3)
+        | st.dictionaries(st.text(max_size=8), children, max_size=3),
+        max_leaves=10,
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(payload=st.dictionaries(st.text(max_size=8), _json, max_size=4))
+    def test_from_dict_raises_only_mappable_errors(self, payload):
+        try:
+            spec = ScenarioSpec.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            pass  # exactly the family the service decoder maps to 400s
+        else:
+            assert isinstance(spec, ScenarioSpec)
+
+    @settings(max_examples=100, deadline=None)
+    @given(secret=st.integers(min_value=0, max_value=2**32))
+    def test_decode_secret_accepts_ints_and_their_hex_spellings(self, secret):
+        assert decode_secret(secret) == secret
+        assert decode_secret(hex(secret)) == secret
+        assert decode_secret(str(secret)) == secret
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        secret=st.integers(min_value=0, max_value=255),
+        exploit=st.sampled_from(["spectre_v1", "meltdown"]),
+    )
+    def test_spec_dict_round_trip_preserves_identity(self, secret, exploit):
+        spec = ScenarioSpec("exploit", exploit=exploit, secret=secret)
+        decoded = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+        assert decoded == spec
+        assert decoded.content_hash() == spec.content_hash()
 
 
 # ---------------------------------------------------------------------------

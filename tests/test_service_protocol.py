@@ -1,0 +1,229 @@
+"""Fuzzing the service wire format: a request can fail, the server cannot.
+
+Two layers:
+
+* pure decoder fuzz (hypothesis, no sockets) -- ``decode_spec_body`` /
+  ``decode_spec_payload`` must turn *any* input into either a
+  :class:`ScenarioSpec` or a :class:`BadRequest` with a stable machine
+  code, never a bare exception;
+* the HTTP face -- malformed JSON, unknown kinds, grids, oversized and
+  truncated bodies, garbage request lines all come back as structured 4xx
+  envelopes, and the server answers ``/healthz`` afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Engine
+from repro.scenario import ScenarioSpec
+from repro.service import (
+    BadRequest,
+    PayloadTooLarge,
+    RequestError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceThread,
+    decode_spec_payload,
+)
+from repro.service.protocol import decode_spec_body
+from repro.store import MemoryStore
+
+
+#: Arbitrary JSON documents, shallow enough to stay fast.
+JSON_VALUES = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Decoder fuzz (pure functions, no sockets)
+# ---------------------------------------------------------------------------
+class TestDecoderFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(body=st.binary(max_size=256))
+    def test_arbitrary_bytes_never_escape_as_bare_exceptions(self, body):
+        try:
+            spec = decode_spec_body(body)
+        except BadRequest as exc:
+            assert exc.status == 400
+            assert exc.code in {"bad-encoding", "bad-json", "bad-shape", "bad-spec"}
+            assert exc.envelope("req-x")["error"]["code"] == exc.code
+        else:
+            assert isinstance(spec, ScenarioSpec)
+
+    @settings(max_examples=200, deadline=None)
+    @given(payload=JSON_VALUES)
+    def test_arbitrary_json_decodes_or_raises_bad_request(self, payload):
+        try:
+            spec = decode_spec_payload(payload)
+        except BadRequest as exc:
+            assert exc.status == 400
+            envelope = exc.envelope("req-y")
+            assert envelope["ok"] is False
+            assert envelope["error"]["status"] == 400
+        else:
+            assert isinstance(spec, ScenarioSpec)
+
+    @settings(max_examples=100, deadline=None)
+    @given(kind=st.text(min_size=1, max_size=20))
+    def test_unknown_kinds_are_named_in_the_error(self, kind):
+        try:
+            decode_spec_payload({"kind": kind, "params": {}})
+        except BadRequest as exc:
+            assert exc.code == "bad-spec"
+        else:  # pragma: no cover - only a registered kind with no required
+            pass  # params would land here; either way, nothing escaped.
+
+    def test_valid_payload_round_trips_to_the_same_hash(self):
+        spec = ScenarioSpec("exploit", exploit="spectre_v1", secret=0x41)
+        decoded = decode_spec_payload(spec.to_dict())
+        assert decoded.content_hash() == spec.content_hash()
+
+    @pytest.mark.parametrize(
+        "payload, code",
+        [
+            ("just a string", "bad-shape"),
+            ([1, 2, 3], "bad-shape"),
+            (None, "bad-shape"),
+            ({"kind": "exploit", "axes": {}}, "grid-request"),
+            ({"kind": "exploit", "specs": []}, "grid-request"),
+            ({"params": {}}, "bad-spec"),
+            ({"kind": "nope", "params": {}}, "bad-spec"),
+            ({"kind": "exploit", "params": "not a mapping"}, "bad-spec"),
+        ],
+    )
+    def test_stable_codes_for_canonical_bad_shapes(self, payload, code):
+        with pytest.raises(BadRequest) as failure:
+            decode_spec_payload(payload)
+        assert failure.value.code == code
+
+    def test_deep_nesting_is_a_bad_request_not_a_crash(self):
+        blob = '{"params":' * 4000 + "0" + "}" * 4000
+        with pytest.raises(BadRequest):
+            decode_spec_body(blob.encode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# The HTTP face under hostile input
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_service():
+    engine = Engine(store=MemoryStore())
+    with ServiceThread(
+        engine=engine, config=ServiceConfig(max_body_bytes=4096)
+    ) as handle:
+        yield ServiceClient(handle.url)
+    engine.close()
+
+
+@pytest.mark.service
+class TestHttpFuzz:
+    def test_malformed_json_is_a_structured_400(self, live_service):
+        with pytest.raises(ServiceError) as failure:
+            live_service.post_bytes("/run", b'{"kind": "exploit", ')
+        assert failure.value.status == 400
+        assert failure.value.code == "bad-json"
+        assert failure.value.envelope["ok"] is False
+        assert live_service.healthy()
+
+    def test_unknown_kind_is_a_structured_400(self, live_service):
+        with pytest.raises(ServiceError) as failure:
+            live_service.run({"kind": "warp-drive", "params": {}})
+        assert failure.value.status == 400
+        assert failure.value.code == "bad-spec"
+        assert "warp-drive" in str(failure.value)
+
+    def test_grid_body_is_refused_with_its_own_code(self, live_service):
+        with pytest.raises(ServiceError) as failure:
+            live_service.run({"kind": "exploit", "axes": {"secret": [1, 2]}})
+        assert failure.value.status == 400
+        assert failure.value.code == "grid-request"
+
+    def test_oversized_body_is_413_before_the_body_is_read(self, live_service):
+        with pytest.raises(ServiceError) as failure:
+            live_service.post_bytes("/run", b"{}", content_length=1 << 30)
+        assert failure.value.status == 413
+        assert failure.value.code == "payload-too-large"
+        assert live_service.healthy()
+
+    def test_truncated_body_is_a_structured_400(self, live_service):
+        # A client that promises 64 bytes, sends 2 and hangs up: the EOF
+        # must come back as a 400, not wedge the handler.
+        request = b"POST /run HTTP/1.1\r\nContent-Length: 64\r\n\r\n{}"
+        with socket.create_connection(
+            (live_service.host, live_service.port), timeout=30
+        ) as raw:
+            raw.sendall(request)
+            raw.shutdown(socket.SHUT_WR)
+            response = b""
+            while chunk := raw.recv(4096):
+                response += chunk
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"shorter than Content-Length" in response
+        assert live_service.healthy()
+
+    def test_garbage_request_line_gets_an_error_envelope(self, live_service):
+        with socket.create_connection(
+            (live_service.host, live_service.port), timeout=30
+        ) as raw:
+            raw.sendall(b"\x00\xffTOTAL GARBAGE\r\n\r\n")
+            raw.shutdown(socket.SHUT_WR)
+            response = b""
+            while chunk := raw.recv(4096):
+                response += chunk
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert live_service.healthy()
+
+    @settings(max_examples=25, deadline=None)
+    @given(body=st.binary(max_size=200))
+    def test_random_bodies_always_get_structured_envelopes(
+        self, live_service, body
+    ):
+        try:
+            envelope = live_service.post_bytes("/run", body)
+        except ServiceError as exc:
+            assert 400 <= exc.status < 500
+            error = exc.envelope.get("error")
+            assert isinstance(error, dict) and "code" in error
+        else:
+            assert envelope["ok"] in (True, False)
+
+    def test_server_survives_the_whole_gauntlet(self, live_service):
+        """Runs last in the class: the service still does real work."""
+        envelope = live_service.run(
+            {"kind": "exploit", "params": {"exploit": "spectre_v1", "secret": 9}}
+        )
+        assert envelope["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# Error-type plumbing
+# ---------------------------------------------------------------------------
+class TestErrorEnvelopes:
+    def test_retry_after_surfaces_in_envelope_and_header(self):
+        error = RequestError("busy", status=503, code="overloaded", retry_after=2.5)
+        envelope = error.envelope("req-1")
+        assert envelope["error"]["retry_after"] == 2.5
+        assert error.headers() == {"Retry-After": "2"}
+
+    def test_payload_too_large_defaults(self):
+        error = PayloadTooLarge("too big")
+        assert error.status == 413
+        assert error.envelope(None)["error"]["code"] == "payload-too-large"
+
+    def test_envelope_is_json_serializable(self):
+        envelope = BadRequest("nope", code="bad-spec").envelope("req-2")
+        assert json.loads(json.dumps(envelope)) == envelope

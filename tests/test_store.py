@@ -46,7 +46,13 @@ class TestMemoryStore:
         assert store.get("k") is None
         assert store.put("k", {"v": 1})
         assert store.get("k") == {"v": 1}
-        assert store.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert store.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "puts": 1,
+            "put_failures": 0,
+        }
         assert store.clear() == 1
         assert store.get("k") is None
 
