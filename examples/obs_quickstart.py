@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart for the ``repro.obs`` tracing + metrics plane.
+
+Three moves: trace a sharded grid campaign to a JSONL file (spans cross
+the process pool and come back with the results), digest the file into a
+per-phase breakdown + critical path, and render the engine's metrics
+registry as Prometheus text -- the same document the analysis service
+serves on ``GET /metrics``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python examples/obs_quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.engine import Engine
+from repro.obs import ProgressLine, Tracer, read_trace, summarize
+from repro.scenario import ScenarioGrid
+
+GRID = ScenarioGrid(
+    "exploit",
+    base={"exploit": "spectre_v1"},
+    axes={"secret": list(range(8))},
+)
+
+
+def main() -> None:
+    handle, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-obs-")
+    os.close(handle)
+    try:
+        # -- 1. Trace a campaign -----------------------------------------
+        # The tracer rides on the engine session: engine.run / iter_grid /
+        # build / store.put open spans, each shard ships its TraceContext
+        # to the pool worker, and the worker's `worker.point` spans travel
+        # back with the results into one JSONL file.  --progress from the
+        # CLI is this ProgressLine, fed per streamed GridPoint.
+        tracer = Tracer(sink=trace_path)
+        progress = ProgressLine(len(GRID), min_interval=0.0)
+        with Engine(parallel=2, tracer=tracer) as engine:
+            result = engine.run_grid(GRID, on_point=progress.update)
+        progress.finish()
+        tracer.close()
+        print(f"grid ok={result.ok}: {tracer.emitted} spans -> {trace_path}")
+
+        # -- 2. Digest the trace ------------------------------------------
+        # summarize() is what `repro trace summarize` prints: span counts
+        # and total/mean/max per phase, the slowest points, and the parent
+        # chain behind the span that finished last (the critical path).
+        records = read_trace(trace_path)
+        digest = summarize(records, top=3)
+        print(f"\n{digest['spans']} spans across "
+              f"{digest['processes']} processes, "
+              f"wall {digest['wall_ms']:.1f} ms")
+        for phase, bucket in digest["phases"].items():
+            print(f"  {phase:<13} x{bucket['count']:<3} "
+                  f"total {bucket['total_ms']:8.2f} ms  "
+                  f"max {bucket['max_ms']:.2f} ms")
+        worker_pids = {r["pid"] for r in records if r["name"] == "worker.point"}
+        print(f"worker.point spans recorded in processes: {sorted(worker_pids)}")
+
+        # -- 3. Scrape the metrics registry -------------------------------
+        # Every engine counter (cache events, per-kind runs, grid events,
+        # the store ledger synced on scrape) lives on engine.metrics; the
+        # service unions its own registry + this one + the global one on
+        # GET /metrics.  Here: render a fresh session's registry directly.
+        with Engine(parallel=2) as engine:
+            engine.run_grid(GRID)
+            text = engine.metrics.render()
+        print("\nPrometheus exposition (repro_engine_* excerpt):")
+        for line in text.splitlines():
+            if line.startswith("repro_engine_runs_total") or line.startswith(
+                "repro_engine_grid_events_total{event=\"resumed\"}"
+            ):
+                print(f"  {line}")
+    finally:
+        os.unlink(trace_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -324,6 +324,78 @@ def service_response_summary(envelope: Mapping[str, object]) -> str:
     return f"{head}\n{render_result(result, spec.get('kind'))}"
 
 
+def format_trace_summary(summary: Mapping[str, object]) -> str:
+    """Terminal rendering of :func:`repro.obs.summarize.summarize`.
+
+    Three blocks: the per-phase latency breakdown (sorted by total time,
+    so the most expensive pipeline stage leads), the slowest individual
+    points, and the critical path -- the parent chain behind the span that
+    finished last, i.e. what actually determined the campaign's makespan.
+    """
+    lines = [
+        f"{summary['spans']} spans, {summary['traces']} trace(s), "
+        f"{summary['processes']} process(es), "
+        f"wall {float(summary['wall_ms']):.1f} ms",
+        "",
+        "Phase breakdown",
+        format_table(
+            ("phase", "count", "total ms", "mean ms", "max ms"),
+            [
+                (
+                    phase,
+                    int(bucket["count"]),
+                    f"{bucket['total_ms']:.2f}",
+                    f"{bucket['mean_ms']:.2f}",
+                    f"{bucket['max_ms']:.2f}",
+                )
+                for phase, bucket in summary["phases"].items()
+            ],
+        ),
+    ]
+    slowest = summary.get("slowest") or []
+    if slowest:
+        lines.extend(
+            [
+                "",
+                "Slowest spans",
+                format_table(
+                    ("phase", "dur ms", "pid", "detail"),
+                    [
+                        (
+                            entry["phase"],
+                            f"{entry['dur_ms']:.2f}",
+                            entry.get("pid", "?"),
+                            ", ".join(
+                                f"{name}={value}"
+                                for name, value in sorted(
+                                    (entry.get("attrs") or {}).items()
+                                )
+                            ) or "-",
+                        )
+                        for entry in slowest
+                    ],
+                ),
+            ]
+        )
+    path = summary.get("critical_path") or []
+    if path:
+        lines.extend(["", "Critical path (root -> latest-finishing span)"])
+        for depth, node in enumerate(path):
+            dur = node.get("dur_ms")
+            timing = f"{float(dur):.2f} ms" if dur is not None else "?"
+            detail = ", ".join(
+                f"{name}={value}"
+                for name, value in sorted((node.get("attrs") or {}).items())
+            )
+            lines.append(
+                "  " * depth
+                + f"{node['phase']} ({node['name']}) {timing}"
+                + (f"  [{detail}]" if detail else "")
+                + f"  pid {node.get('pid', '?')}"
+            )
+    return "\n".join(lines)
+
+
 def defense_matrix_section(
     defenses: Optional[Sequence[Defense]] = None,
     attacks: Optional[Sequence[AttackVariant]] = None,

@@ -29,6 +29,8 @@ Subcommands::
     repro run --spec plan.json         # spec / grid from a JSON file
     repro run --kind simulate --param attack=spectre_v1 \
               --axis defenses='[["PREVENT_SPECULATIVE_LOADS"],null]'  # a grid
+    repro run --spec plan.json --trace t.jsonl --progress  # traced, live ETA
+    repro trace summarize t.jsonl      # phase breakdown + critical path
     repro report                       # full Markdown report
     repro perf [--check] [--full]      # core + engine + timing perf -> BENCH_core.json
     repro serve --store disk           # the async analysis service (HTTP)
@@ -352,13 +354,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine = _run_session(args)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"run failed: {exc}")
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+
+        try:
+            tracer = Tracer(sink=args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file {args.trace!r}: {exc}")
+        engine.tracer = tracer
+    progress = None
+    if getattr(args, "progress", False) and isinstance(plan, ScenarioGrid):
+        from .obs import ProgressLine
+
+        progress = ProgressLine(len(plan))
     try:
-        result = engine.run(plan, parallel=args.parallel)
+        if progress is not None:
+            result = engine.run_grid(
+                plan, parallel=args.parallel, on_point=progress.update
+            )
+        else:
+            result = engine.run(plan, parallel=args.parallel)
     except KeyboardInterrupt:
         # Completed points are already durable (each one was persisted the
         # moment it finished); kill the pool without joining possibly hung
         # workers and tell the user how to pick the campaign back up.
+        if progress is not None:
+            progress.finish()
         engine.halt()
+        if tracer is not None:
+            tracer.close()
         print(
             "interrupted -- completed grid points stay checkpointed in the "
             "artifact store; re-run the same command with --resume to "
@@ -369,8 +394,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as exc:
         # Parameter decode errors (unknown attack, bogus model name, ...)
         # are user input errors: one clean line, not a traceback.
+        if progress is not None:
+            progress.finish()
+        if tracer is not None:
+            tracer.close()
         message = exc.args[0] if exc.args else exc
         raise SystemExit(f"run failed: {message}")
+    if progress is not None:
+        progress.finish()
+    if tracer is not None:
+        tracer.close()
+        print(
+            f"trace: {tracer.emitted} spans written to {args.trace}",
+            file=sys.stderr,
+        )
     if args.json:
         print(result.to_json())
     else:
@@ -421,6 +458,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         max_body_bytes=args.max_body,
         parallel=args.parallel,
+        trace_path=args.trace,
     )
     try:
         return serve(engine, config)
@@ -464,6 +502,25 @@ def _cmd_request(args: argparse.Namespace) -> int:
     else:
         print(service_response_summary(envelope))
     return 0 if envelope.get("ok") else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.report import format_trace_summary
+    from .obs import summarize_file
+
+    try:
+        summary = summarize_file(args.file, top=args.top)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file {args.file!r}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"malformed trace file {args.file!r}: {exc}")
+    if not summary["spans"]:
+        raise SystemExit(f"trace file {args.file!r} holds no spans")
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_trace_summary(summary))
+    return 0
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -656,6 +713,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault-injection plan (testing): seeded worker "
              "exceptions / hangs / crashes and store corruption",
     )
+    run_parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL span trace of the run (engine, store and pool-"
+             "worker spans); inspect with 'repro trace summarize FILE'",
+    )
+    run_parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr for grid runs: done/total, "
+             "points/s, ETA and quarantine count",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = subparsers.add_parser(
@@ -696,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="largest accepted request body")
     serve_parser.add_argument("--parallel", type=int, default=None,
                               help="shard each batch over N engine workers")
+    serve_parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL span trace of every request: service admission, "
+             "queueing, batching, engine execution and pool-worker spans",
+    )
     serve_parser.set_defaults(handler=_cmd_serve)
 
     request_parser = subparsers.add_parser(
@@ -717,6 +789,29 @@ def build_parser() -> argparse.ArgumentParser:
     request_parser.add_argument("--json", action="store_true",
                                 help="emit the full response envelope as JSON")
     request_parser.set_defaults(handler=_cmd_request)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL span trace written by --trace",
+    )
+    trace_subparsers = trace_parser.add_subparsers(
+        dest="trace_command", required=True
+    )
+    summarize_parser = trace_subparsers.add_parser(
+        "summarize",
+        help="per-phase latency breakdown, slowest points and critical path",
+        description="Aggregate a JSONL span trace (from 'repro run --trace' "
+                    "or 'repro serve --trace'): span counts and wall time "
+                    "per phase (queue / batch / build / analyze / simulate / "
+                    "store-put), the slowest individual points, and the "
+                    "critical path from the latest-finishing span back to "
+                    "its root.",
+    )
+    summarize_parser.add_argument("file", help="JSONL trace file to summarize")
+    summarize_parser.add_argument("--top", type=int, default=10,
+                                  help="how many slowest spans to list")
+    summarize_parser.add_argument("--json", action="store_true",
+                                  help="emit the summary as JSON")
+    summarize_parser.set_defaults(handler=_cmd_trace)
 
     perf_parser = subparsers.add_parser(
         "perf", help="run the TSG-core perf suite and append to BENCH_core.json"

@@ -107,6 +107,8 @@ from .scenario import (
     decode_sim_defense,
     decode_sim_defenses,
 )
+from .obs.metrics import MetricsRegistry
+from .obs.trace import Span, TraceContext, Tracer
 from .store import ArtifactStore, store_from_ref, store_ref
 from .uarch.timing.scheduler import CONTENDED_MODEL, SERIALIZED_MODEL
 
@@ -304,31 +306,71 @@ def _simulate_shard_worker(
     ]
 
 
+def _worker_tracer(ctx: Optional[TraceContext]) -> Optional[Tracer]:
+    """A collect-mode tracer joined to the shipped trace context.
+
+    Pool workers cannot append to the parent's JSONL sink (interleaved
+    buffers across processes would corrupt parentage ordering), so they
+    collect finished span records in memory and return them *with* their
+    results; the parent absorbs them into its own sink.
+    """
+    if ctx is None:
+        return None
+    return Tracer(sink=None, trace_id=ctx.trace_id)
+
+
 def _spec_shard_worker(
-    ref: StoreRef, faults: Optional["FaultPlan"], specs: Sequence[ScenarioSpec]
-) -> List[Result]:
+    ref: StoreRef,
+    faults: Optional["FaultPlan"],
+    ctx: Optional[TraceContext],
+    specs: Sequence[ScenarioSpec],
+) -> Tuple[List[Result], List[Dict[str, object]]]:
     """Execute one shard of a generic scenario grid.
 
     Each worker builds its own serial ``Engine``; with a disk-backed store
     reference the worker joins the parent's persistent cache, so repeated
     grids are warm across processes -- and every completed point is a
     durable checkpoint the moment its envelope is persisted.
+
+    Returns ``(results, spans)``: when a :class:`TraceContext` was shipped
+    the worker's ``worker.point`` spans (and everything nested under them)
+    ride back for the parent tracer to absorb; otherwise ``spans`` is empty.
     """
-    engine = Engine(store=store_from_ref(ref), faults=faults)
-    return [engine.run(spec) for spec in specs]
+    tracer = _worker_tracer(ctx)
+    engine = Engine(store=store_from_ref(ref), faults=faults, tracer=tracer)
+    if tracer is None:
+        return [engine.run(spec) for spec in specs], []
+    results = []
+    for spec in specs:
+        with tracer.span(
+            "worker.point", parent=ctx, kind=spec.kind, key=spec.content_hash()[:12]
+        ):
+            results.append(engine.run(spec))
+    return results, tracer.drain()
 
 
 def _point_worker(
-    ref: StoreRef, faults: Optional["FaultPlan"], spec: ScenarioSpec
-) -> Result:
+    ref: StoreRef,
+    faults: Optional["FaultPlan"],
+    ctx: Optional[TraceContext],
+    spec: ScenarioSpec,
+) -> Tuple[Result, List[Dict[str, object]]]:
     """Execute a single grid point: the failure-policy execution unit.
 
     One point per pool task keeps blame assignment exact -- when a worker
     dies or wedges, the supervisor knows precisely which spec it was
     holding, retries it in isolation and quarantines only that point.
+    Returns ``(result, spans)`` exactly like :func:`_spec_shard_worker`.
     """
-    engine = Engine(store=store_from_ref(ref), faults=faults)
-    return engine.run(spec)
+    tracer = _worker_tracer(ctx)
+    engine = Engine(store=store_from_ref(ref), faults=faults, tracer=tracer)
+    if tracer is None:
+        return engine.run(spec), []
+    with tracer.span(
+        "worker.point", parent=ctx, kind=spec.kind, key=spec.content_hash()[:12]
+    ):
+        result = engine.run(spec)
+    return result, tracer.drain()
 
 
 #: (ROB entries, reservation stations) points of the window-length ablation:
@@ -455,6 +497,18 @@ class Engine:
     #: Default per-cache entry bound (FIFO eviction beyond this).
     DEFAULT_CACHE_LIMIT = 4096
 
+    #: Fault-tolerance event vocabulary of ``stats()["grid"]`` -- every
+    #: event is materialized at zero so campaign dashboards always see the
+    #: full schema.
+    GRID_EVENTS = (
+        "resumed",
+        "retried",
+        "quarantined",
+        "timeouts",
+        "pool_respawns",
+        "serial_degradations",
+    )
+
     def __init__(
         self,
         parallel: Optional[int] = None,
@@ -462,6 +516,7 @@ class Engine:
         store: Optional[ArtifactStore] = None,
         policy: Optional[FailurePolicy] = None,
         faults: Optional["FaultPlan"] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.parallel = parallel
         self.cache_limit = cache_limit
@@ -474,15 +529,48 @@ class Engine:
         #: Optional :class:`~repro.faults.FaultPlan`: deterministic fault
         #: injection, threaded to worker engines with the work.
         self.faults = faults
-        #: Cumulative fault-tolerance counters (``stats()["grid"]``).
-        self._grid_summary: Dict[str, int] = {
-            "resumed": 0,
-            "retried": 0,
-            "quarantined": 0,
-            "timeouts": 0,
-            "pool_respawns": 0,
-            "serial_degradations": 0,
-        }
+        #: Optional :class:`~repro.obs.Tracer`.  ``None`` (the default) is
+        #: the zero-instrumentation fast path; a tracer threads spans from
+        #: ``run``/``iter_grid`` down into pool workers (contexts shipped
+        #: with the work, worker spans harvested back with the results).
+        self.tracer = tracer
+        #: The session's unified metrics registry: cache hit/miss, run and
+        #: grid-campaign counters live here; ``stats()`` is a compatibility
+        #: shim over it, and the service's ``/metrics`` endpoint renders it.
+        self.metrics = MetricsRegistry()
+        self._cache_events = self.metrics.counter(
+            "repro_engine_cache_requests_total",
+            "Artifact-cache lookups by cache and outcome.",
+            labelnames=("cache", "outcome"),
+        )
+        self._runs_total = self.metrics.counter(
+            "repro_engine_runs_total",
+            "Scenario executions routed through Engine.run, by spec kind.",
+            labelnames=("kind",),
+        )
+        self._grid_events = self.metrics.counter(
+            "repro_engine_grid_events_total",
+            "Fault-tolerance events observed by grid campaigns.",
+            labelnames=("event",),
+        )
+        for event in self.GRID_EVENTS:
+            self._grid_events.touch(event=event)
+        self._store_ops = self.metrics.counter(
+            "repro_engine_store_ops_total",
+            "Artifact-store operations, synced from the store's own ledger "
+            "on scrape (the store stays registry-free so pool workers are "
+            "born light).",
+            labelnames=("op",),
+        )
+        self._store_entries = self.metrics.gauge(
+            "repro_engine_store_entries",
+            "Entries currently held by the artifact store.",
+        )
+        self._store_bytes = self.metrics.gauge(
+            "repro_engine_store_bytes",
+            "Bytes currently held by the artifact store (disk stores only).",
+        )
+        self.metrics.register_collector(self._sync_store_metrics)
         self._builds: Dict[Tuple, BuildResult] = {}
         self._analyses: Dict[Tuple, AnalysisReport] = {}
         #: Keyed on the (frozen) Defense / AttackVariant objects themselves, so
@@ -494,11 +582,6 @@ class Engine:
         #: config and model are frozen dataclasses, so the key is the full
         #: content of the run.
         self._simulations: Dict[Tuple, "ExploitResult"] = {}
-        self._hits: Dict[str, int] = {}
-        self._misses: Dict[str, int] = {}
-        #: Spec executions per kind since session start (``stats()["runs"]``):
-        #: the observable proof that a workload routed through :meth:`run`.
-        self._runs: Dict[str, int] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_workers = 0
         self._closed = False
@@ -516,8 +599,29 @@ class Engine:
         return (program.content_hash(), tuple(sorted(protected_symbols or ())))
 
     def _record(self, cache: str, hit: bool) -> None:
-        counter = self._hits if hit else self._misses
-        counter[cache] = counter.get(cache, 0) + 1
+        self._cache_events.inc(cache=cache, outcome="hit" if hit else "miss")
+
+    def _grid_event(self, event: str, amount: int = 1) -> None:
+        self._grid_events.inc(amount, event=event)
+
+    def _sync_store_metrics(self) -> None:
+        """Pull the store's counter ledger into the registry (pre-render)."""
+        if self.store is None:
+            return
+        stats = self.store.stats()
+        for op in ("hits", "misses", "puts", "put_failures", "evictions"):
+            if op in stats:
+                self._store_ops.set_to(stats[op], op=op)
+        self._store_entries.set(stats.get("entries", 0))
+        if "bytes" in stats:
+            self._store_bytes.set(stats["bytes"])
+
+    def _active_tracer(self) -> Optional[Tracer]:
+        """The session tracer, or ``None`` when tracing is off/disabled."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
 
     def _store(self, store: Dict, key: object, value: T) -> T:
         """Insert into a cache, evicting the oldest entry beyond the limit."""
@@ -539,12 +643,19 @@ class Engine:
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Hit / miss / entry counts per cache, spec-run counts per kind,
-        the artifact-store counters, and the shared expansion cache."""
+        the artifact-store counters, and the shared expansion cache.
+
+        A compatibility shim since the observability refactor: the counters
+        live in :attr:`metrics` (one registry, also rendered as Prometheus
+        text by the service's ``/metrics``), and this method synthesizes the
+        historical dict shape from the same series -- byte-identical to the
+        pre-registry payloads.
+        """
         report = {
             name: {
                 "entries": len(store),
-                "hits": self._hits.get(name, 0),
-                "misses": self._misses.get(name, 0),
+                "hits": self._cache_events.value(cache=name, outcome="hit"),
+                "misses": self._cache_events.value(cache=name, outcome="miss"),
             }
             for name, store in self._stores().items()
         }
@@ -554,8 +665,12 @@ class Engine:
             "hits": info.hits,
             "misses": info.misses,
         }
-        report["runs"] = dict(sorted(self._runs.items()))
-        report["grid"] = dict(self._grid_summary)
+        report["runs"] = dict(
+            sorted((kind, count) for (kind,), count in self._runs_total.series().items())
+        )
+        report["grid"] = {
+            event: self._grid_events.value(event=event) for event in self.GRID_EVENTS
+        }
         if self.store is not None:
             report["store"] = self.store.stats()
         for name, provider in list(self._stats_providers.items()):
@@ -726,6 +841,8 @@ class Engine:
         the next caller gets a fresh one.
         """
         self._shutdown_pool()
+        if self.tracer is not None:
+            self.tracer.flush()
         self._closed = True
 
     @property
@@ -814,8 +931,20 @@ class Engine:
         """
         if isinstance(spec, ScenarioGrid):
             return self.run_grid(spec, parallel=parallel)
+        tracer = self._active_tracer()
+        if tracer is None:
+            return self._run_spec(spec, parallel, None)
+        with tracer.span("engine.run", kind=spec.kind) as span:
+            result = self._run_spec(spec, parallel, tracer)
+            span.set(cache=result.cache)
+            return result
+
+    def _run_spec(
+        self, spec: ScenarioSpec, parallel: Optional[int], tracer: Optional[Tracer]
+    ) -> Result:
+        """The untraced :meth:`run` body; ``tracer`` adds the store-put span."""
         executor = getattr(self, f"_run_{spec.kind}")
-        self._runs[spec.kind] = self._runs.get(spec.kind, 0) + 1
+        self._runs_total.inc(kind=spec.kind)
         key = spec.content_hash()
         if self.store is not None:
             aliased = getattr(self.store, "aliases_values", True)
@@ -828,7 +957,11 @@ class Engine:
             self.faults.fire_point(spec.content_key())
         result = executor(spec, parallel)
         if self.store is not None:
-            self.store.put(key, _store_snapshot(result, aliased))
+            if tracer is None:
+                self.store.put(key, _store_snapshot(result, aliased))
+            else:
+                with tracer.span("store.put", kind=spec.kind):
+                    self.store.put(key, _store_snapshot(result, aliased))
         return result
 
     def iter_grid(
@@ -851,8 +984,19 @@ class Engine:
         shard plane and a point failure propagates fail-fast, exactly as
         :meth:`run_grid` always did.
         """
+        tracer = self._active_tracer()
+        if tracer is None:
+            yield from self._iter_grid(grid, parallel)
+            return
+        with tracer.span("engine.iter_grid", kind=grid.kind, points=len(grid)):
+            yield from self._iter_grid(grid, parallel)
+
+    def _iter_grid(
+        self, grid: ScenarioGrid, parallel: Optional[int]
+    ) -> Iterator[GridPoint]:
+        """The :meth:`iter_grid` body (separated so tracing can wrap it)."""
         specs = grid.specs()
-        self._runs["grid"] = self._runs.get("grid", 0) + len(specs)
+        self._runs_total.inc(len(specs), kind="grid")
         aliased = True
         misses: List[int] = []
         if self.store is not None:
@@ -860,7 +1004,7 @@ class Engine:
             for index, spec in enumerate(specs):
                 cached = self.store.get(spec.content_hash())
                 if isinstance(cached, Result):
-                    self._grid_summary["resumed"] += 1
+                    self._grid_event("resumed")
                     yield GridPoint(index, spec, _warm_envelope(cached, aliased))
                 else:
                     misses.append(index)
@@ -879,7 +1023,11 @@ class Engine:
                 yield GridPoint(index, specs[index], self.run(specs[index]))
 
     def run_grid(
-        self, grid: ScenarioGrid, *, parallel: Optional[int] = None
+        self,
+        grid: ScenarioGrid,
+        *,
+        parallel: Optional[int] = None,
+        on_point: Optional[Callable[[GridPoint], None]] = None,
     ) -> Result:
         """Execute every point of a scenario grid and aggregate one envelope.
 
@@ -889,12 +1037,16 @@ class Engine:
         run is byte-identical to the pre-streaming implementation.
         Quarantined points (``kind="error"`` envelopes, only possible under
         a :class:`FailurePolicy`) are surfaced as failed rows plus a
-        ``quarantined`` count in the grid data.
+        ``quarantined`` count in the grid data.  ``on_point`` is invoked
+        with each streamed :class:`GridPoint` in completion order -- the
+        hook behind the CLI's ``--progress`` line.
         """
         size = len(grid)
         results: List[Optional[Result]] = [None] * size
         for point in self.iter_grid(grid, parallel=parallel):
             results[point.index] = point.result
+            if on_point is not None:
+                on_point(point)
         # No per-row cache provenance: a worker computes cold what a serial
         # run may serve warm, and grid rows must be byte-identical either
         # way.  Provenance is observable via stats()["store"] instead.
@@ -945,7 +1097,8 @@ class Engine:
     ) -> Iterator[GridPoint]:
         """The legacy fail-fast plane, streaming per completed shard."""
         ref = store_ref(self.store)
-        worker = partial(_spec_shard_worker, ref, self.faults)
+        tracer = self._active_tracer()
+        worker = partial(_spec_shard_worker, ref, self.faults, None)
         payload = [specs[index] for index in misses]
         pool = self._try_pool(workers)
         if pool is None or not _picklable((worker, payload)):
@@ -954,12 +1107,30 @@ class Engine:
             return
         shards = _shards(misses, workers)
         remaining: Dict[Future, List[int]] = {}
+        spans: Dict[Future, "Span"] = {}
         try:
             for shard in shards:
-                remaining[pool.submit(worker, [specs[i] for i in shard])] = shard
+                if tracer is not None:
+                    # Detached: shard spans finish in completion order from
+                    # as_completed, not LIFO -- they must never sit on the
+                    # submitting thread's span stack.  Their context ships
+                    # with the work so worker.point spans parent on them.
+                    span = tracer.span(
+                        "engine.shard", detached=True, points=len(shard)
+                    )
+                    worker = partial(
+                        _spec_shard_worker, ref, self.faults, span.context()
+                    )
+                future = pool.submit(worker, [specs[i] for i in shard])
+                remaining[future] = shard
+                if tracer is not None:
+                    spans[future] = span
             for future in as_completed(list(remaining)):
-                rows = future.result()
+                rows, worker_spans = future.result()
                 shard = remaining.pop(future)
+                if tracer is not None:
+                    tracer.absorb(worker_spans)
+                    tracer.finish(spans.pop(future))
                 for index, result in zip(shard, rows):
                     self._absorb_point(specs[index], result, aliased, ref)
                     yield GridPoint(index, specs[index], result)
@@ -968,7 +1139,10 @@ class Engine:
             # yielded fall back to the deterministic serial path.
             # Exceptions raised by a point itself propagate unchanged.
             self._shutdown_pool()
-            for shard in remaining.values():
+            for future, shard in remaining.items():
+                span = spans.pop(future, None)
+                if span is not None:
+                    tracer.finish(span.set(error="BrokenExecutor"))
                 for index in shard:
                     yield GridPoint(index, specs[index], self.run(specs[index]))
 
@@ -983,7 +1157,9 @@ class Engine:
         policy = self.policy
         rng = random.Random(policy.seed)
         ref = store_ref(self.store)
-        worker_fn = partial(_point_worker, ref, self.faults)
+        tracer = self._active_tracer()
+        ctx = tracer.current_context() if tracer is not None else None
+        worker_fn = partial(_point_worker, ref, self.faults, ctx)
         use_pool = workers > 1 and len(misses) > 1
         pool = self._try_pool(workers) if use_pool else None
         if pool is None or not _picklable(
@@ -1000,7 +1176,7 @@ class Engine:
             for index in misses:
                 pending[pool.submit(worker_fn, specs[index])] = index
         except (BrokenExecutor, PicklingError) as exc:
-            self._grid_summary["pool_respawns"] += 1
+            self._grid_event("pool_respawns")
             self._kill_pool()
             submitted = set(pending.values())
             failed.extend(
@@ -1017,7 +1193,7 @@ class Engine:
                 # these points are presumed hung.  Kill the pool (a plain
                 # shutdown would join the hung worker) and retry each
                 # point in isolation.
-                self._grid_summary["timeouts"] += 1
+                self._grid_event("timeouts")
                 failure = ("Timeout", f"no completion within {policy.timeout}s")
                 failed.extend((index, failure) for index in pending.values())
                 pending.clear()
@@ -1027,7 +1203,7 @@ class Engine:
             for future in done:
                 index = pending.pop(future)
                 try:
-                    result = future.result()
+                    result, worker_spans = future.result()
                 except (BrokenExecutor, OSError) as exc:
                     broken = True
                     failed.append(
@@ -1036,20 +1212,24 @@ class Engine:
                 except Exception as exc:
                     failed.append((index, _failure_info(exc)))
                 else:
+                    if tracer is not None:
+                        tracer.absorb(worker_spans)
                     self._absorb_point(specs[index], result, aliased, ref)
                     yield GridPoint(index, specs[index], result)
             if broken:
                 # The whole pool is gone.  Harvest results that completed
                 # before the break; everything else joins the retry queue.
-                self._grid_summary["pool_respawns"] += 1
+                self._grid_event("pool_respawns")
                 for future, index in list(pending.items()):
                     try:
-                        result = future.result(timeout=0)
+                        result, worker_spans = future.result(timeout=0)
                     except Exception as exc:
                         failed.append(
                             (index, _failure_info(exc, "worker process died"))
                         )
                     else:
+                        if tracer is not None:
+                            tracer.absorb(worker_spans)
                         self._absorb_point(specs[index], result, aliased, ref)
                         yield GridPoint(index, specs[index], result)
                 pending.clear()
@@ -1073,7 +1253,7 @@ class Engine:
         attempts = 1  # the failed first pass
         last = failure
         while attempts <= policy.retries:
-            self._grid_summary["retried"] += 1
+            self._grid_event("retried")
             delay = min(policy.backoff_cap, policy.backoff * (2 ** (attempts - 1)))
             if policy.jitter:
                 delay *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0)
@@ -1088,7 +1268,7 @@ class Engine:
             raise GridPointFailed(
                 f"{spec.describe()}: {last[0]}: {last[1]} (after {attempts} attempts)"
             )
-        self._grid_summary["quarantined"] += 1
+        self._grid_event("quarantined")
         # Never checkpointed: a resume against the same store retries the
         # quarantined point instead of replaying its failure.
         return _error_envelope(spec, last, attempts)
@@ -1105,22 +1285,26 @@ class Engine:
         contained (nothing preempts in-process work).
         """
         policy = self.policy
-        worker_fn = partial(_point_worker, ref, self.faults)
+        tracer = self._active_tracer()
+        ctx = tracer.current_context() if tracer is not None else None
+        worker_fn = partial(_point_worker, ref, self.faults, ctx)
         pool = self._try_pool(1)
         if pool is not None and _picklable((worker_fn, spec)):
             future = pool.submit(worker_fn, spec)
             try:
-                result = future.result(timeout=policy.timeout)
+                result, worker_spans = future.result(timeout=policy.timeout)
             except FutureTimeoutError:
-                self._grid_summary["timeouts"] += 1
+                self._grid_event("timeouts")
                 self._kill_pool()
                 return ("Timeout", f"no result within {policy.timeout}s")
             except (BrokenExecutor, OSError) as exc:
-                self._grid_summary["pool_respawns"] += 1
+                self._grid_event("pool_respawns")
                 self._kill_pool()
                 return _failure_info(exc, "worker process died")
             except Exception as exc:
                 return _failure_info(exc)
+            if tracer is not None:
+                tracer.absorb(worker_spans)
             aliased = (
                 getattr(self.store, "aliases_values", True)
                 if self.store is not None
@@ -1128,7 +1312,7 @@ class Engine:
             )
             self._absorb_point(spec, result, aliased, ref)
             return result
-        self._grid_summary["serial_degradations"] += 1
+        self._grid_event("serial_degradations")
         try:
             return self.run(spec)
         except Exception as exc:
@@ -1147,7 +1331,7 @@ class Engine:
                 last = _failure_info(exc)
             if attempts > policy.retries:
                 break
-            self._grid_summary["retried"] += 1
+            self._grid_event("retried")
             delay = min(policy.backoff_cap, policy.backoff * (2 ** (attempts - 1)))
             if policy.jitter:
                 delay *= 1.0 + policy.jitter * rng.uniform(-1.0, 1.0)
@@ -1157,7 +1341,7 @@ class Engine:
             raise GridPointFailed(
                 f"{spec.describe()}: {last[0]}: {last[1]} (after {attempts} attempts)"
             )
-        self._grid_summary["quarantined"] += 1
+        self._grid_event("quarantined")
         return _error_envelope(spec, last, attempts)
 
     # -- Figure 9 program analysis ------------------------------------------
@@ -1171,7 +1355,12 @@ class Engine:
             self._record("builds", hit=True)
             return cached
         self._record("builds", hit=False)
-        build = AttackGraphBuilder(program, protected_symbols).build()
+        tracer = self._active_tracer()
+        if tracer is None:
+            build = AttackGraphBuilder(program, protected_symbols).build()
+        else:
+            with tracer.span("engine.build", program=getattr(program, "name", "")):
+                build = AttackGraphBuilder(program, protected_symbols).build()
         self._store(self._builds, key, build)
         return build
 

@@ -46,7 +46,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+from .obs.metrics import GLOBAL_REGISTRY
 from .store import DiskStore
+
+#: Injections actually fired, by fault kind -- on the process-wide
+#: registry (a plan has no owning session), so a service scrape shows
+#: how many faults the chaos plan really delivered.
+_FAULTS_FIRED = GLOBAL_REGISTRY.counter(
+    "repro_faults_fired_total",
+    "Deterministic fault injections fired, by fault kind.",
+    labelnames=("kind",),
+)
 
 #: Fault kinds injected at the execution site (engine, before a point's
 #: executor runs) vs. at the artifact-store write site.
@@ -211,6 +221,7 @@ class FaultPlan:
         for index, spec in enumerate(self.faults):
             if spec.kind not in POINT_KINDS or not self._applies(index, spec, key):
                 continue
+            _FAULTS_FIRED.inc(kind=spec.kind)
             if spec.kind == "exception":
                 raise FaultInjected(f"injected worker exception for {key}")
             if spec.kind == "hang":
@@ -222,6 +233,7 @@ class FaultPlan:
         """The store fault to apply to a freshly written entry, if any."""
         for index, spec in enumerate(self.faults):
             if spec.kind in STORE_KINDS and self._applies(index, spec, key):
+                _FAULTS_FIRED.inc(kind=spec.kind)
                 return spec.kind
         return None
 

@@ -1,0 +1,47 @@
+"""``repro.obs`` -- the unified tracing + metrics plane.
+
+Stdlib-only observability threaded through every layer of the stack:
+
+* :mod:`repro.obs.trace` -- context-manager spans with cross-process
+  trace propagation (service request -> single-flight entry -> engine
+  grid -> shard task -> pool worker) sunk to a JSONL file per campaign.
+* :mod:`repro.obs.metrics` -- a labelled counter/gauge/histogram
+  registry behind ``Engine.stats()`` / ``/stats`` compatibility shims,
+  rendered as Prometheus text by the service's ``/metrics`` endpoint.
+* :mod:`repro.obs.summarize` -- per-phase time breakdown, top-N slowest
+  points and the cross-process critical path of a recorded campaign
+  (``repro trace summarize``).
+* :mod:`repro.obs.progress` -- the ``repro run --progress`` live line.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_registries,
+)
+from .progress import ProgressLine
+from .summarize import critical_path, summarize, summarize_file
+from .trace import NULL_SPAN, Span, TraceContext, Tracer, read_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "GLOBAL_REGISTRY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ProgressLine",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "critical_path",
+    "read_trace",
+    "render_registries",
+    "summarize",
+    "summarize_file",
+]

@@ -1,0 +1,371 @@
+"""Labelled counters / gauges / histograms with Prometheus text exposition.
+
+One stdlib-only registry unifies every counter surface in the stack: the
+engine's cache hit/miss and run counts, the grid campaign counters
+(resumed / retried / quarantined / ...), the artifact-store put counters
+and the service's request ledger all live here, while the legacy
+``Engine.stats()`` / ``/stats`` payloads are synthesized from the same
+instruments so their shapes never change.
+
+Design points:
+
+* **Integer-preserving**: counters incremented by ints stay ints, so the
+  compatibility shims that rebuild ``stats()`` dictionaries re-serialize
+  byte-identically (``1`` , never ``1.0``).
+* **Label series on demand**: a ``(name, labels)`` series exists only once
+  touched -- matching the legacy dicts, which only grew keys that fired.
+* **Pull or push**: most instruments are pushed at the call site;
+  externally-owned counters (the store's internal put ledger) are synced
+  with :meth:`Counter.set_to` right before a scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram buckets, in milliseconds: the stack's latencies span
+#: sub-millisecond warm hits to multi-second cold grid campaigns.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_number(value: Number) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _series_line(
+    name: str, labelnames: Sequence[str], labelvalues: Sequence[object], value: Number
+) -> str:
+    if not labelnames:
+        return f"{name} {_format_number(value)}"
+    body = ",".join(
+        f'{label}="{_escape_label(val)}"'
+        for label, val in zip(labelnames, labelvalues)
+    )
+    return f"{name}{{{body}}} {_format_number(value)}"
+
+
+class _Metric:
+    """Shared label plumbing of every instrument kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[object, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(labels[name] for name in self.labelnames)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, one series per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[object, ...], Number] = {}
+
+    def inc(self, amount: Number = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def touch(self, **labels: object) -> None:
+        """Materialize a series at zero (so scrapes show it before it fires)."""
+        key = self._key(labels)
+        with self._lock:
+            self._values.setdefault(key, 0)
+
+    def set_to(self, value: Number, **labels: object) -> None:
+        """Sync this series to an externally-tracked monotonic count.
+
+        The migration shim for counters whose source of truth lives
+        elsewhere (e.g. a store's internal put ledger): call right before
+        rendering so the scrape reflects the true total.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def value(self, **labels: object) -> Number:
+        return self._values.get(self._key(labels), 0)
+
+    def series(self) -> Dict[Tuple[object, ...], Number]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        with self._lock:
+            items = sorted(self._values.items(), key=lambda kv: tuple(map(str, kv[0])))
+        for labelvalues, value in items:
+            lines.append(_series_line(self.name, self.labelnames, labelvalues, value))
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, in-flight entries)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[object, ...], Number] = {}
+
+    def set(self, value: Number, **labels: object) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = value
+
+    def inc(self, amount: Number = 1, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: Number = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> Number:
+        return self._values.get(self._key(labels), 0)
+
+    def series(self) -> Dict[Tuple[object, ...], Number]:
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} gauge"]
+        with self._lock:
+            items = sorted(self._values.items(), key=lambda kv: tuple(map(str, kv[0])))
+        for labelvalues, value in items:
+            lines.append(_series_line(self.name, self.labelnames, labelvalues, value))
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = sorted(float(edge) for edge in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = tuple(bounds)
+        # Per-series state: [bucket counts..., +Inf count], sum, count.
+        self._counts: Dict[Tuple[object, ...], List[int]] = {}
+        self._sums: Dict[Tuple[object, ...], float] = {}
+        self._totals: Dict[Tuple[object, ...], int] = {}
+
+    def observe(self, value: Number, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+            for slot, edge in enumerate(self.buckets):
+                if value <= edge:
+                    counts[slot] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        with self._lock:
+            items = sorted(self._counts.items(), key=lambda kv: tuple(map(str, kv[0])))
+            for labelvalues, counts in items:
+                cumulative = 0
+                for slot, edge in enumerate(self.buckets):
+                    cumulative += counts[slot]
+                    lines.append(
+                        _series_line(
+                            f"{self.name}_bucket",
+                            (*self.labelnames, "le"),
+                            (*labelvalues, _format_number(edge)),
+                            cumulative,
+                        )
+                    )
+                cumulative += counts[-1]
+                lines.append(
+                    _series_line(
+                        f"{self.name}_bucket",
+                        (*self.labelnames, "le"),
+                        (*labelvalues, "+Inf"),
+                        cumulative,
+                    )
+                )
+                lines.append(
+                    _series_line(
+                        f"{self.name}_sum",
+                        self.labelnames,
+                        labelvalues,
+                        self._sums.get(labelvalues, 0.0),
+                    )
+                )
+                lines.append(
+                    _series_line(
+                        f"{self.name}_count",
+                        self.labelnames,
+                        labelvalues,
+                        self._totals.get(labelvalues, 0),
+                    )
+                )
+        return lines
+
+
+MetricLike = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument; renders one scrape document.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent: asking for an
+    existing name returns the existing instrument (and refuses a kind or
+    label-schema conflict), so independent subsystems can share series
+    without coordinating construction order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, MetricLike] = {}
+        self._collectors: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str], **kwargs
+    ) -> MetricLike:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> Optional[MetricLike]:
+        return self._metrics.get(name)
+
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Run ``collector()`` before every render: the pull-model hook for
+        gauges whose source of truth is elsewhere (store sizes, queue depth)."""
+        self._collectors.append(collector)
+
+    def metrics(self) -> List[MetricLike]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def render(self) -> str:
+        """The Prometheus text exposition document (version 0.0.4)."""
+        for collector in list(self._collectors):
+            collector()
+        lines: List[str] = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """Flat ``{metric: {label-tuple-repr: value}}`` view for tests."""
+        out: Dict[str, Dict[str, Number]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    ",".join(map(str, key)): total
+                    for key, total in metric._totals.items()
+                }
+            else:
+                out[metric.name] = {
+                    ",".join(map(str, key)): value
+                    for key, value in metric.series().items()
+                }
+        return out
+
+
+#: Process-wide registry for cross-cutting instruments that have no owning
+#: session object (fault injections, module-level shims).  Engine/service
+#: scrapes concatenate their session registry with this one.
+GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def render_registries(*registries: MetricsRegistry) -> str:
+    """One scrape document over several registries (duplicate names skipped)."""
+    seen: set = set()
+    lines: List[str] = []
+    for registry in registries:
+        for collector in list(registry._collectors):
+            collector()
+        for metric in registry.metrics():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            lines.extend(metric.render())
+    return "\n".join(lines) + "\n" if lines else ""

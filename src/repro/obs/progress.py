@@ -1,0 +1,76 @@
+"""The ``repro run --progress`` live line: one `\\r`-rewritten status row.
+
+Fed per completed :class:`~repro.engine.GridPoint` (completion order --
+exactly what ``Engine.iter_grid`` streams), it shows done/total, rate,
+ETA and quarantine count, throttled so a fast grid does not spend its
+time repainting a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class ProgressLine:
+    """Campaign progress renderer over a completion-ordered point stream."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[IO[str]] = None,
+        label: str = "grid",
+        min_interval: float = 0.1,
+    ) -> None:
+        self.total = max(0, total)
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.min_interval = min_interval
+        self.done = 0
+        self.quarantined = 0
+        self._t0 = time.perf_counter()
+        self._last_paint = 0.0
+        self._painted = False
+
+    def update(self, point: object = None) -> None:
+        """Record one completed point (a GridPoint, a Result, or nothing)."""
+        self.done += 1
+        result = getattr(point, "result", point)
+        if getattr(result, "kind", None) == "error":
+            self.quarantined += 1
+        now = time.perf_counter()
+        if self.done >= self.total or now - self._last_paint >= self.min_interval:
+            self._paint(now)
+
+    def line(self, now: Optional[float] = None) -> str:
+        now = time.perf_counter() if now is None else now
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done / elapsed
+        if self.total and self.done < self.total and rate > 0:
+            eta = f"{(self.total - self.done) / rate:.0f}s"
+        else:
+            eta = "0s" if self.done >= self.total else "?"
+        pct = (100.0 * self.done / self.total) if self.total else 100.0
+        parts = [
+            f"[{self.label}] {self.done}/{self.total} points ({pct:.0f}%)",
+            f"{rate:.1f} pts/s",
+            f"ETA {eta}",
+        ]
+        if self.quarantined:
+            parts.append(f"quarantined {self.quarantined}")
+        return "  ".join(parts)
+
+    def _paint(self, now: float) -> None:
+        self._last_paint = now
+        self.stream.write("\r\x1b[K" + self.line(now))
+        self.stream.flush()
+        self._painted = True
+
+    def finish(self) -> None:
+        """Final repaint plus the newline that releases the terminal line."""
+        if self.total:
+            self._paint(time.perf_counter())
+        if self._painted:
+            self.stream.write("\n")
+            self.stream.flush()

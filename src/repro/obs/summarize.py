@@ -1,0 +1,134 @@
+"""Trace-file analytics: phase breakdown, slowest points, critical path.
+
+Works on the JSONL records written by :class:`repro.obs.trace.Tracer` --
+including absorbed pool-worker spans, so the breakdown covers every
+process that touched the campaign.  The ``repro trace summarize`` CLI and
+``repro.analysis.report.format_trace_summary`` render the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .trace import read_trace
+
+#: Span-name -> phase label.  ``engine.run`` spans report their ``kind``
+#: attr instead (build / analyze / simulate / ...), so the breakdown
+#: matches the pipeline's own vocabulary.
+PHASE_BY_NAME: Dict[str, str] = {
+    "service.request": "request",
+    "service.queue": "queue",
+    "service.entry": "entry",
+    "service.batch": "batch",
+    "engine.iter_grid": "grid",
+    "engine.shard": "shard",
+    "engine.build": "build",
+    "store.put": "store-put",
+    "worker.point": "worker-point",
+}
+
+#: Spans that represent one unit of campaign work -- the candidates for
+#: the "slowest points" table.
+POINT_SPAN_NAMES = ("worker.point", "engine.run")
+
+
+def phase_of(record: Mapping[str, object]) -> str:
+    name = str(record.get("name", ""))
+    if name == "engine.run":
+        attrs = record.get("attrs")
+        if isinstance(attrs, Mapping) and "kind" in attrs:
+            return str(attrs["kind"])
+    return PHASE_BY_NAME.get(name, name)
+
+
+def _end_of(record: Mapping[str, object]) -> float:
+    ts = float(record.get("ts") or 0.0)
+    dur = record.get("dur_ms")
+    return ts + (float(dur) / 1000.0 if dur is not None else 0.0)
+
+
+def critical_path(
+    records: Sequence[Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    """Root -> leaf chain through the latest-finishing span.
+
+    The span with the maximum end time is the one that determined the
+    campaign's makespan; walking its parent links back to the root is the
+    (approximate) critical path -- across process boundaries, since
+    worker records carry the parent ids of the shard spans that shipped
+    them.
+    """
+    if not records:
+        return []
+    by_id = {str(r.get("span")): r for r in records if r.get("span")}
+    leaf = max(records, key=_end_of)
+    chain: List[Mapping[str, object]] = []
+    seen: set = set()
+    node: Optional[Mapping[str, object]] = leaf
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        chain.append(node)
+        parent = node.get("parent")
+        node = by_id.get(str(parent)) if parent else None
+    chain.reverse()
+    return [
+        {
+            "name": str(node.get("name", "")),
+            "phase": phase_of(node),
+            "dur_ms": node.get("dur_ms"),
+            "pid": node.get("pid"),
+            "span": node.get("span"),
+            "attrs": dict(node.get("attrs") or {}),
+        }
+        for node in chain
+    ]
+
+
+def summarize(
+    records: Sequence[Mapping[str, object]], top: int = 10
+) -> Dict[str, object]:
+    """The trace digest: phases, slowest points, critical path, wall span."""
+    phases: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        dur = record.get("dur_ms")
+        if dur is None:
+            continue
+        bucket = phases.setdefault(
+            phase_of(record), {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["total_ms"] += float(dur)
+        bucket["max_ms"] = max(bucket["max_ms"], float(dur))
+    for bucket in phases.values():
+        bucket["mean_ms"] = bucket["total_ms"] / bucket["count"]
+
+    points = [
+        r for r in records
+        if r.get("name") in POINT_SPAN_NAMES and r.get("dur_ms") is not None
+    ] or [r for r in records if r.get("dur_ms") is not None]
+    slowest = [
+        {
+            "name": str(r.get("name", "")),
+            "phase": phase_of(r),
+            "dur_ms": float(r["dur_ms"]),
+            "pid": r.get("pid"),
+            "attrs": dict(r.get("attrs") or {}),
+        }
+        for r in sorted(points, key=lambda r: float(r["dur_ms"]), reverse=True)[:top]
+    ]
+
+    starts = [float(r.get("ts") or 0.0) for r in records if r.get("ts")]
+    wall_ms = (max(_end_of(r) for r in records) - min(starts)) * 1000.0 if starts else 0.0
+    return {
+        "spans": len(records),
+        "traces": len({r.get("trace") for r in records}),
+        "processes": len({r.get("pid") for r in records}),
+        "wall_ms": wall_ms,
+        "phases": dict(sorted(phases.items(), key=lambda kv: -kv[1]["total_ms"])),
+        "slowest": slowest,
+        "critical_path": critical_path(records),
+    }
+
+
+def summarize_file(path: str, top: int = 10) -> Dict[str, object]:
+    return summarize(read_trace(path), top=top)

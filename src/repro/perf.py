@@ -335,6 +335,7 @@ def measure_grid_resume(points: int = 200, repeats: int = 2) -> Dict[str, object
     import tempfile
 
     from .engine import Engine
+    from .obs.trace import Tracer
     from .scenario import ScenarioGrid
     from .store import DiskStore
 
@@ -345,6 +346,18 @@ def measure_grid_resume(points: int = 200, repeats: int = 2) -> Dict[str, object
             return engine.run_grid(grid)
 
     plain_seconds, plain_result = _best_of(plain_run, repeats)
+
+    # The tracing-off control: an attached-but-disabled tracer must cost
+    # nothing but the `tracer is None` / `.enabled` checks on the hot path
+    # (the ROADMAP pins the measured overhead at <= 2%).
+    def trace_off_run():
+        with Engine() as engine:
+            engine.tracer = Tracer(enabled=False)
+            return engine.run_grid(grid)
+
+    trace_off_seconds, trace_off_result = _best_of(trace_off_run, repeats)
+    if trace_off_result.data != plain_result.data:
+        raise RuntimeError("tracer-disabled grid diverged from the plain run")
     tmp = tempfile.mkdtemp(prefix="repro-resume-bench-")
     try:
         versions = iter(f"bench{i}" for i in range(repeats))
@@ -383,6 +396,10 @@ def measure_grid_resume(points: int = 200, repeats: int = 2) -> Dict[str, object
         "resume_recomputed": recomputed,
         "speedup_resume": (
             plain_seconds / resume_seconds if resume_seconds > 0 else float("inf")
+        ),
+        "trace_off_seconds": trace_off_seconds,
+        "trace_off_overhead_fraction": (
+            trace_off_seconds / plain_seconds - 1.0 if plain_seconds > 0 else 0.0
         ),
     }
 
@@ -450,6 +467,7 @@ def measure_service_throughput(
         "requests_per_second": report.requests_per_second,
         "p50_ms": report.p50_ms,
         "p99_ms": report.p99_ms,
+        "latency_by_source": report.latency_by_source,
     }
 
 
@@ -700,6 +718,10 @@ THRESHOLDS = {
     # insurance: <= 10% over the plain in-memory grid on a clean 200-point
     # run, and a resume against the populated store recomputes nothing.
     "grid_resume_overhead_max": 0.10,
+    # An attached-but-disabled Tracer must be free: the engine's hot path
+    # pays only a `tracer is None` / `.enabled` check per run, so the
+    # tracing-off grid run stays within 2% of no tracer at all.
+    "trace_off_overhead_max": 0.02,
     # The analysis service must dedup the 50%-overlap load: with 8 clients
     # sharing half their specs the ideal hit-rate is ~0.44 (35/80); the
     # floor leaves headroom for workload-shape tweaks but catches a broken
@@ -781,6 +803,18 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
                         f"grid resume recomputed {record['resume_recomputed']} "
                         "checkpointed points (expected 0)"
                     )
+                trace_off = record.get("trace_off_overhead_fraction")
+                if trace_off is None:
+                    failures.append(
+                        "grid-resume record lacks the tracing-off overhead "
+                        "measurement (re-run repro perf)"
+                    )
+                elif trace_off > THRESHOLDS["trace_off_overhead_max"]:
+                    failures.append(
+                        f"disabled-tracer grid overhead {trace_off:.1%} on "
+                        f"{record['points']} points, above the "
+                        f"{THRESHOLDS['trace_off_overhead_max']:.0%} ceiling"
+                    )
             elif record["benchmark"] == "service-throughput":
                 service_seen = True
                 hit_rate = record["dedup_hit_rate"]
@@ -830,6 +864,134 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
     return failures
 
 
+def threshold_report(trajectory: Dict[str, object]) -> List[Dict[str, object]]:
+    """One row per ROADMAP floor: check, bound, observed value, pass/fail.
+
+    The table behind ``repro perf --check``: every threshold in
+    :data:`THRESHOLDS` (plus the two exact invariants -- zero resume
+    recomputes and computed-equals-unique dedup) is shown against the
+    value the latest relevant run recorded.  A floor whose benchmark
+    family was never recorded reports ``missing`` and fails.
+    """
+    rows: List[Dict[str, object]] = []
+
+    def add(check: str, bound: str, observed: Optional[float],
+            ok: bool, fmt: str = "{:.1f}x") -> None:
+        rows.append({
+            "check": check,
+            "bound": bound,
+            "observed": fmt.format(observed) if observed is not None else "missing",
+            "ok": observed is not None and ok,
+        })
+
+    graph_run = _latest_run_with(trajectory, "results")
+    speedups = (
+        [record["speedup_all_pairs"] for record in graph_run["results"]]
+        if graph_run and graph_run["results"] else []
+    )
+    worst = min(speedups) if speedups else None
+    add("all-pairs race speedup (worst graph)",
+        f">= {THRESHOLDS['all_pairs_speedup_min']:.0f}x",
+        worst, worst is not None and worst >= THRESHOLDS["all_pairs_speedup_min"])
+
+    engine_run = _latest_run_with(trajectory, "engine_results")
+    records = (
+        {record["benchmark"]: record for record in engine_run["engine_results"]}
+        if engine_run else {}
+    )
+    warm = records.get("engine-analyze-warm-cache", {}).get("speedup_warm")
+    add("warm Engine.analyze speedup",
+        f">= {THRESHOLDS['warm_analyze_speedup_min']:.0f}x",
+        warm, warm is not None and warm >= THRESHOLDS["warm_analyze_speedup_min"])
+    sharded = records.get(
+        "engine-attack-space-sharded", {}
+    ).get("speedup_sharded_vs_serial")
+    add("sharded attack-space sweep vs serial",
+        f">= {THRESHOLDS['sharded_sweep_speedup_min']:.0f}x",
+        sharded,
+        sharded is not None and sharded >= THRESHOLDS["sharded_sweep_speedup_min"],
+        fmt="{:.2f}x")
+    disk = records.get("engine-disk-warm-run", {}).get("speedup_warm_disk")
+    add("warm DiskStore run vs cold",
+        f">= {THRESHOLDS['disk_warm_speedup_min']:.0f}x",
+        disk, disk is not None and disk >= THRESHOLDS["disk_warm_speedup_min"])
+    resume = records.get("grid-resume-overhead", {})
+    overhead = resume.get("overhead_fraction")
+    add("grid checkpointing overhead",
+        f"<= {THRESHOLDS['grid_resume_overhead_max']:.0%}",
+        overhead,
+        overhead is not None and overhead <= THRESHOLDS["grid_resume_overhead_max"],
+        fmt="{:.1%}")
+    recomputed = resume.get("resume_recomputed")
+    add("grid resume recomputed points", "== 0",
+        recomputed, recomputed == 0, fmt="{:.0f}")
+    trace_off = resume.get("trace_off_overhead_fraction")
+    add("tracing-off grid overhead",
+        f"<= {THRESHOLDS['trace_off_overhead_max']:.0%}",
+        trace_off,
+        trace_off is not None and trace_off <= THRESHOLDS["trace_off_overhead_max"],
+        fmt="{:.1%}")
+    service = records.get("service-throughput", {})
+    hit_rate = service.get("dedup_hit_rate")
+    add("service dedup hit-rate",
+        f">= {THRESHOLDS['service_dedup_hit_rate_min']:.0%}",
+        hit_rate,
+        hit_rate is not None
+        and hit_rate >= THRESHOLDS["service_dedup_hit_rate_min"],
+        fmt="{:.1%}")
+    computed = service.get("computed")
+    add("service computed points (vs unique specs)",
+        f"== {service.get('unique_specs', '?')}",
+        computed, bool(service.get("perfect_dedup", False)), fmt="{:.0f}")
+
+    timing_run = _latest_run_with(trajectory, "timing_results")
+    plain_speedups: List[float] = []
+    contended_speedups: List[float] = []
+    for record in (timing_run or {}).get("timing_results", []):
+        bucket = (
+            contended_speedups
+            if record.get("benchmark") == "timing-event-queue-contended"
+            else plain_speedups
+        )
+        bucket.append(record["speedup_event_vs_rescan"])
+    timing = min(plain_speedups) if plain_speedups else None
+    add("event-queue scheduler vs rescan",
+        f">= {THRESHOLDS['timing_event_speedup_min']:.0f}x",
+        timing,
+        timing is not None and timing >= THRESHOLDS["timing_event_speedup_min"])
+    contended = min(contended_speedups) if contended_speedups else None
+    add("contended event-queue scheduler vs rescan",
+        f">= {THRESHOLDS['timing_contended_event_speedup_min']:.0f}x",
+        contended,
+        contended is not None
+        and contended >= THRESHOLDS["timing_contended_event_speedup_min"])
+    return rows
+
+
+def format_threshold_report(rows: List[Dict[str, object]]) -> List[str]:
+    """The :func:`threshold_report` rows as aligned ``PASS``/``FAIL`` lines."""
+    headers = ("check", "bound", "observed", "status")
+    table = [
+        (row["check"], row["bound"], row["observed"],
+         "PASS" if row["ok"] else "FAIL")
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[column])),
+            *(len(str(line[column])) for line in table))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(cell).ljust(width) for cell, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines.extend(
+        "  ".join(str(cell).ljust(width) for cell, width in zip(line, widths))
+        for line in table
+    )
+    return lines
+
+
 def check_trajectory(path: str) -> List[str]:
     """Load a ``BENCH_core.json`` file and run :func:`check_thresholds`."""
     target = Path(path)
@@ -841,10 +1003,19 @@ def check_trajectory(path: str) -> List[str]:
 def run_check(path: str) -> int:
     """CLI body shared by ``repro perf --check`` and ``run_perf.py --check``.
 
-    Prints one ``FAIL: ...`` line per violated threshold (or the all-clear)
-    and returns the process exit code.
+    Prints the full pass/fail table of every ROADMAP floor, then one
+    ``FAIL: ...`` line per violated threshold (or the all-clear), and
+    returns the process exit code.
     """
-    failures = check_trajectory(path)
+    target = Path(path)
+    if not target.exists():
+        print(f"FAIL: trajectory file {path!r} does not exist")
+        return 1
+    trajectory = json.loads(target.read_text(encoding="utf-8"))
+    for line in format_threshold_report(threshold_report(trajectory)):
+        print(line)
+    print()
+    failures = check_thresholds(trajectory)
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:
@@ -922,7 +1093,9 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
                 f"{record['checkpoint_seconds'] * 1e3:.0f} ms "
                 f"({record['overhead_fraction']:+.1%} overhead); resume "
                 f"{record['resume_seconds'] * 1e3:.0f} ms recomputing "
-                f"{record['resume_recomputed']} points"
+                f"{record['resume_recomputed']} points; tracing off "
+                f"{record['trace_off_seconds'] * 1e3:.0f} ms "
+                f"({record['trace_off_overhead_fraction']:+.1%})"
             )
         elif record["benchmark"] == "service-throughput":
             lines.append(

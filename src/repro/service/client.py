@@ -143,6 +143,24 @@ class ServiceClient:
     def stats(self) -> Dict[str, object]:
         return self.get("/stats")
 
+    def metrics(self) -> str:
+        """Scrape ``/metrics``: the raw Prometheus text document."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status,
+                    {"ok": False, "error": {"message": raw.decode("latin-1")}},
+                )
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
+
     def healthy(self) -> bool:
         try:
             return bool(self.get("/healthz").get("ok"))

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..scenario import ScenarioSpec
 
@@ -230,18 +230,31 @@ async def read_request(
     return method, target, headers, body
 
 
+#: Content type of Prometheus text exposition responses (``/metrics``).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 async def write_response(
     writer: asyncio.StreamWriter,
     status: int,
-    payload: Mapping[str, object],
+    payload: Union[Mapping[str, object], str],
     extra_headers: Optional[Mapping[str, str]] = None,
 ) -> None:
-    """Serialize one JSON response and flush it (connection closes after)."""
-    body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    """Serialize one response and flush it (connection closes after).
+
+    Mapping payloads are JSON; a ``str`` payload is served verbatim as
+    Prometheus text exposition -- the ``/metrics`` scrape format.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        body = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        content_type = "application/json"
     phrase = STATUS_PHRASES.get(status, "Unknown")
     head = [
         f"HTTP/1.1 {status} {phrase}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]

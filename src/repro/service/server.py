@@ -42,6 +42,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..engine import Engine, Result
+from ..obs.metrics import GLOBAL_REGISTRY, MetricsRegistry, render_registries
+from ..obs.trace import Span, TraceContext, Tracer
 from ..scenario import ScenarioGrid, ScenarioSpec
 from ..store import store_label
 from .protocol import (
@@ -81,6 +83,10 @@ class ServiceConfig:
     #: Worker count handed to ``Engine.iter_grid`` per batch (``None`` =
     #: the engine session default; the batch itself is the parallelism).
     parallel: Optional[int] = None
+    #: JSONL trace sink.  Set (``repro serve --trace``) it opens a
+    #: :class:`~repro.obs.Tracer` shared with the engine, so one file holds
+    #: the full request -> entry -> batch -> grid -> worker span tree.
+    trace_path: Optional[str] = None
 
 
 @dataclass
@@ -97,6 +103,10 @@ class _Entry:
     completed: float = 0.0
     hit: str = "computed"
     error: Optional[str] = None
+    #: Tracing (set only when the service has a tracer): the entry's
+    #: lifetime span and its admission->dispatch child.
+    span: Optional[Span] = None
+    queue_span: Optional[Span] = None
 
     @property
     def queue_ms(self) -> float:
@@ -113,7 +123,30 @@ class AnalysisService:
     def __init__(self, engine: Engine, config: Optional[ServiceConfig] = None) -> None:
         self.engine = engine
         self.config = config or ServiceConfig()
-        self.stats_view = ServiceStats()
+        #: Service-owned registry (request/batch counters, queue gauges);
+        #: ``/metrics`` renders it together with the engine's registry and
+        #: the process-global one (fault injections).
+        self.metrics = MetricsRegistry()
+        self.stats_view = ServiceStats(registry=self.metrics)
+        self._depth_gauge = self.metrics.gauge(
+            "repro_service_queue_depth", "Specs waiting in the admission queue."
+        )
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_service_inflight_points", "Points currently executing."
+        )
+        self._draining_gauge = self.metrics.gauge(
+            "repro_service_draining", "1 while the service is draining."
+        )
+        self.metrics.register_collector(self._sync_gauges)
+        #: Tracer: ``config.trace_path`` opens a service-owned JSONL sink
+        #: (shared with the engine, so grid/shard/worker spans land in the
+        #: same file); otherwise an engine-attached tracer is reused.
+        self._owns_tracer = self.config.trace_path is not None
+        if self._owns_tracer:
+            self.tracer: Optional[Tracer] = Tracer(sink=self.config.trace_path)
+            engine.tracer = self.tracer
+        else:
+            self.tracer = engine.tracer
         self._inflight: Dict[str, _Entry] = {}
         self._queue: "List[_Entry]" = []
         self._executing = 0
@@ -185,16 +218,39 @@ class AnalysisService:
                 pass
             self._dispatcher = None
         self._engine_pool.shutdown(wait=True)
+        if self.tracer is not None:
+            # A service-owned tracer is closed for good (the campaign file
+            # is complete); an engine-attached one is only flushed -- its
+            # owner decides when it ends.
+            if self._owns_tracer:
+                self.tracer.close()
+            else:
+                self.tracer.flush()
+
+    # -- observability plumbing -----------------------------------------
+    def _sync_gauges(self) -> None:
+        self._depth_gauge.set(len(self._queue))
+        self._inflight_gauge.set(self._executing)
+        self._draining_gauge.set(1 if self._draining else 0)
+
+    def _active_tracer(self) -> Optional[Tracer]:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            return tracer
+        return None
 
     # -- admission (single-flight + backpressure) -----------------------
     def _admit(
-        self, spec: ScenarioSpec
+        self, spec: ScenarioSpec, parent: Optional[TraceContext] = None
     ) -> Tuple["asyncio.Future[Tuple[_Entry, Optional[Result]]]", bool]:
         """Attach to an in-flight entry or enqueue a new one.
 
         Returns ``(waiter_future, attached)``.  Raises :class:`Overloaded`
         when the spec is new and the admission queue is at depth (attaching
         costs nothing, so it is always allowed -- even mid-drain).
+        ``parent`` is the admitting request's trace context: a *new* entry
+        opens its single-flight span under it (attaching requests share the
+        first admitter's entry, exactly like they share its computation).
         """
         key = spec.content_hash()
         loop = asyncio.get_running_loop()
@@ -202,30 +258,41 @@ class AnalysisService:
         if entry is not None:
             waiter = loop.create_future()
             entry.waiters.append(waiter)
-            self.stats_view.requests += 1
+            self.stats_view.record_request()
             self.stats_view.record_hit("in-flight")
             return waiter, True
         if self._draining:
-            self.stats_view.rejected += 1
+            self.stats_view.record_rejection()
             raise Overloaded(
                 "server is draining; retry against the restarted instance",
                 code="draining",
                 retry_after=self.config.retry_after,
             )
         if len(self._queue) >= self.config.queue_depth:
-            self.stats_view.rejected += 1
+            self.stats_view.record_rejection()
             raise Overloaded(
                 f"admission queue is full ({len(self._queue)} specs queued); "
                 "retry shortly",
                 retry_after=self.config.retry_after,
             )
         entry = _Entry(spec=spec, key=key, enqueued=time.perf_counter())
+        tracer = self._active_tracer()
+        if tracer is not None:
+            # Detached: entry spans finish from completion callbacks in
+            # arbitrary order -- they must not join the loop thread's stack.
+            entry.span = tracer.span(
+                "service.entry", parent=parent, detached=True,
+                kind=spec.kind, key=key[:12],
+            )
+            entry.queue_span = tracer.span(
+                "service.queue", parent=entry.span, detached=True
+            )
         waiter = loop.create_future()
         entry.waiters.append(waiter)
         self._inflight[key] = entry
         self._queue.append(entry)
         self._queue_event.set()
-        self.stats_view.requests += 1
+        self.stats_view.record_request()
         return waiter, False
 
     # -- the dispatcher: queue -> kind-grouped grid batches --------------
@@ -249,15 +316,35 @@ class AnalysisService:
 
     async def _execute_batch(self, entries: List[_Entry]) -> None:
         loop = asyncio.get_running_loop()
+        tracer = self._active_tracer()
         now = time.perf_counter()
         for entry in entries:
             entry.dispatched = now
+            if tracer is not None and entry.queue_span is not None:
+                tracer.finish(entry.queue_span)
+                entry.queue_span = None
         self.stats_view.record_batch(len(entries))
         self._executing += len(entries)
         grid = ScenarioGrid.explicit([entry.spec for entry in entries])
         parallel = self.config.parallel
+        batch_parent = entries[0].span.context() if (
+            tracer is not None and entries[0].span is not None
+        ) else None
 
         def run_grid() -> None:
+            # The batch span opens *on the engine thread*, un-detached, so
+            # engine.iter_grid (and through it shard and worker spans)
+            # parent onto it via the thread-local stack; its own parent is
+            # the first admitted entry's span, linking batch execution back
+            # to the request that triggered the dispatch.
+            span = (
+                tracer.span(
+                    "service.batch", parent=batch_parent,
+                    points=len(entries), kind=grid.kind,
+                )
+                if tracer is not None
+                else None
+            )
             try:
                 for point in self.engine.iter_grid(grid, parallel=parallel):
                     loop.call_soon_threadsafe(
@@ -266,6 +353,9 @@ class AnalysisService:
             except BaseException as exc:  # noqa: BLE001 - marshalled to waiters
                 message = f"{exc.__class__.__name__}: {exc}"
                 loop.call_soon_threadsafe(self._fail_remaining, entries, message)
+            finally:
+                if span is not None:
+                    tracer.finish(span)
 
         try:
             await loop.run_in_executor(self._engine_pool, run_grid)
@@ -291,13 +381,23 @@ class AnalysisService:
                 continue  # completed already -- or a newer entry owns the key
             entry.completed = time.perf_counter()
             entry.error = message
-            self.stats_view.errors += 1
+            self.stats_view.record_error()
             self._finish(entry, None)
 
     def _finish(self, entry: _Entry, result: Optional[Result]) -> None:
         if self._inflight.get(entry.key) is entry:
             del self._inflight[entry.key]
         self._executing = max(0, self._executing - 1)
+        tracer = self._active_tracer()
+        if tracer is not None:
+            if entry.queue_span is not None:  # failed before dispatch
+                tracer.finish(entry.queue_span)
+                entry.queue_span = None
+            if entry.span is not None:
+                entry.span.set(hit=entry.hit, waiters=len(entry.waiters))
+                if entry.error is not None:
+                    entry.span.set(error=entry.error)
+                tracer.finish(entry.span)
         for waiter in entry.waiters:
             if not waiter.done():  # a cancelled waiter left the party early
                 waiter.set_result((entry, result))
@@ -325,10 +425,30 @@ class AnalysisService:
         )
         if request_id is None:
             request_id = self.next_request_id()
+        tracer = self._active_tracer()
+        span = (
+            tracer.span(
+                "service.request", detached=True,
+                request_id=request_id, kind=spec.kind,
+            )
+            if tracer is not None
+            else None
+        )
         arrival = time.perf_counter()
-        waiter, attached = self._admit(spec)
-        entry, result = await waiter
+        try:
+            waiter, attached = self._admit(
+                spec, span.context() if span is not None else None
+            )
+            entry, result = await waiter
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span.set(error=exc.__class__.__name__))
+            raise
         total_ms = (time.perf_counter() - arrival) * 1e3
+        if span is not None:
+            hit_label = "in-flight" if attached else entry.hit
+            span.set(hit=hit_label, ok=entry.error is None)
+            tracer.finish(span)
         if entry.error is not None or result is None:
             raise ExecutionFailed(entry.error or "spec execution failed")
         hit = "in-flight" if attached else entry.hit
@@ -373,6 +493,16 @@ class AnalysisService:
             "engine": engine_stats,
             "window": window,
         }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` document: every registry, Prometheus text format.
+
+        One scrape unifies the service registry (requests, batches, queue
+        gauges), the engine registry (cache/run/grid counters plus the
+        store ledger synced on scrape) and the process-global registry
+        (fault injections).
+        """
+        return render_registries(self.metrics, self.engine.metrics, GLOBAL_REGISTRY)
 
     # -- the HTTP face ----------------------------------------------------
     def _on_connection(
@@ -421,7 +551,7 @@ class AnalysisService:
 
     async def _route(
         self, request_id: str, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, object], str], Dict[str, str]]:
         if path == "/run":
             if method != "POST":
                 raise MethodNotAllowed("POST /run")
@@ -432,6 +562,11 @@ class AnalysisService:
             if method != "GET":
                 raise MethodNotAllowed("GET /stats")
             return 200, self.stats(), {}
+        if path == "/metrics":
+            if method != "GET":
+                raise MethodNotAllowed("GET /metrics")
+            # Rendered as Prometheus text exposition, not JSON.
+            return 200, self.metrics_text(), {}
         if path == "/healthz":
             if method != "GET":
                 raise MethodNotAllowed("GET /healthz")

@@ -5,6 +5,12 @@ loop thread (admission, completion and rejection all happen there), read by
 ``/stats`` and -- through :meth:`Engine.register_stats` -- by
 ``Engine.stats()["service"]``.
 
+Since the observability refactor the counters live on a
+:class:`~repro.obs.metrics.MetricsRegistry` (rendered as Prometheus text
+by the service's ``/metrics`` endpoint); the legacy attribute reads
+(``stats_view.requests`` ...) and the :meth:`counters` / :meth:`snapshot`
+payloads are compatibility shims synthesized from the same series.
+
 Two views:
 
 * :meth:`counters` -- the monotonic counters (requests / completed /
@@ -13,17 +19,39 @@ Two views:
   it like every other engine counter.
 * :meth:`snapshot` -- the operator view served by ``/stats``: the counters
   plus derived gauges (``hit_rate``, queue ``depth``, ``inflight``) and
-  p50/p99 over a bounded ring of recent request latencies.
+  p50/p99 over a bounded ring of recent request latencies (plus the ring's
+  sample count and capacity, so the percentiles are interpretable).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
 
 #: Hit sources a completed request can report.  ``computed`` is the only
 #: one that cost engine work; the other three are the dedup/cache wins the
 #: whole service exists for.
 HIT_SOURCES = ("computed", "memory", "disk", "in-flight")
+
+
+def _nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a pre-sorted non-empty sample list.
+
+    ``ceil(fraction * n) - 1`` is the classical nearest-rank index: exact at
+    the edges (``0.0`` -> smallest sample, ``1.0`` -> largest) and correct
+    for tiny windows -- a 1-sample window answers that sample for every
+    fraction, and the p50 of two samples is the *lower* one (the old
+    round-half-up formula answered the higher).
+    """
+    index = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[index]
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction!r}")
 
 
 class LatencyWindow:
@@ -45,67 +73,165 @@ class LatencyWindow:
         return len(self._samples)
 
     def percentile(self, fraction: float) -> float:
-        """The nearest-rank percentile of the window; 0.0 when empty."""
+        """The nearest-rank percentile of the window; 0.0 when empty.
+
+        ``fraction`` outside ``[0, 1]`` raises :class:`ValueError` -- an
+        out-of-range fraction silently answering the max sample made bad
+        dashboards look plausible.
+        """
+        _check_fraction(fraction)
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
-        rank = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
-        return ordered[rank]
+        return _nearest_rank(sorted(self._samples), fraction)
 
 
 def percentiles(samples: Sequence[float], fractions: Sequence[float]) -> List[float]:
     """Nearest-rank percentiles of an arbitrary sample list (0.0 when empty)."""
+    for fraction in fractions:
+        _check_fraction(fraction)
     if not samples:
         return [0.0 for _ in fractions]
     ordered = sorted(samples)
-    last = len(ordered) - 1
-    return [ordered[min(last, int(f * last + 0.5))] for f in fractions]
+    return [_nearest_rank(ordered, fraction) for fraction in fractions]
 
 
 class ServiceStats:
-    """Counters + latency ring for one service instance."""
+    """Counters + latency ring for one service instance.
 
-    def __init__(self, latency_window: int = 4096) -> None:
-        #: Admitted or attached requests (rejected ones are *not* requests
-        #: that entered the system; they count under ``rejected``).
-        self.requests = 0
-        #: Requests whose waiter received an envelope.
-        self.completed = 0
-        #: Backpressure rejections (queue full / draining).
-        self.rejected = 0
-        #: Entries whose executor raised (rendered as 500 envelopes).
-        self.errors = 0
-        #: Batches dispatched and the points they carried.
-        self.batches = 0
-        self.batched_points = 0
-        self.max_batch = 0
-        self.hits: Dict[str, int] = {source: 0 for source in HIT_SOURCES}
-        self.queue_ms_total = 0.0
-        self.compute_ms_total = 0.0
+    ``registry`` plugs the counters into an existing
+    :class:`~repro.obs.metrics.MetricsRegistry` (the service passes its
+    own, scraped by ``/metrics``); by default the instance owns a private
+    one, so standalone use keeps working unchanged.
+    """
+
+    def __init__(
+        self,
+        latency_window: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_service_requests_total",
+            "Admitted or attached requests (rejections not included).",
+        )
+        self._completed = self.registry.counter(
+            "repro_service_completed_total",
+            "Requests whose waiter received an envelope.",
+        )
+        self._rejected = self.registry.counter(
+            "repro_service_rejected_total",
+            "Backpressure rejections (queue full / draining).",
+        )
+        self._errors = self.registry.counter(
+            "repro_service_errors_total",
+            "Entries whose executor raised (rendered as 500 envelopes).",
+        )
+        self._batches = self.registry.counter(
+            "repro_service_batches_total", "Micro-batches dispatched."
+        )
+        self._batched_points = self.registry.counter(
+            "repro_service_batched_points_total",
+            "Points carried by dispatched batches.",
+        )
+        self._hits = self.registry.counter(
+            "repro_service_hits_total",
+            "Completed requests by hit source.",
+            labelnames=("source",),
+        )
+        for source in HIT_SOURCES:
+            self._hits.touch(source=source)
+        self._max_batch = self.registry.gauge(
+            "repro_service_max_batch_points",
+            "Largest batch dispatched so far.",
+        )
+        self._latency_hist = self.registry.histogram(
+            "repro_service_request_latency_ms",
+            "End-to-end request latency in milliseconds.",
+        )
+        self._phase_ms = self.registry.counter(
+            "repro_service_phase_ms_total",
+            "Cumulative milliseconds spent per request phase.",
+            labelnames=("phase",),
+        )
+        for phase in ("queue", "compute"):
+            self._phase_ms.touch(phase=phase)
         self._latency = LatencyWindow(latency_window)
 
+    # -- legacy attribute shims ----------------------------------------
+    @property
+    def requests(self) -> int:
+        return self._requests.value()
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value()
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value()
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value()
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value()
+
+    @property
+    def batched_points(self) -> int:
+        return self._batched_points.value()
+
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch.value()
+
+    @property
+    def hits(self) -> Dict[str, int]:
+        return {source: self._hits.value(source=source) for source in HIT_SOURCES}
+
+    @property
+    def queue_ms_total(self) -> float:
+        return self._phase_ms.value(phase="queue")
+
+    @property
+    def compute_ms_total(self) -> float:
+        return self._phase_ms.value(phase="compute")
+
     # -- recording (event-loop thread only) ----------------------------
+    def record_request(self) -> None:
+        self._requests.inc()
+
+    def record_rejection(self) -> None:
+        self._rejected.inc()
+
+    def record_error(self) -> None:
+        self._errors.inc()
+
     def record_hit(self, source: str) -> None:
-        self.hits[source] = self.hits.get(source, 0) + 1
+        self._hits.inc(source=source)
 
     def record_batch(self, points: int) -> None:
-        self.batches += 1
-        self.batched_points += points
-        self.max_batch = max(self.max_batch, points)
+        self._batches.inc()
+        self._batched_points.inc(points)
+        if points > self._max_batch.value():
+            self._max_batch.set(points)
 
     def record_completion(self, queue_ms: float, compute_ms: float, total_ms: float) -> None:
-        self.completed += 1
-        self.queue_ms_total += queue_ms
-        self.compute_ms_total += compute_ms
+        self._completed.inc()
+        self._phase_ms.inc(queue_ms, phase="queue")
+        self._phase_ms.inc(compute_ms, phase="compute")
+        self._latency_hist.observe(total_ms)
         self._latency.add(total_ms)
 
     # -- reading -------------------------------------------------------
     @property
     def hit_rate(self) -> float:
         """Fraction of admitted requests served without a fresh compute."""
-        if self.requests <= 0:
+        requests = self.requests
+        if requests <= 0:
             return 0.0
-        return 1.0 - self.hits.get("computed", 0) / self.requests
+        return 1.0 - self._hits.value(source="computed") / requests
 
     def counters(self) -> Dict[str, object]:
         """The monotonic counters (``Engine.stats()["service"]``)."""
@@ -123,6 +249,7 @@ class ServiceStats:
     def snapshot(self, *, depth: int = 0, inflight: int = 0) -> Dict[str, object]:
         """The operator view: counters + derived gauges + latency percentiles."""
         report = self.counters()
+        completed = self.completed
         report.update(
             {
                 "hit_rate": round(self.hit_rate, 6),
@@ -132,12 +259,13 @@ class ServiceStats:
                     "p50": round(self._latency.percentile(0.50), 3),
                     "p99": round(self._latency.percentile(0.99), 3),
                     "samples": len(self._latency),
+                    "window": self._latency.capacity,
                     "queue_mean": round(
-                        self.queue_ms_total / self.completed, 3
-                    ) if self.completed else 0.0,
+                        self.queue_ms_total / completed, 3
+                    ) if completed else 0.0,
                     "compute_mean": round(
-                        self.compute_ms_total / self.completed, 3
-                    ) if self.completed else 0.0,
+                        self.compute_ms_total / completed, 3
+                    ) if completed else 0.0,
                 },
             }
         )

@@ -126,6 +126,7 @@ class MemoryStore:
         self._hits = 0
         self._misses = 0
         self._puts = 0
+        self._evictions = 0
 
     def get(self, key: str) -> Optional[object]:
         try:
@@ -144,6 +145,7 @@ class MemoryStore:
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self._evictions += 1
         return True
 
     def stats(self) -> Dict[str, int]:
@@ -153,6 +155,7 @@ class MemoryStore:
             "misses": self._misses,
             "puts": self._puts,
             "put_failures": 0,  # a dictionary insert cannot fail
+            "evictions": self._evictions,
         }
 
     def clear(self) -> int:
@@ -202,6 +205,7 @@ class DiskStore:
         #: the service's ``/stats``.
         self._puts = 0
         self._put_failures = 0
+        self._evictions = 0
         #: Approximate on-disk entry count, so a put under the limit does
         #: not pay a full directory scan.  Initialized lazily by the first
         #: eviction check; concurrent writers can make it drift (it is
@@ -364,6 +368,7 @@ class DiskStore:
                 pass
             dropped += 1
         self._entry_estimate = len(entries) - dropped
+        self._evictions += dropped
         return dropped
 
     # ------------------------------------------------------------------
@@ -383,6 +388,7 @@ class DiskStore:
             "misses": self._misses,
             "puts": self._puts,
             "put_failures": self._put_failures,
+            "evictions": self._evictions,
         }
 
     def clear(self) -> int:

@@ -314,7 +314,9 @@ class TestPerfCheck:
                     {"benchmark": "grid-resume-overhead", "points": 200,
                      "plain_seconds": 1.5, "checkpoint_seconds": 2.25,
                      "overhead_fraction": 0.5, "resume_seconds": 0.9,
-                     "resume_recomputed": 3, "speedup_resume": 1.7},
+                     "resume_recomputed": 3, "speedup_resume": 1.7,
+                     "trace_off_seconds": 1.875,
+                     "trace_off_overhead_fraction": 0.25},
                     {"benchmark": "service-throughput", "clients": 8,
                      "requests": 80, "unique_specs": 45, "computed": 80,
                      "perfect_dedup": False, "dedup_hit_rate": 0.0},
@@ -331,11 +333,14 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL") == 10
+        assert out.count("FAIL:") == 11
+        assert "PASS" not in out  # every floor violated: the table agrees
         assert "contended event-queue scheduler" in out
         assert "warm DiskStore run" in out
         assert "service dedup hit-rate" in out
         assert "single-flight" in out
+        assert "disabled-tracer grid overhead" in out
+        assert "tracing-off grid overhead" in out
 
     def test_perf_check_flags_missing_contended_benchmark(self, tmp_path, capsys):
         stale = {
@@ -350,7 +355,9 @@ class TestPerfCheck:
                     {"benchmark": "grid-resume-overhead", "points": 200,
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
-                     "resume_recomputed": 0, "speedup_resume": 37.0},
+                     "resume_recomputed": 0, "speedup_resume": 37.0,
+                     "trace_off_seconds": 1.515,
+                     "trace_off_overhead_fraction": 0.01},
                     dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
@@ -375,7 +382,9 @@ class TestPerfCheck:
                     {"benchmark": "grid-resume-overhead", "points": 200,
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
-                     "resume_recomputed": 0, "speedup_resume": 37.0},
+                     "resume_recomputed": 0, "speedup_resume": 37.0,
+                     "trace_off_seconds": 1.515,
+                     "trace_off_overhead_fraction": 0.01},
                     dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
@@ -404,7 +413,9 @@ class TestPerfCheck:
                     {"benchmark": "grid-resume-overhead", "points": 200,
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.04,
-                     "resume_recomputed": 0, "speedup_resume": 37.0},
+                     "resume_recomputed": 0, "speedup_resume": 37.0,
+                     "trace_off_seconds": 1.515,
+                     "trace_off_overhead_fraction": 0.01},
                     dict(GOOD_SERVICE_RECORD),
                 ],
                 "timing_results": [
@@ -487,7 +498,9 @@ class TestPerfCheck:
                     {"benchmark": "grid-resume-overhead", "points": 200,
                      "plain_seconds": 1.5, "checkpoint_seconds": 1.53,
                      "overhead_fraction": 0.02, "resume_seconds": 0.05,
-                     "resume_recomputed": 0, "speedup_resume": 30.0},
+                     "resume_recomputed": 0, "speedup_resume": 30.0,
+                     "trace_off_seconds": 1.515,
+                     "trace_off_overhead_fraction": 0.01},
                 ],
                 "timing_results": [
                     {"benchmark": "timing-event-queue", "instructions": 500,

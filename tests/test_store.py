@@ -52,6 +52,7 @@ class TestMemoryStore:
             "misses": 1,
             "puts": 1,
             "put_failures": 0,
+            "evictions": 0,
         }
         assert store.clear() == 1
         assert store.get("k") is None
