@@ -1,0 +1,89 @@
+"""E21 -- The batch simulation plane: warm-session amortization.
+
+Asserts the acceptance properties of ``Engine.simulate_batch``: a
+campaign-shaped point list (repeated passes over the registry x defense
+grid -- the shape fuzzing sweeps, resumed campaigns and overlapping
+service traffic produce) is served at >= 10x the points/sec of the
+isolated per-point loop, with rows identical point for point, and the
+per-point envelopes byte-identical to ``Engine.simulate`` on an
+equivalent session.  The same record lands in BENCH_core.json as the
+``timing-batch`` benchmark, floor-enforced by ``repro perf --check``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine, _batch_point_spec
+from repro.perf import THRESHOLDS, measure_timing_batch
+from repro.uarch.timing.validate import SCENARIOS
+
+
+@pytest.mark.experiment("E21")
+def test_batch_campaign_is_10x_over_per_point_loop():
+    """The acceptance bar: batch points/sec >= 10x the per-point loop.
+
+    ``measure_timing_batch`` raises internally if the batch rows diverge
+    from the per-point rows, so a passing run certifies both the floor and
+    the differential identity.
+    """
+    record = measure_timing_batch()
+    floor = THRESHOLDS["timing_batch_speedup_min"]
+    print(
+        f"\ntiming batch: {record['points']} points "
+        f"({record['unique_simulations']} unique sims): per-point "
+        f"{record['per_point_points_per_second']:.0f} pts/s vs batch "
+        f"{record['batch_points_per_second']:.0f} pts/s -> "
+        f"{record['speedup_batch_vs_per_point']:.1f}x"
+    )
+    assert record["points"] == record["epochs"] * 2 * len(SCENARIOS)
+    assert record["speedup_batch_vs_per_point"] >= floor
+
+
+@pytest.mark.experiment("E21")
+def test_batch_envelopes_match_per_point_simulate(benchmark):
+    """Serial batch envelopes are byte-identical to the per-point loop."""
+    points = ["spectre_v1", "meltdown", "spectre_v1",
+              {"attack": "lvi", "defenses": ("PREVENT_SPECULATIVE_LOADS",)}]
+    batch = benchmark(lambda: Engine().simulate_batch(points))
+    loop_engine = Engine()
+    loop = [loop_engine.run(_batch_point_spec(point)) for point in points]
+    assert [result.to_json() for result in batch.payload] == [
+        result.to_json() for result in loop
+    ]
+    assert batch.data["points"] == len(points)
+    assert batch.data["rows"] == [result.data for result in loop]
+
+
+@pytest.mark.experiment("E21")
+@pytest.mark.slow
+def test_full_size_batch_sweep_matches_the_sweep_rows():
+    """The full-size campaign: every (attack x defense) point, many epochs.
+
+    Excluded from tier-1 behind the ``slow`` marker; cross-checks the batch
+    plane against ``simulate_sweep`` on the complete grid.
+    """
+    from repro.uarch.defenses import SimDefense
+
+    attacks = sorted(SCENARIOS)
+    defenses = [None] + [defense.name for defense in SimDefense]
+    base = [
+        {"attack": attack} if defense is None
+        else {"attack": attack, "defenses": (defense,)}
+        for attack in attacks
+        for defense in defenses
+    ]
+    points = base * 5
+    with Engine() as engine:
+        batch = engine.simulate_batch(points, parallel=2)
+        sweep = engine.simulate_sweep()
+    by_key = {
+        (row["attack"], tuple(row["defenses"])): row for row in sweep.data["rows"]
+    }
+    assert batch.data["points"] == len(points)
+    for point, row in zip(points, batch.data["rows"]):
+        expected = by_key[
+            (point["attack"],
+             tuple(name.lower() for name in point.get("defenses", ())))
+        ]
+        assert row == expected

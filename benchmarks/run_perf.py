@@ -45,9 +45,15 @@ def main(argv=None) -> int:
         help="do not benchmark; check the recorded trajectory against the "
         "ROADMAP regression thresholds and exit non-zero on failure",
     )
+    parser.add_argument(
+        "--allow-stale",
+        action="store_true",
+        help="with --check: tolerate a latest record whose commit differs "
+        "from HEAD (still warns)",
+    )
     args = parser.parse_args(argv)
     if args.check:
-        return perf.run_check(args.output)
+        return perf.run_check(args.output, allow_stale=args.allow_stale)
     run = perf.main(output=args.output, quick=args.quick, full=args.full)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:

@@ -212,6 +212,31 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
 def _simulate_spec(args: argparse.Namespace) -> ScenarioSpec:
     """Migrate the ``simulate`` flag zoo onto one declarative scenario spec."""
     model = "contended" if args.contended else None
+    if args.batch:
+        if args.defense:
+            raise SystemExit(
+                "--batch points carry their own defenses; drop --defense"
+            )
+        try:
+            document = json.loads(Path(args.batch).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise SystemExit(f"cannot read batch file {args.batch!r}: {error}")
+        except ValueError as error:
+            raise SystemExit(f"batch file {args.batch!r} is not valid JSON: {error}")
+        if isinstance(document, dict):
+            points = document.get("points")
+            secret = document.get("secret", args.secret)
+            batch_model = document.get("model", model)
+        else:
+            points, secret, batch_model = document, args.secret, model
+        if not isinstance(points, list) or not points:
+            raise SystemExit(
+                f"batch file {args.batch!r} must hold a non-empty JSON list of "
+                "points (or an object with a 'points' list)"
+            )
+        return ScenarioSpec(
+            "simulate_batch", points=tuple(points), secret=secret, model=batch_model
+        )
     if args.validate:
         return ScenarioSpec("validate_timing", model=model)
     if args.ablate_window:
@@ -253,7 +278,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(result.to_json())
     else:
         print(render_result(result, spec.kind))
-    if spec.kind in ("simulate_sweep", "window_ablation"):
+    if spec.kind in ("simulate_sweep", "simulate_batch", "window_ablation"):
         return 0
     return 0 if result.ok else 1
 
@@ -527,7 +552,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from . import perf
 
     if args.check:
-        return perf.run_check(args.output)
+        return perf.run_check(args.output, allow_stale=args.allow_stale)
     run = perf.main(output=args.output, quick=args.quick, full=args.full)
     print(f"commit {run['commit']}  ({run['timestamp']})")
     for record in run["results"]:
@@ -655,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_mode.add_argument("--ablate-window", action="store_true",
                                help="sweep the ROB/RS/port window-length ablation "
                                     "(all attacks, or just the named one)")
+    simulate_mode.add_argument("--batch", metavar="FILE",
+                               help="run a JSON list of simulate points (attack "
+                                    "names or {attack, defenses, secret, model} "
+                                    "objects) through one warm session per worker")
     simulate_parser.add_argument("--contended", action="store_true",
                                  help="use the contended timing model "
                                       "(bounded FU ports and CDB width)")
@@ -827,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--check", action="store_true",
                              help="check the trajectory against the ROADMAP "
                                   "regression thresholds instead of benchmarking")
+    perf_parser.add_argument("--allow-stale", action="store_true",
+                             help="with --check: tolerate a latest record whose "
+                                  "commit differs from HEAD (still warns)")
     perf_parser.set_defaults(handler=_cmd_perf)
 
     return parser

@@ -8,9 +8,15 @@ time repainting a terminal.
 
 from __future__ import annotations
 
+import math
 import sys
 import time
 from typing import IO, Optional
+
+#: Shortest elapsed wall-clock that yields a meaningful rate.  Below this a
+#: grid finished inside one scheduler tick (fully checkpointed, or trivially
+#: small) and ``done / elapsed`` is a division artifact, not a throughput.
+MIN_MEASURABLE_SECONDS = 1e-3
 
 
 class ProgressLine:
@@ -45,16 +51,22 @@ class ProgressLine:
 
     def line(self, now: Optional[float] = None) -> str:
         now = time.perf_counter() if now is None else now
-        elapsed = max(now - self._t0, 1e-9)
-        rate = self.done / elapsed
-        if self.total and self.done < self.total and rate > 0:
+        elapsed = now - self._t0
+        rate: Optional[float] = None
+        if elapsed >= MIN_MEASURABLE_SECONDS:
+            candidate = self.done / elapsed
+            if math.isfinite(candidate):
+                rate = candidate
+        if self.done >= self.total:
+            eta = "0s"
+        elif rate:
             eta = f"{(self.total - self.done) / rate:.0f}s"
         else:
-            eta = "0s" if self.done >= self.total else "?"
+            eta = "--"
         pct = (100.0 * self.done / self.total) if self.total else 100.0
         parts = [
             f"[{self.label}] {self.done}/{self.total} points ({pct:.0f}%)",
-            f"{rate:.1f} pts/s",
+            f"{rate:.1f} pts/s" if rate is not None else "-- pts/s",
             f"ETA {eta}",
         ]
         if self.quarantined:

@@ -632,6 +632,66 @@ def measure_contended_scheduler(
     )
 
 
+def measure_timing_batch(
+    epochs: int = 10,
+    defense: str = "PREVENT_SPECULATIVE_LOADS",
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """``Engine.simulate_batch`` vs the per-point loop on a campaign workload.
+
+    The workload is campaign-shaped: ``epochs`` passes over the full attack
+    registry x {undefended, one defense} grid -- the shape fuzzing sweeps,
+    resumed campaigns and overlapping service traffic produce, where most
+    points repeat a simulation some earlier point already paid for.  The
+    per-point baseline executes every point in isolation (a fresh engine
+    per point: the execution model of the supervised per-point task plane,
+    minus IPC, which makes it a *conservative* baseline), while the batch
+    plane serves the identical list through one warm session whose
+    simulation cache and TSG-verdict memo amortize across the campaign.
+    Both paths must produce identical rows -- the differential check below
+    raises on divergence -- so the speedup is pure amortization, never a
+    changed answer.
+    """
+    from .engine import Engine, _batch_point_spec
+    from .uarch.timing.validate import SCENARIOS
+
+    attacks = sorted(SCENARIOS)
+    base_points = [{"attack": attack} for attack in attacks] + [
+        {"attack": attack, "defenses": (defense,)} for attack in attacks
+    ]
+    points = base_points * epochs
+    specs = [_batch_point_spec(point) for point in points]
+
+    def per_point_loop() -> List[Dict[str, object]]:
+        return [Engine().run(spec).data for spec in specs]
+
+    def batch():
+        return Engine().simulate_batch(points)
+
+    per_point_seconds, per_point_rows = _best_of(per_point_loop, max(1, repeats - 1))
+    batch_seconds, batch_result = _best_of(batch, repeats)
+    if batch_result.data["rows"] != per_point_rows:
+        raise RuntimeError("simulate_batch rows diverged from the per-point loop")
+    count = len(points)
+    return {
+        "benchmark": "timing-batch",
+        "points": count,
+        "epochs": epochs,
+        "unique_simulations": batch_result.data["unique_simulations"],
+        "per_point_seconds": per_point_seconds,
+        "batch_seconds": batch_seconds,
+        "per_point_points_per_second": (
+            count / per_point_seconds if per_point_seconds > 0 else float("inf")
+        ),
+        "batch_points_per_second": (
+            count / batch_seconds if batch_seconds > 0 else float("inf")
+        ),
+        "speedup_batch_vs_per_point": (
+            per_point_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+        ),
+    }
+
+
 def run_perf_suite(
     sizes: Sequence[Tuple[int, int, int]] = DEFAULT_SIZES,
     baseline_pair_budget: int = 4000,
@@ -671,6 +731,7 @@ def run_perf_suite(
             measure_contended_scheduler(
                 instructions=timing_instructions, repeats=repeats
             ),
+            measure_timing_batch(),
         ]
     return run
 
@@ -714,6 +775,10 @@ THRESHOLDS = {
     # The arbitrated (port/CDB contention) event path must keep beating the
     # contended rescan loop by the same margin class.
     "timing_contended_event_speedup_min": 5.0,
+    # The batch simulation plane must serve a campaign-shaped point list at
+    # >= 10x the points/sec of the isolated per-point loop (warm session
+    # amortization -- the ROADMAP "Raw speed" floor).
+    "timing_batch_speedup_min": 10.0,
     # Checkpointing every grid point through the DiskStore must stay cheap
     # insurance: <= 10% over the plain in-memory grid on a clean 200-point
     # run, and a resume against the populated store recomputes nothing.
@@ -843,7 +908,19 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
         failures.append("no timing-scheduler benchmark recorded")
     else:
         contended_seen = False
+        batch_seen = False
         for record in timing_run["timing_results"]:
+            if record.get("benchmark") == "timing-batch":
+                batch_seen = True
+                speedup = record["speedup_batch_vs_per_point"]
+                floor = THRESHOLDS["timing_batch_speedup_min"]
+                if speedup < floor:
+                    failures.append(
+                        f"simulate_batch {speedup:.1f}x points/sec over the "
+                        f"per-point loop on {record['points']} points, below "
+                        f"the {floor:.0f}x floor"
+                    )
+                continue
             speedup = record["speedup_event_vs_rescan"]
             if record.get("benchmark") == "timing-event-queue-contended":
                 contended_seen = True
@@ -860,6 +937,8 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
                 )
         if not contended_seen:
             failures.append("no contended event-scheduler benchmark recorded")
+        if not batch_seen:
+            failures.append("no timing-batch (simulate_batch) benchmark recorded")
 
     return failures
 
@@ -947,7 +1026,11 @@ def threshold_report(trajectory: Dict[str, object]) -> List[Dict[str, object]]:
     timing_run = _latest_run_with(trajectory, "timing_results")
     plain_speedups: List[float] = []
     contended_speedups: List[float] = []
+    batch_speedups: List[float] = []
     for record in (timing_run or {}).get("timing_results", []):
+        if record.get("benchmark") == "timing-batch":
+            batch_speedups.append(record["speedup_batch_vs_per_point"])
+            continue
         bucket = (
             contended_speedups
             if record.get("benchmark") == "timing-event-queue-contended"
@@ -965,6 +1048,11 @@ def threshold_report(trajectory: Dict[str, object]) -> List[Dict[str, object]]:
         contended,
         contended is not None
         and contended >= THRESHOLDS["timing_contended_event_speedup_min"])
+    batch = min(batch_speedups) if batch_speedups else None
+    add("simulate_batch points/sec vs per-point loop",
+        f">= {THRESHOLDS['timing_batch_speedup_min']:.0f}x",
+        batch,
+        batch is not None and batch >= THRESHOLDS["timing_batch_speedup_min"])
     return rows
 
 
@@ -976,9 +1064,11 @@ def format_threshold_report(rows: List[Dict[str, object]]) -> List[str]:
          "PASS" if row["ok"] else "FAIL")
         for row in rows
     ]
+    # ``max(header, *rows)`` with an empty table would unpack zero column
+    # entries and try to iterate the lone int -- list form keeps it total.
     widths = [
-        max(len(str(headers[column])),
-            *(len(str(line[column])) for line in table))
+        max([len(str(headers[column])),
+             *(len(str(line[column])) for line in table)])
         for column in range(len(headers))
     ]
     lines = [
@@ -1000,12 +1090,44 @@ def check_trajectory(path: str) -> List[str]:
     return check_thresholds(json.loads(target.read_text(encoding="utf-8")))
 
 
-def run_check(path: str) -> int:
+def stale_records(trajectory: Dict[str, object]) -> List[str]:
+    """Benchmark families whose latest record predates the HEAD commit.
+
+    ``repro perf --check`` compares floors against the most recent run of
+    each family; when that run was stamped by a *different* commit than the
+    working tree's HEAD, the table silently grades old code.  Returns one
+    human-readable line per stale family (empty when every checked record
+    matches HEAD, or when no commit can be resolved at all).
+    """
+    head = _git_commit()
+    if head == "unknown":
+        return []
+    stale = []
+    for key, label in (
+        ("results", "core (all-pairs race)"),
+        ("engine_results", "engine"),
+        ("timing_results", "timing-scheduler"),
+    ):
+        run = _latest_run_with(trajectory, key)
+        if run is None:
+            continue  # the missing-family failure is check_thresholds' job
+        commit = run.get("commit", "unknown")
+        if commit != head:
+            stale.append(
+                f"latest {label} record is from commit {str(commit)[:12]}, "
+                f"but HEAD is {head[:12]} (re-run `repro perf`)"
+            )
+    return stale
+
+
+def run_check(path: str, allow_stale: bool = False) -> int:
     """CLI body shared by ``repro perf --check`` and ``run_perf.py --check``.
 
     Prints the full pass/fail table of every ROADMAP floor, then one
     ``FAIL: ...`` line per violated threshold (or the all-clear), and
-    returns the process exit code.
+    returns the process exit code.  A latest record stamped by a commit
+    other than HEAD is graded as a failure -- the floors would silently
+    certify old code -- unless ``allow_stale`` downgrades it to a warning.
     """
     target = Path(path)
     if not target.exists():
@@ -1015,12 +1137,20 @@ def run_check(path: str) -> int:
     for line in format_threshold_report(threshold_report(trajectory)):
         print(line)
     print()
+    stale = stale_records(trajectory)
+    for line in stale:
+        label = "WARNING (stale, tolerated)" if allow_stale else "FAIL"
+        print(f"{label}: {line}")
     failures = check_thresholds(trajectory)
     for failure in failures:
         print(f"FAIL: {failure}")
-    if not failures:
+    if not failures and not stale:
         print(f"{path}: all perf thresholds hold")
-    return 1 if failures else 0
+    elif not failures and allow_stale:
+        print(f"{path}: all perf thresholds hold (stale records tolerated)")
+    if failures:
+        return 1
+    return 1 if (stale and not allow_stale) else 0
 
 
 def main(
@@ -1056,6 +1186,15 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
     """Human-readable lines for the engine + timing benchmark records of one run."""
     lines = []
     for record in run.get("timing_results", ()):  # type: ignore[union-attr]
+        if record.get("benchmark") == "timing-batch":
+            lines.append(
+                f"timing batch ({record['points']} points, "
+                f"{record['unique_simulations']} unique sims): per-point loop "
+                f"{record['per_point_points_per_second']:.0f} pts/s vs batch "
+                f"{record['batch_points_per_second']:.0f} pts/s -> "
+                f"{record['speedup_batch_vs_per_point']:.1f}x"
+            )
+            continue
         flavor = "contended " if record.get("contended") else ""
         lines.append(
             f"{flavor}timing scheduler ({record['instructions']} instructions, "

@@ -324,6 +324,16 @@ class EventScheduler:
     def _schedule_contended(self, ops: Sequence[DynamicOp]) -> Schedule:
         """The arbitrated path: port occupancy counters + per-cycle CDB budget.
 
+        Arbitration is a single mask pass per cycle over integer bitmasks:
+        finished ops accumulate in a per-cycle ``finishers`` bitmask and the
+        ``cdb_width`` lowest set bits (the oldest seqs -- exactly the order
+        the per-event heap pops used to grant) win broadcast slots, the
+        remainder carrying to the next cycle's mask.  Port-stalled ops sit in
+        a per-pool wait bitmask whose lowest set bit is the oldest waiter, so
+        ``mask & -mask`` hands a freed port to the same op the old per-pool
+        heap would have popped.  ``tests/test_batch_plane.py`` keeps a
+        verbatim pre-mask copy of the rescan walk and cross-checks both.
+
         Handles ``None`` limits too (they simply never bind), which is what
         the no-regression property test exercises: with every limit unbounded
         this path must produce byte-identical schedules to
@@ -356,11 +366,13 @@ class EventScheduler:
         pools = [port_kind(op.kind) for op in ops]
         limits = {pool: model.port_limit(pool) for pool in PORT_POOLS}
         port_used = {pool: 0 for pool in PORT_POOLS}
-        #: Data-ready ops waiting for a port, oldest (lowest seq) first.
-        port_queue: Dict[str, List[int]] = {pool: [] for pool in PORT_POOLS}
+        #: Data-ready ops stalled on a full pool, as a bitmask over seqs --
+        #: the lowest set bit is the oldest waiter (heap-pop order).
+        port_wait = {pool: 0 for pool in PORT_POOLS}
         cdb_width = model.cdb_width
-        cdb_cycle = -1  # cycle the broadcast budget below belongs to
-        cdb_used = 0
+        #: Cycle -> bitmask of ops whose execution finishes that cycle (CDB
+        #: losers are merged into the next cycle's mask).
+        finishers: Dict[int, int] = {}
 
         heap: List[Tuple[int, int, int]] = [(0, _DISPATCH, 0)]
         scheduled_tries: Set[Tuple[int, int]] = {(0, _DISPATCH)}
@@ -374,39 +386,57 @@ class EventScheduler:
             cycle, phase, seq = heapq.heappop(heap)
 
             if phase == _COMPLETE:
-                # CDB arbitration: completion events of one cycle pop oldest
-                # first (heap tie-break on seq); the first ``cdb_width`` get a
-                # broadcast slot, the rest re-arbitrate next cycle, still
-                # holding their reservation station and port.
+                # CDB arbitration, one mask pass: every op finishing this
+                # cycle (plus losers carried from earlier cycles) arbitrates
+                # in the same bitmask; the ``cdb_width`` lowest set bits --
+                # the oldest seqs -- win broadcast slots, the rest carry to
+                # next cycle's mask, still holding their reservation station
+                # and port.
+                granted = finishers.pop(cycle, 0)
                 if cdb_width is not None:
-                    if cycle != cdb_cycle:
-                        cdb_cycle, cdb_used = cycle, 0
-                    if cdb_used >= cdb_width:
-                        heapq.heappush(heap, (cycle + 1, _COMPLETE, seq))
-                        continue
-                    cdb_used += 1
-                complete[seq] = cycle
-                done.add(seq)
-                in_flight.discard(seq)
-                rs_used -= 1
-                pool = pools[seq]
-                if pool is not None and limits[pool] is not None:
-                    port_used[pool] -= 1
-                    if port_queue[pool]:
-                        # Hand the freed port to the oldest queued waiter; it
-                        # re-checks availability at issue time (a still-older
-                        # op waking this same cycle may take the port first).
-                        waiter = heapq.heappop(port_queue[pool])
-                        heapq.heappush(heap, (cycle, _ISSUE, waiter))
-                for dependent in waiters.pop(seq, ()):
-                    pending[dependent] -= 1
-                    floor = max(ready_floor[dependent], cycle + 1)
-                    ready_floor[dependent] = floor
-                    if pending[dependent] == 0:
-                        ready[dependent] = floor
-                        heapq.heappush(heap, (floor, _ISSUE, dependent))
-                try_later(cycle, _RETIRE)
-                try_later(cycle, _DISPATCH)
+                    mask, granted = granted, 0
+                    for _ in range(cdb_width):
+                        if not mask:
+                            break
+                        low = mask & -mask
+                        granted |= low
+                        mask ^= low
+                    if mask:
+                        finishers[cycle + 1] = finishers.get(cycle + 1, 0) | mask
+                        try_later(cycle + 1, _COMPLETE)
+                grants = granted
+                while grants:
+                    low = grants & -grants
+                    grants ^= low
+                    seq = low.bit_length() - 1
+                    complete[seq] = cycle
+                    done.add(seq)
+                    in_flight.discard(seq)
+                    rs_used -= 1
+                    pool = pools[seq]
+                    if pool is not None and limits[pool] is not None:
+                        port_used[pool] -= 1
+                        wait_mask = port_wait[pool]
+                        if wait_mask:
+                            # Hand the freed port to the oldest waiter (the
+                            # lowest set bit); it re-checks availability at
+                            # issue time (a still-older op waking this same
+                            # cycle may take the port first).
+                            waiter_bit = wait_mask & -wait_mask
+                            port_wait[pool] = wait_mask ^ waiter_bit
+                            heapq.heappush(
+                                heap, (cycle, _ISSUE, waiter_bit.bit_length() - 1)
+                            )
+                    for dependent in waiters.pop(seq, ()):
+                        pending[dependent] -= 1
+                        floor = max(ready_floor[dependent], cycle + 1)
+                        ready_floor[dependent] = floor
+                        if pending[dependent] == 0:
+                            ready[dependent] = floor
+                            heapq.heappush(heap, (floor, _ISSUE, dependent))
+                if granted:
+                    try_later(cycle, _RETIRE)
+                    try_later(cycle, _DISPATCH)
 
             elif phase == _RETIRE:
                 retired = 0
@@ -470,13 +500,14 @@ class EventScheduler:
                 pool = pools[seq]
                 limit = limits[pool] if pool is not None else None
                 if limit is not None and port_used[pool] >= limit:
-                    heapq.heappush(port_queue[pool], seq)
+                    port_wait[pool] |= 1 << seq
                     continue
                 if limit is not None:
                     port_used[pool] += 1
                 issue[seq] = cycle
                 finish = cycle + max(1, ops[seq].latency)
-                heapq.heappush(heap, (finish, _COMPLETE, seq))
+                finishers[finish] = finishers.get(finish, 0) | (1 << seq)
+                try_later(finish, _COMPLETE)
 
         if head < n:  # pragma: no cover - scheduler invariant
             raise RuntimeError(f"deadlock: {n - head} ops never retired")
@@ -487,12 +518,20 @@ class RescanScheduler:
     """The naive baseline: advance one cycle at a time, re-scan everything.
 
     Implements the identical timing specification by brute force -- each
-    cycle walks the full waiting set to find woken ops, the completion set to
-    find finished ops, and the ROB head to retire, the way the interpreter's
-    per-cycle loop re-scans every in-flight instruction.  Contention falls
-    out almost for free from the per-cycle structure (walk in seq order, stop
-    granting when a pool or the CDB budget runs out), which is exactly why it
-    stays alive as the event engine's differential oracle.
+    cycle re-arbitrates every in-flight instruction, the way the
+    interpreter's per-cycle loop re-scans its window.  The per-cycle state
+    lives in integer bitmasks over the dynamic seq space: ``waiting`` holds
+    the dispatched-not-yet-issued ops, each op carries a ``dep_mask`` of its
+    producer seqs, and ``visible`` snapshots the ops whose broadcast has
+    landed (completed on an earlier cycle).  Wakeup is then one bit test per
+    waiting op -- ``dep_mask & ~visible == 0`` -- instead of the old walk
+    over its producer set, finished ops bucket into a per-cycle
+    ``finishers`` mask whose ``cdb_width`` lowest bits (oldest seqs) win
+    broadcast, and the waiting mask is drained lowest-bit-first so scarce
+    ports still go to the oldest data-ready contenders.  The pre-mask walk
+    survives verbatim as ``ReferenceRescanScheduler`` in
+    ``tests/test_batch_plane.py``, differentially tested equal, and this
+    scheduler stays the event engine's per-cycle oracle.
     """
 
     def __init__(self, model: TimingModel = DEFAULT_MODEL) -> None:
@@ -511,13 +550,14 @@ class RescanScheduler:
 
         rat: Dict[str, int] = {}
         last_fence: Optional[int] = None
-        deps: Dict[int, Set[int]] = {}
-        waiting: List[int] = []  # dispatched, not yet issued (ascending seq)
-        executing: List[int] = []  # issued, not yet completed (broadcast)
-        finish: Dict[int, int] = {}  # seq -> cycle its execution finishes
-        ready_seen: Set[int] = set()
-        done: Set[int] = set()
-        in_flight: Set[int] = set()
+        dep_mask: Dict[int, int] = {}  # seq -> bitmask of its producer seqs
+        waiting = 0  # bitmask: dispatched, not yet issued
+        finishers: Dict[int, int] = {}  # cycle -> bitmask finishing execution
+        carry = 0  # bitmask: finished ops that lost CDB arbitration
+        broadcast = 0  # bitmask: ops whose completion has been granted
+        visible = 0  # ``broadcast`` as of the end of the previous cycle
+        in_flight = 0  # bitmask: dispatched, not yet completed
+        ready_seen = 0  # bitmask: ops whose ready cycle is stamped
 
         pools = [port_kind(op.kind) for op in ops]
         limits = {pool: model.port_limit(pool) for pool in PORT_POOLS}
@@ -531,30 +571,41 @@ class RescanScheduler:
         cycle = 0
 
         while head < n:
-            # Phase 1: broadcasts.  Every op whose execution has finished
-            # wants a CDB slot; grant up to ``cdb_width`` oldest first.
+            # Phase 1: broadcasts.  Every op whose execution has finished --
+            # this cycle's bucket plus the carried losers -- wants a CDB
+            # slot; the ``cdb_width`` lowest set bits (oldest seqs) win.
             # Completion frees the reservation station and the port.
-            finished = sorted(seq for seq in executing if finish[seq] <= cycle)
+            granted = carry | finishers.pop(cycle, 0)
+            carry = 0
             if cdb_width is not None:
-                finished = finished[:cdb_width]
-            if finished:
-                granted = set(finished)
-                executing = [seq for seq in executing if seq not in granted]
-                for seq in finished:
-                    complete[seq] = cycle
-                    done.add(seq)
-                    in_flight.discard(seq)
-                    rs_used -= 1
-                    pool = pools[seq]
-                    if pool is not None and limits[pool] is not None:
-                        port_used[pool] -= 1
+                mask, granted = granted, 0
+                for _ in range(cdb_width):
+                    if not mask:
+                        break
+                    low = mask & -mask
+                    granted |= low
+                    mask ^= low
+                carry = mask
+            grants = granted
+            while grants:
+                low = grants & -grants
+                grants ^= low
+                seq = low.bit_length() - 1
+                complete[seq] = cycle
+                rs_used -= 1
+                pool = pools[seq]
+                if pool is not None and limits[pool] is not None:
+                    port_used[pool] -= 1
+            broadcast |= granted
+            in_flight &= ~granted
 
-            # Phase 2: in-order retirement from the ROB head.
+            # Phase 2: in-order retirement from the ROB head.  A head op is
+            # retirable once its broadcast is *visible* (completed on an
+            # earlier cycle) -- exactly the ``visible`` snapshot bit.
             retired = 0
             while (
                 head < n
-                and head in done
-                and complete[head] <= cycle - 1
+                and (visible >> head) & 1
                 and retired < model.commit_width
             ):
                 retire[head] = cycle
@@ -572,50 +623,51 @@ class RescanScheduler:
             ):
                 op = ops[next_dispatch]
                 seq = next_dispatch
+                bit = 1 << seq
                 dispatch[seq] = cycle
                 rob_used += 1
                 rs_used += 1
-                in_flight.add(seq)
-                op_deps = _dependencies(op, rat, last_fence)
+                in_flight |= bit
+                producers = 0
+                for producer in _dependencies(op, rat, last_fence):
+                    producers |= 1 << producer
                 if op.kind == "fence":
-                    op_deps |= in_flight - done - {seq}
+                    producers |= in_flight & ~bit  # every older in-flight op
                     last_fence = seq
-                deps[seq] = op_deps
+                dep_mask[seq] = producers
                 for name in op.writes:
                     rat[name] = seq
-                waiting.append(seq)
+                waiting |= bit
                 next_dispatch += 1
                 dispatched += 1
 
-            # Phase 4: re-scan every waiting op for wakeup (the O(in-flight)
-            # work per cycle the event queue exists to avoid).  The list is
-            # in ascending seq order, so scarce ports go to the oldest
-            # data-ready contenders first.
-            still_waiting = []
-            for seq in waiting:
-                producers = deps[seq]
-                data_ready = dispatch[seq] <= cycle - 1 and all(
-                    producer in done and complete[producer] <= cycle - 1
-                    for producer in producers
-                )
-                if not data_ready:
-                    still_waiting.append(seq)
-                    continue
-                if seq not in ready_seen:
-                    ready_seen.add(seq)
+            # Phase 4: wake and arbitrate the waiting set in one mask pass
+            # (the O(in-flight) work per cycle the event queue exists to
+            # avoid, now one producer-mask test per op instead of a walk
+            # over its producer set).  Bits drain lowest first, so scarce
+            # ports go to the oldest data-ready contenders.
+            scan = waiting
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                seq = low.bit_length() - 1
+                if dispatch[seq] >= cycle or dep_mask[seq] & ~visible:
+                    continue  # not data-ready; stays waiting
+                if not (ready_seen >> seq) & 1:
+                    ready_seen |= low
                     ready[seq] = cycle
                 pool = pools[seq]
                 limit = limits[pool] if pool is not None else None
                 if limit is not None and port_used[pool] >= limit:
-                    still_waiting.append(seq)  # port-stalled, retry next cycle
-                    continue
+                    continue  # port-stalled; retries next cycle
                 if limit is not None:
                     port_used[pool] += 1
+                waiting ^= low
                 issue[seq] = cycle
-                finish[seq] = cycle + max(1, ops[seq].latency)
-                executing.append(seq)
-            waiting = still_waiting
+                finish = cycle + max(1, ops[seq].latency)
+                finishers[finish] = finishers.get(finish, 0) | low
 
+            visible = broadcast
             cycle += 1
 
         return Schedule(dispatch, issue, complete, retire, ready)

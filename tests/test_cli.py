@@ -294,14 +294,23 @@ class TestPerfCheck:
         assert "contended timing scheduler" in out
         trajectory = json.loads(output.read_text())
         records = trajectory["runs"][-1]["timing_results"]
-        # Default runs keep the demoted 200-instruction rescan baseline.
-        assert all(record["instructions"] <= 200 for record in records)
+        # Default runs keep the demoted 200-instruction rescan baseline
+        # (the timing-batch record counts points, not instructions).
+        assert all(
+            record["instructions"] <= 200
+            for record in records
+            if "instructions" in record
+        )
         by_name = {record["benchmark"]: record for record in records}
         assert by_name["timing-event-queue"]["speedup_event_vs_rescan"] > 5
         assert by_name["timing-event-queue-contended"]["speedup_event_vs_rescan"] > 5
         assert by_name["timing-event-queue-contended"]["contended"] is True
+        assert by_name["timing-batch"]["speedup_batch_vs_per_point"] > 1
 
-    def test_perf_check_fails_on_regression(self, tmp_path, capsys):
+    def test_perf_check_fails_on_regression(self, tmp_path, capsys, monkeypatch):
+        # Pin the stale-record gate out of the way: these fabricated runs
+        # carry no commit stamp, and staleness has its own tests.
+        monkeypatch.setattr("repro.perf._git_commit", lambda: "unknown")
         bad = {
             "runs": [{
                 "results": [{"graph": "layered-200v", "speedup_all_pairs": 2.0}],
@@ -326,6 +335,8 @@ class TestPerfCheck:
                      "speedup_event_vs_rescan": 1.5},
                     {"benchmark": "timing-event-queue-contended",
                      "instructions": 500, "speedup_event_vs_rescan": 1.5},
+                    {"benchmark": "timing-batch", "points": 380,
+                     "speedup_batch_vs_per_point": 2.0},
                 ],
             }]
         }
@@ -333,7 +344,7 @@ class TestPerfCheck:
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL:") == 11
+        assert out.count("FAIL:") == 12
         assert "PASS" not in out  # every floor violated: the table agrees
         assert "contended event-queue scheduler" in out
         assert "warm DiskStore run" in out
@@ -400,7 +411,10 @@ class TestPerfCheck:
         assert main(["perf", "--check", "-o", str(path)]) == 1
         assert "no disk-store" in capsys.readouterr().out
 
-    def test_perf_check_passes_on_healthy_trajectory(self, tmp_path, capsys):
+    def test_perf_check_passes_on_healthy_trajectory(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr("repro.perf._git_commit", lambda: "unknown")
         good = {
             "runs": [{
                 "results": [{"graph": "layered-200v", "speedup_all_pairs": 1000.0}],
@@ -423,6 +437,8 @@ class TestPerfCheck:
                      "speedup_event_vs_rescan": 100.0},
                     {"benchmark": "timing-event-queue-contended",
                      "instructions": 500, "speedup_event_vs_rescan": 80.0},
+                    {"benchmark": "timing-batch", "points": 380,
+                     "speedup_batch_vs_per_point": 15.0},
                 ],
             }]
         }
