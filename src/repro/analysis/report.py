@@ -211,6 +211,74 @@ def grid_section(result: "Result") -> str:
     return f"{table}\n{footer}"
 
 
+def fuzz_point_section(result: "Result") -> str:
+    """Render one ``fuzz_point`` envelope: both oracle verdicts side by side."""
+    data = result.data
+    tsg = "leaks" if data["tsg_leaks"] else "safe"
+    timing = "leaks" if data["transmit_beats_squash"] else "safe"
+    lines = [
+        f"### fuzz point {data['seed']}/{data['index']}",
+        "",
+        f"* shape: {data['source']} delay={data['delay']} "
+        f"channel={data['channel']} fence={data['fence']}",
+        f"* program: {data['instructions']} instructions, "
+        f"sha {str(data['sha'])[:12]}",
+        f"* TSG oracle: {tsg}",
+        f"* timing oracle: {timing} (transmit {data['transmit_cycle']}, "
+        f"squash {data['squash_cycle']})",
+        f"* verdict: {'AGREE' if data['agrees'] else 'DISAGREE'}",
+    ]
+    if data.get("inject"):
+        lines.append(f"* injected fault: {data['inject']}")
+    return "\n".join(lines)
+
+
+def fuzz_campaign_section(result: "Result") -> str:
+    """Render a ``fuzz_campaign`` envelope: coverage, verdict tallies and
+    every (shrunk) oracle disagreement."""
+    data = result.data
+    table = format_table(
+        ("bucket", "points"),
+        [(bucket, count) for bucket, count in data["coverage"].items()],
+    )
+    footer = (
+        f"seed {data['seed']}: {data['executed']}/{data['generated']} points "
+        f"executed across {data['buckets']} buckets -- "
+        f"{data['agreed']} agreed, {data['disagreed']} disagreed, "
+        f"{data['quarantined']} quarantined"
+    )
+    if data.get("points_per_second"):
+        footer += f" ({data['points_per_second']:.0f} points/s)"
+    if data.get("budget_exhausted"):
+        footer += (
+            f"; budget of {data['budget']}s exhausted -- re-run with "
+            "--resume to finish the remaining points"
+        )
+    lines = [table, footer]
+    for row in data["disagreements"]:
+        lines.append("")
+        lines.append(
+            f"DISAGREEMENT at point {row['seed']}/{row['index']}: "
+            f"{row['source']} delay={row['delay']} channel={row['channel']} "
+            f"fence={row['fence']} -- TSG says "
+            f"{'leaks' if row['tsg_leaks'] else 'safe'}, timing says "
+            f"{'leaks' if row['transmit_beats_squash'] else 'safe'}"
+        )
+        shrunk = row.get("shrunk")
+        if shrunk:
+            shape = shrunk["shape"]
+            lines.append(
+                f"  shrunk to {shrunk['instructions']} instructions "
+                f"({shape['source']} delay={shape['delay']} "
+                f"channel={shape['channel']} fence={shape['fence']}, "
+                f"sha {str(shrunk['sha'])[:12]}):"
+            )
+            lines.extend(
+                f"    {line}" for line in str(shrunk["listing"]).splitlines()
+            )
+    return "\n".join(lines)
+
+
 def error_section(result: "Result") -> str:
     """Render a quarantined point's ``error`` envelope."""
     data = result.data
@@ -237,6 +305,10 @@ def render_result(result: "Result", kind: Optional[str] = None) -> str:
         return error_section(result)
     if kind == "window_ablation":
         return window_ablation_section(result)
+    if kind == "fuzz_point":
+        return fuzz_point_section(result)
+    if kind == "fuzz_campaign":
+        return fuzz_campaign_section(result)
     if kind == "validate_timing" or result.subject == "theorem1-validation":
         if result.payload is not None:
             return validation_report(result.payload)

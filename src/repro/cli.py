@@ -458,6 +458,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: a seeded differential campaign over both oracles."""
+    if args.count < 1:
+        raise SystemExit("fuzz needs --count >= 1")
+    try:
+        engine = _run_session(args)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"fuzz failed: {exc}")
+    tracer = None
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+
+        try:
+            tracer = Tracer(sink=args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file {args.trace!r}: {exc}")
+        engine.tracer = tracer
+    progress = None
+    if getattr(args, "progress", False):
+        from .obs import ProgressLine
+
+        progress = ProgressLine(args.count)
+    try:
+        result = engine.run_fuzz_campaign(
+            seed=args.seed,
+            count=args.count,
+            secret=args.secret,
+            model="contended" if args.contended else None,
+            inject=args.inject,
+            budget=args.budget,
+            parallel=args.parallel,
+            on_point=progress.update if progress is not None else None,
+            refresh=args.resume,
+        )
+    except KeyboardInterrupt:
+        # Completed fuzz points are already durable; kill the pool and tell
+        # the user how to pick the campaign back up.
+        if progress is not None:
+            progress.finish()
+        engine.halt()
+        if tracer is not None:
+            tracer.close()
+        print(
+            "interrupted -- completed fuzz points stay checkpointed in the "
+            "artifact store; re-run the same command with --resume to "
+            "continue from the last completed point",
+            file=sys.stderr,
+        )
+        return 130
+    except (KeyError, TypeError, ValueError) as exc:
+        if progress is not None:
+            progress.finish()
+        if tracer is not None:
+            tracer.close()
+        message = exc.args[0] if exc.args else exc
+        raise SystemExit(f"fuzz failed: {message}")
+    if progress is not None:
+        progress.finish()
+    if tracer is not None:
+        tracer.close()
+        print(
+            f"trace: {tracer.emitted} spans written to {args.trace}",
+            file=sys.stderr,
+        )
+    if args.corpus:
+        from .fuzz import FuzzCorpus
+
+        ingested = FuzzCorpus(args.corpus).ingest(result.data)
+        print(
+            f"corpus: {ingested['written']} disagreement fixture(s) pinned, "
+            f"{ingested['novel_buckets']} novel bucket(s) in {args.corpus}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(result.to_json())
+    else:
+        print(render_result(result, "fuzz_campaign"))
+    if args.resume:
+        # Campaign accounting on stderr: stdout stays the pristine envelope.
+        summary = engine.stats()["grid"]
+        total = int(result.data.get("executed", 0))
+        resumed = summary["resumed"]
+        print(
+            f"resume: {resumed}/{total} points served from checkpoints, "
+            f"{total - resumed} recomputed, "
+            f"{summary['quarantined']} quarantined",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     text = full_report(include_matrix=not args.no_matrix, engine=_session(args))
     if args.output:
@@ -753,6 +844,95 @@ def build_parser() -> argparse.ArgumentParser:
              "points/s, ETA and quarantine count",
     )
     run_parser.set_defaults(handler=_cmd_run)
+
+    from .fuzz.generator import INJECTIONS
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing over the TSG and timing oracles",
+        parents=[store_parent],
+        description="Generate a seeded stream of speculation gadgets and run "
+                    "each through both leak oracles -- the TSG structural "
+                    "verdict and the cycle-accurate transmit/squash race -- "
+                    "checkpointing every point in the artifact store.  "
+                    "Disagreements are auto-shrunk to minimal reproducers; "
+                    "--corpus pins them as regression fixtures.",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (default 0); the same seed always generates the "
+             "same programs, byte for byte",
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=256,
+        help="number of generated gadgets (default 256)",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; the campaign stops at the next chunk "
+             "boundary once exceeded (completed points stay checkpointed, "
+             "--resume finishes the rest)",
+    )
+    fuzz_parser.add_argument(
+        "--secret", type=lambda v: int(v, 0), default=None,
+        help="planted secret byte (default 0x5A)",
+    )
+    fuzz_parser.add_argument(
+        "--contended", action="store_true",
+        help="run the timing oracle on the contended model "
+             "(bounded FU ports and CDB width)",
+    )
+    fuzz_parser.add_argument(
+        "--inject", choices=INJECTIONS, default=None,
+        help="deterministic oracle fault (testing the pipeline end to end): "
+             "no_flush skips the authorization flush so the timing oracle "
+             "calls leaking bounds-check gadgets safe",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="pin shrunk disagreements and bucket coverage into this corpus "
+             "directory",
+    )
+    fuzz_parser.add_argument(
+        "--parallel", type=int, default=None,
+        help="shard campaign chunks over N workers",
+    )
+    fuzz_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the engine Result envelope as JSON",
+    )
+    fuzz_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign: serve completed fuzz points "
+             "from the artifact store (implies --store disk when no store "
+             "is selected) and recompute only the missing ones",
+    )
+    fuzz_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock limit; a worker silent past it is "
+             "presumed hung, killed and the point retried in isolation",
+    )
+    fuzz_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts a failing fuzz point gets before it is "
+             "quarantined as an error envelope (default 2 when --timeout "
+             "enables the failure policy)",
+    )
+    fuzz_parser.add_argument(
+        "--faults", metavar="PLAN.json", default=None,
+        help="deterministic fault-injection plan (testing): seeded worker "
+             "exceptions / hangs / crashes and store corruption",
+    )
+    fuzz_parser.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="write a JSONL span trace of the campaign (fuzz.generate, "
+             "fuzz.point, engine and pool-worker spans)",
+    )
+    fuzz_parser.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr: done/total, points/s, ETA",
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     report_parser = subparsers.add_parser(
         "report", help="emit the full Markdown report",

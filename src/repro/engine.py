@@ -2147,15 +2147,24 @@ class Engine:
 
     def _prewarm_batch(
         self, point_specs: Sequence[ScenarioSpec], workers: int
-    ) -> None:
-        """Ship a batch's deduplicated cache misses to the pool as sublists.
+    ) -> Dict[Tuple, Result]:
+        """Ship a batch's deduplicated cache misses to the pool.
 
-        Mirrors the sweep's shard pass, but the execution unit is a whole
-        sublist per worker (one warm engine amortized across it) and the
-        worker threads the session's fault plan and trace context, so batch
-        points keep FaultPlan selection and ``worker.point`` spans.
+        Without a :class:`FailurePolicy` the misses run as contiguous
+        sublists, one warm engine amortized across each (the fast
+        unsupervised plane).  With a policy they run as supervised
+        per-point tasks through the same machinery as the grid plane --
+        timeouts, bounded retry, pool respawn and quarantine, all counted
+        in ``stats()["grid"]`` -- trading shard amortization for exact
+        blame assignment.  Either way the worker threads the session's
+        fault plan and trace context, so batch points keep FaultPlan
+        selection and ``worker.point`` spans.
+
         Computed payloads are absorbed into the session simulation cache;
         the caller then serves every point in order through :meth:`run`.
+        Returns the quarantined points (simulation key -> error envelope)
+        so the batch can report them instead of re-tripping the failure
+        in-process; empty without a policy (failures propagate fail-fast).
         """
         ref = store_ref(self.store)
         tracer = self._active_tracer()
@@ -2169,7 +2178,21 @@ class Engine:
             seen.add(key)
             misses.append(pspec)
         if not misses:
-            return
+            return {}
+        if self.policy is not None:
+            aliased = True
+            if self.store is not None:
+                aliased = getattr(self.store, "aliases_values", True)
+            quarantined: Dict[Tuple, Result] = {}
+            for point in self._iter_policy(
+                misses, list(range(len(misses))), workers, aliased
+            ):
+                key = self._simulation_key(point.spec)
+                if point.result.kind == "error":
+                    quarantined[key] = point.result
+                elif key not in self._simulations:
+                    self._store(self._simulations, key, point.result.payload)
+            return quarantined
         computed = self._run_sharded(
             partial(_simulate_batch_worker, ref, self.faults, ctx), misses, workers
         )
@@ -2179,6 +2202,7 @@ class Engine:
                 self._store(self._simulations, key, payload)
             if tracer is not None and spans:
                 tracer.absorb(spans)
+        return {}
 
     def _run_simulate_batch(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
         shared_secret = spec.get("secret")
@@ -2188,26 +2212,161 @@ class Engine:
             for point in spec.get("points") or ()
         ]
         workers = self._workers(parallel)
+        quarantined: Dict[Tuple, Result] = {}
         if workers > 1 and len(point_specs) > 1:
-            self._prewarm_batch(point_specs, workers)
-        results = [self.run(pspec) for pspec in point_specs]
+            quarantined = self._prewarm_batch(point_specs, workers)
+        results = []
+        for pspec in point_specs:
+            poisoned = quarantined.get(self._simulation_key(pspec))
+            results.append(poisoned if poisoned is not None else self.run(pspec))
         rows = [result.data for result in results]
-        data = {
+        data: Dict[str, object] = {
             "points": len(rows),
             "unique_simulations": len(
                 {self._simulation_key(pspec) for pspec in point_specs}
             ),
-            "leaking": sum(1 for row in rows if row["transmit_beats_squash"]),
+            "leaking": sum(1 for row in rows if row.get("transmit_beats_squash")),
             "rows": rows,
         }
+        failed = sum(1 for result in results if result.kind == "error")
+        if failed:
+            data["quarantined"] = failed
         return Result(
             kind="simulate_batch",
             subject=f"batch ({len(rows)} points)",
-            ok=True,
+            ok=not failed,
             cache="none",
             data=data,
             payload=results,
         )
+
+    # ======================================================================
+    # The differential fuzzing plane (repro.fuzz)
+    # ======================================================================
+    def _run_fuzz_point(self, spec: ScenarioSpec, parallel: Optional[int]) -> Result:
+        """One generated gadget through both leak oracles.
+
+        The spec pins the generator coordinates and (optionally) the
+        program's content hash -- a ``sha`` mismatch means the generator no
+        longer builds what this spec was addressed under, and the point
+        fails loudly rather than serve a verdict about a different program.
+        """
+        from .fuzz.generator import FUZZ_SECRET, dual_verdict, make_case
+
+        seed = int(spec.get("seed"))
+        index = int(spec.get("index"))
+        secret = spec.get("secret")
+        planted = FUZZ_SECRET if secret is None else int(secret)
+        inject = spec.get("inject")
+        model_name = spec.get("model")
+        model = decode_model(model_name) if model_name is not None else None
+        case = make_case(seed, index)
+        pinned = spec.get("sha")
+        if pinned is not None and pinned != case.sha:
+            raise ValueError(
+                f"fuzz_point {seed}/{index}: generator drift -- spec pins "
+                f"program {str(pinned)[:12]} but the generator now builds "
+                f"{case.sha[:12]}"
+            )
+        verdict = dual_verdict(
+            case, secret=planted, inject=inject, engine=self, model=model
+        )
+        data: Dict[str, object] = {
+            "seed": seed,
+            "index": index,
+            "sha": case.sha,
+            "instructions": case.size,
+            "bucket": case.shape.bucket,
+            "inject": inject,
+            "leaked_secret": verdict.recovered == planted,
+        }
+        data.update(case.shape.to_dict())
+        data.update(verdict.to_dict())
+        return Result(
+            kind="fuzz_point",
+            subject=f"fuzz {seed}/{index}: {case.shape.describe()}",
+            ok=verdict.agrees,
+            cache="cold",
+            data=data,
+            payload=case,
+        )
+
+    def _run_fuzz_campaign(
+        self, spec: ScenarioSpec, parallel: Optional[int]
+    ) -> Result:
+        """A seeded campaign: chunked, checkpointed grids of fuzz points."""
+        from .fuzz.campaign import FuzzCampaign
+
+        campaign = FuzzCampaign.from_spec(self, spec)
+        data = campaign.execute(parallel=parallel)
+        ok = data["disagreed"] == 0 and data["quarantined"] == 0
+        return Result(
+            kind="fuzz_campaign",
+            subject=f"fuzz campaign seed={campaign.seed} count={campaign.count}",
+            ok=ok,
+            cache="none",
+            data=data,
+            payload=None,
+        )
+
+    def run_fuzz_campaign(
+        self,
+        *,
+        seed: int,
+        count: int,
+        secret: Optional[int] = None,
+        model: Optional[str] = None,
+        inject: Optional[str] = None,
+        budget: Optional[float] = None,
+        parallel: Optional[int] = None,
+        on_point: Optional[Callable[[GridPoint], None]] = None,
+        refresh: bool = False,
+    ) -> Result:
+        """Run one differential fuzzing campaign (``repro fuzz``).
+
+        Equivalent to ``run(ScenarioSpec("fuzz_campaign", ...))`` with two
+        campaign-runner extras the generic path cannot express: a streaming
+        ``on_point`` callback for live progress, and ``refresh`` to bypass a
+        warm campaign envelope while still serving every completed point
+        from its checkpoint -- the ``--resume`` semantics (a budget-stopped
+        or killed campaign picks up exactly where it left off).
+        """
+        from .fuzz.campaign import FuzzCampaign
+
+        campaign = FuzzCampaign(
+            self,
+            seed=seed,
+            count=count,
+            secret=secret,
+            model=model,
+            inject=inject,
+            budget=budget,
+        )
+        spec = campaign.spec()
+        if not refresh and on_point is None:
+            return self.run(spec, parallel=parallel)
+        key = spec.content_hash()
+        aliased = True
+        if self.store is not None:
+            aliased = getattr(self.store, "aliases_values", True)
+            if not refresh:
+                cached = self.store.get(key)
+                if isinstance(cached, Result):
+                    return _warm_envelope(cached, aliased)
+        self._runs_total.inc(kind="fuzz_campaign")
+        data = campaign.execute(parallel=parallel, on_point=on_point)
+        ok = data["disagreed"] == 0 and data["quarantined"] == 0
+        result = Result(
+            kind="fuzz_campaign",
+            subject=f"fuzz campaign seed={campaign.seed} count={campaign.count}",
+            ok=ok,
+            cache="none",
+            data=data,
+            payload=None,
+        )
+        if self.store is not None:
+            self.store.put(key, _store_snapshot(result, aliased))
+        return result
 
     def validate_timing(
         self,

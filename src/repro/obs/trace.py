@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import threading
 import time
 import uuid
@@ -130,6 +131,42 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
+
+class _DroppedSpan:
+    """A span inside a sampled-out tree.
+
+    Unlike the shared :data:`NULL_SPAN`, a dropped span notifies its tracer
+    on finish: the tracer counts unfinished dropped spans per thread, so
+    every descendant started while a dropped ancestor is open joins the
+    same dropped tree -- sampling decisions are per *tree*, never per span.
+    ``context()`` is ``None``: a cross-process hop inside a dropped tree
+    ships no context, and the worker runs untraced.
+    """
+
+    __slots__ = ("_tracer", "_finished")
+    name = ""
+    span_id = ""
+    trace_id = ""
+    parent_id = None
+    duration_ms = None
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._finished = False
+
+    def set(self, **attrs: object) -> "_DroppedSpan":
+        return self
+
+    def context(self) -> None:
+        return None
+
+    def __enter__(self) -> "_DroppedSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.finish(self)
+
+
 ParentLike = Union[None, Span, TraceContext, str]
 
 
@@ -143,6 +180,16 @@ class Tracer:
     :meth:`absorb`-ed by the parent process.  ``enabled=False`` makes
     every ``span()`` call return the shared no-op span: the configuration
     the perf suite pins at <=2% overhead against no tracer at all.
+
+    ``sample_rate`` head-samples whole span *trees*: when a root span (no
+    open ancestor on its thread, no explicit parent) draws above the rate,
+    it and every descendant -- including detached spans and anything
+    started while it is open -- become dropped spans that emit nothing,
+    and :meth:`current_context` returns ``None`` inside the dropped tree
+    so pool workers run untraced rather than orphan half a tree.  Trees
+    are kept or dropped atomically; a 1%-sampled fuzz campaign writes 1%
+    of the *campaigns*, not a 1% shred of every campaign.  ``sample_seed``
+    makes the decisions reproducible.
     """
 
     def __init__(
@@ -152,11 +199,19 @@ class Tracer:
         trace_id: Optional[str] = None,
         buffer_limit: int = 256,
         enabled: bool = True,
+        sample_rate: float = 1.0,
+        sample_seed: Optional[int] = None,
     ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate!r}"
+            )
         self.enabled = enabled
         self.trace_id = trace_id or _new_id()
         self.sink = os.fspath(sink) if sink is not None else None
         self.buffer_limit = max(1, buffer_limit)
+        self.sample_rate = sample_rate
+        self._sample_rng = random.Random(sample_seed)
         self._buffer: List[str] = []
         self._collected: List[Dict[str, object]] = []
         self._handle = None
@@ -191,13 +246,36 @@ class Tracer:
         or an explicit request span across threads."""
         if not self.enabled:
             return NULL_SPAN
+        if self.sample_rate < 1.0:
+            if self._drop_depth() > 0:
+                # Inside a dropped tree: every span joins the drop.
+                return self._start_dropped()
+            if (
+                parent is None
+                and not self._stack()
+                and self._sample_rng.random() >= self.sample_rate
+            ):
+                # A new root drew above the rate: drop the whole tree.
+                return self._start_dropped()
         span = Span(self, name, self.trace_id, self._resolve_parent(parent),
                     dict(attrs), detached)
         if not detached:
             self._stack().append(span)
         return span
 
-    def finish(self, span: Union[Span, _NullSpan]) -> None:
+    def _drop_depth(self) -> int:
+        return getattr(self._local, "drop_depth", 0)
+
+    def _start_dropped(self) -> _DroppedSpan:
+        self._local.drop_depth = self._drop_depth() + 1
+        return _DroppedSpan(self)
+
+    def finish(self, span: Union[Span, _NullSpan, _DroppedSpan]) -> None:
+        if isinstance(span, _DroppedSpan):
+            if not span._finished:
+                span._finished = True
+                self._local.drop_depth = max(0, self._drop_depth() - 1)
+            return
         if isinstance(span, _NullSpan) or span._finished:
             return
         span._finished = True
@@ -210,8 +288,12 @@ class Tracer:
 
     def current_context(self) -> Optional[TraceContext]:
         """The context a cross-process hop should ship (``None`` when no
-        span is open on this thread or the tracer is disabled)."""
+        span is open on this thread or the tracer is disabled).  Inside a
+        sampled-out tree the context is ``None`` too: the hop's worker runs
+        untraced instead of shipping spans nobody will keep."""
         if not self.enabled:
+            return None
+        if self._drop_depth() > 0:
             return None
         stack = self._stack()
         if not stack:

@@ -692,6 +692,36 @@ def measure_timing_batch(
     }
 
 
+def measure_fuzz_throughput(count: int = 96, repeats: int = 2) -> Dict[str, object]:
+    """The differential fuzzing campaign's end-to-end program rate.
+
+    Runs one seeded ``fuzz_campaign`` (generator -> both oracles per point,
+    serial, no store) and reports programs/second.  The record doubles as
+    the dual-oracle soundness pin: a clean campaign must report *zero*
+    disagreements -- the TSG structural verdict and the cycle-accurate
+    transmit/squash race answering differently on any generated gadget is a
+    correctness regression, not a perf one, and ``repro perf --check``
+    fails on it outright.
+    """
+    from .engine import Engine
+
+    def campaign():
+        return Engine().run_fuzz_campaign(seed=0, count=count)
+
+    seconds, result = _best_of(campaign, repeats)
+    data = result.data
+    return {
+        "benchmark": "fuzz-throughput",
+        "count": count,
+        "executed": data["executed"],
+        "seconds": seconds,
+        "points_per_second": (data["executed"] / seconds) if seconds > 0 else float("inf"),
+        "buckets": data["buckets"],
+        "disagreed": data["disagreed"],
+        "quarantined": data["quarantined"],
+    }
+
+
 def run_perf_suite(
     sizes: Sequence[Tuple[int, int, int]] = DEFAULT_SIZES,
     baseline_pair_budget: int = 4000,
@@ -733,6 +763,8 @@ def run_perf_suite(
             ),
             measure_timing_batch(),
         ]
+    if include_engine:
+        run["fuzz_results"] = [measure_fuzz_throughput()]
     return run
 
 
@@ -793,6 +825,14 @@ THRESHOLDS = {
     # single-flight (hit-rate 0) immediately.  Computed-equals-unique is
     # additionally pinned exactly via the record's perfect_dedup flag.
     "service_dedup_hit_rate_min": 0.30,
+    # The differential fuzzing campaign must push whole generated programs
+    # through BOTH oracles (graph build + TSG verdict + cycle-accurate
+    # timing run) at a usable campaign rate.  Measured ~600 points/s
+    # serial; the floor leaves a wide machine-variance margin while still
+    # catching an accidental O(n^2) in the generator or harness.  The same
+    # record pins disagreed == 0: the two oracles answering differently on
+    # a clean campaign is a soundness bug, enforced alongside the floors.
+    "fuzz_points_per_second_min": 50.0,
 }
 
 
@@ -940,6 +980,30 @@ def check_thresholds(trajectory: Dict[str, object]) -> List[str]:
         if not batch_seen:
             failures.append("no timing-batch (simulate_batch) benchmark recorded")
 
+    fuzz_run = _latest_run_with(trajectory, "fuzz_results")
+    if fuzz_run is None:
+        failures.append("no fuzz-throughput (differential campaign) benchmark recorded")
+    else:
+        for record in fuzz_run["fuzz_results"]:
+            rate = record["points_per_second"]
+            floor = THRESHOLDS["fuzz_points_per_second_min"]
+            if rate < floor:
+                failures.append(
+                    f"fuzz campaign {rate:.0f} programs/s on "
+                    f"{record['count']} points, below the {floor:.0f}/s floor"
+                )
+            if record.get("disagreed", 0) != 0:
+                failures.append(
+                    f"fuzz campaign recorded {record['disagreed']} oracle "
+                    "disagreement(s) on a clean run (TSG vs timing must "
+                    "agree on every generated gadget)"
+                )
+            if record.get("quarantined", 0) != 0:
+                failures.append(
+                    f"fuzz campaign quarantined {record['quarantined']} "
+                    "point(s) on a clean run (expected 0)"
+                )
+
     return failures
 
 
@@ -1053,6 +1117,21 @@ def threshold_report(trajectory: Dict[str, object]) -> List[Dict[str, object]]:
         f">= {THRESHOLDS['timing_batch_speedup_min']:.0f}x",
         batch,
         batch is not None and batch >= THRESHOLDS["timing_batch_speedup_min"])
+
+    fuzz_run = _latest_run_with(trajectory, "fuzz_results")
+    fuzz = (
+        {record["benchmark"]: record for record in fuzz_run["fuzz_results"]}
+        if fuzz_run else {}
+    ).get("fuzz-throughput", {})
+    rate = fuzz.get("points_per_second")
+    add("fuzz campaign programs/sec (both oracles)",
+        f">= {THRESHOLDS['fuzz_points_per_second_min']:.0f}/s",
+        rate,
+        rate is not None and rate >= THRESHOLDS["fuzz_points_per_second_min"],
+        fmt="{:.0f}/s")
+    disagreed = fuzz.get("disagreed")
+    add("fuzz campaign oracle disagreements", "== 0",
+        disagreed, disagreed == 0, fmt="{:.0f}")
     return rows
 
 
@@ -1107,6 +1186,7 @@ def stale_records(trajectory: Dict[str, object]) -> List[str]:
         ("results", "core (all-pairs race)"),
         ("engine_results", "engine"),
         ("timing_results", "timing-scheduler"),
+        ("fuzz_results", "fuzz-throughput"),
     ):
         run = _latest_run_with(trajectory, key)
         if run is None:
@@ -1202,6 +1282,13 @@ def format_engine_records(run: Dict[str, object]) -> List[str]:
             f"{record['event_seconds'] * 1e3:.2f} ms vs rescan "
             f"{record['rescan_seconds'] * 1e3:.1f} ms -> "
             f"{record['speedup_event_vs_rescan']:.1f}x"
+        )
+    for record in run.get("fuzz_results", ()):  # type: ignore[union-attr]
+        lines.append(
+            f"fuzz campaign ({record['count']} generated programs, "
+            f"{record['buckets']} buckets): {record['points_per_second']:.0f} "
+            f"programs/s through both oracles, {record['disagreed']} "
+            f"disagreements, {record['quarantined']} quarantined"
         )
     for record in run.get("engine_results", ()):  # type: ignore[union-attr]
         if record["benchmark"] == "engine-analyze-warm-cache":

@@ -149,6 +149,19 @@ KINDS: Dict[str, KindInfo] = {
             grid=True,
             description="one exploit under each simulator defense in turn",
         ),
+        KindInfo(
+            "fuzz_point",
+            ("seed", "index", "secret", "model", "inject", "sha"),
+            required=("seed", "index"),
+            description="one generated gadget through both leak oracles",
+        ),
+        KindInfo(
+            "fuzz_campaign",
+            ("seed", "count", "secret", "model", "inject", "budget"),
+            required=("seed", "count"),
+            grid=True,
+            description="a seeded differential fuzzing campaign over both oracles",
+        ),
     )
 }
 

@@ -319,6 +319,54 @@ def test_batch_spans_emitted_per_point(tmp_path):
     )
 
 
+def test_supervised_batch_matches_unsupervised():
+    """Routing batch prewarm through the failure policy changes nothing on a
+    clean run -- same rows, same envelope, supervision is pure insurance."""
+    from repro.engine import FailurePolicy
+
+    points = ["spectre_v1", "meltdown", "spectre_v1", "lvi"]
+    plain = Engine().simulate_batch(points)
+    with Engine(policy=FailurePolicy(timeout=60.0, retries=1)) as engine:
+        supervised = engine.simulate_batch(points, parallel=2)
+    assert supervised.data == plain.data
+    assert supervised.ok == plain.ok
+
+
+def test_supervised_batch_quarantines_a_poisoned_point():
+    """A point that keeps crashing is quarantined, not fatal: the rest of
+    the batch still serves, the envelope flags the failure, and the grid
+    stats carry the retry/quarantine accounting."""
+    from repro.engine import FailurePolicy
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan(
+        faults=(FaultSpec(kind="exception", match="attack='spectre_rsb'"),),
+        seed=0,
+    )
+    with Engine(
+        policy=FailurePolicy(timeout=60.0, retries=1), faults=plan
+    ) as engine:
+        result = engine.simulate_batch(
+            ["spectre_v1", "spectre_rsb", "meltdown"], parallel=2
+        )
+    assert not result.ok
+    assert result.data["quarantined"] == 1
+    rows = result.data["rows"]
+    assert len(rows) == 3
+    healthy = [row for row in rows if "error" not in row]
+    assert len(healthy) == 2
+    grid = engine.stats()["grid"]
+    assert grid["quarantined"] == 1
+    assert grid["retried"] >= 1
+
+
+def test_unsupervised_batch_counts_in_grid_stats():
+    """Batch shards ride the same grid accounting as every other grid."""
+    engine = Engine()
+    engine.simulate_batch(["spectre_v1", "meltdown"])
+    assert engine.stats()["runs"].get("simulate_batch", 0) == 1
+
+
 # ---------------------------------------------------------------------------
 # Closure backends agree (numpy word chunks vs stdlib big ints)
 # ---------------------------------------------------------------------------

@@ -338,13 +338,19 @@ class TestPerfCheck:
                     {"benchmark": "timing-batch", "points": 380,
                      "speedup_batch_vs_per_point": 2.0},
                 ],
+                "fuzz_results": [
+                    {"benchmark": "fuzz-throughput", "count": 96,
+                     "executed": 96, "seconds": 96.0,
+                     "points_per_second": 1.0, "buckets": 1,
+                     "disagreed": 2, "quarantined": 1},
+                ],
             }]
         }
         path = tmp_path / "bad.json"
         path.write_text(json.dumps(bad))
         assert main(["perf", "--check", "-o", str(path)]) == 1
         out = capsys.readouterr().out
-        assert out.count("FAIL:") == 12
+        assert out.count("FAIL:") == 15
         assert "PASS" not in out  # every floor violated: the table agrees
         assert "contended event-queue scheduler" in out
         assert "warm DiskStore run" in out
@@ -352,6 +358,8 @@ class TestPerfCheck:
         assert "single-flight" in out
         assert "disabled-tracer grid overhead" in out
         assert "tracing-off grid overhead" in out
+        assert "fuzz campaign 1 programs/s" in out
+        assert "2 oracle disagreement(s)" in out
 
     def test_perf_check_flags_missing_contended_benchmark(self, tmp_path, capsys):
         stale = {
@@ -439,6 +447,12 @@ class TestPerfCheck:
                      "instructions": 500, "speedup_event_vs_rescan": 80.0},
                     {"benchmark": "timing-batch", "points": 380,
                      "speedup_batch_vs_per_point": 15.0},
+                ],
+                "fuzz_results": [
+                    {"benchmark": "fuzz-throughput", "count": 96,
+                     "executed": 96, "seconds": 0.16,
+                     "points_per_second": 600.0, "buckets": 30,
+                     "disagreed": 0, "quarantined": 0},
                 ],
             }]
         }

@@ -1,0 +1,225 @@
+"""The seeded gadget generator: determinism, shape space, dual-oracle
+agreement and the shrinker's contract.
+
+Seed determinism is checked *cross-process* (a spawned interpreter must
+rebuild byte-identical programs -- the property that makes fuzz points
+content-addressable), and the shrinker is checked on its two invariants:
+the minimal case still satisfies the predicate, and every accepted step
+strictly reduced the instruction count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.generator import (
+    CHANNELS,
+    FENCES,
+    FUZZ_SECRET,
+    MAX_DELAY,
+    SOURCES,
+    GadgetShape,
+    build_program,
+    case_from_shape,
+    dual_verdict,
+    iter_cases,
+    make_case,
+    make_shape,
+    shrink_case,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+def _sha_at(coordinate):
+    seed, index = coordinate
+    return make_case(seed, index).sha
+
+
+class TestSeedDeterminism:
+    def test_same_coordinates_same_program(self):
+        for index in range(16):
+            first = make_case(11, index)
+            again = make_case(11, index)
+            assert first.sha == again.sha
+            assert first.program.listing() == again.program.listing()
+            assert first.shape == again.shape
+
+    def test_different_coordinates_explore_the_space(self):
+        shapes = {make_shape(3, index) for index in range(64)}
+        assert len(shapes) > 16  # the axes actually vary
+        shas = {case.sha for case in iter_cases(3, 64)}
+        assert len(shas) == len({(c.shape) for c in iter_cases(3, 64)})
+
+    def test_seed_changes_the_draw(self):
+        assert [make_shape(0, i) for i in range(32)] != [
+            make_shape(1, i) for i in range(32)
+        ]
+
+    def test_hash_stable_across_spawned_processes(self):
+        """A spawned interpreter (fresh PYTHONHASHSEED) rebuilds the exact
+        same programs: the generator never leans on hash randomization."""
+        coordinates = [(17, index) for index in range(8)]
+        local = [_sha_at(coordinate) for coordinate in coordinates]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(2) as pool:
+            remote = pool.map(_sha_at, coordinates)
+        assert remote == local
+
+    def test_hash_stable_under_different_pythonhashseed(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        script = (
+            "from repro.fuzz.generator import make_case;"
+            "print(','.join(make_case(17, i).sha for i in range(4)))"
+        )
+        runs = set()
+        for hashseed in ("1", "2"):
+            env["PYTHONHASHSEED"] = hashseed
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env, capture_output=True, text=True, timeout=60,
+            )
+            assert completed.returncode == 0, completed.stderr
+            runs.add(completed.stdout.strip())
+        assert len(runs) == 1
+        assert runs.pop() == ",".join(make_case(17, i).sha for i in range(4))
+
+
+class TestShapeSpace:
+    def test_every_draw_is_inside_the_axes(self):
+        for index in range(128):
+            shape = make_shape(5, index)
+            assert shape.source in SOURCES
+            assert shape.channel in CHANNELS
+            assert shape.fence in FENCES
+            assert 0 <= shape.delay <= MAX_DELAY
+
+    def test_bucket_ignores_the_delay_knob(self):
+        a = GadgetShape("bounds_check", 0, "direct", "none")
+        b = GadgetShape("bounds_check", 4, "direct", "none")
+        assert a.bucket == b.bucket
+        assert a.bucket == "bounds_check/direct/fence=none"
+
+    def test_shape_roundtrips_through_dict(self):
+        shape = make_shape(9, 3)
+        assert GadgetShape.from_dict(shape.to_dict()) == shape
+
+    def test_every_knob_adds_instructions(self):
+        base = GadgetShape("bounds_check", 0, "direct", "none")
+        baseline = len(build_program(base).instructions)
+        for delay in range(1, MAX_DELAY + 1):
+            grown = GadgetShape("bounds_check", delay, "direct", "none")
+            assert len(build_program(grown).instructions) == baseline + delay
+        for fence in FENCES[1:]:
+            fenced = GadgetShape("bounds_check", 0, "direct", fence)
+            assert len(build_program(fenced).instructions) == baseline + 1
+        for channel in ("aliased", "double_shift"):
+            widened = GadgetShape("bounds_check", 0, channel, "none")
+            assert len(build_program(widened).instructions) == baseline + 1
+
+
+class TestDualOracleAgreement:
+    def test_sampled_campaign_slice_agrees_everywhere(self):
+        leaks = 0
+        for case in iter_cases(0, 24):
+            verdict = dual_verdict(case)
+            assert verdict.agrees, case.shape.describe()
+            if verdict.tsg_leaks:
+                leaks += 1
+                assert verdict.recovered == FUZZ_SECRET
+        assert leaks > 0  # the slice exercises both verdicts
+
+    def test_fences_gate_the_leak_as_the_tsg_predicts(self):
+        # The paper's Table-2 physics on generated gadgets: an lfence
+        # before the transmitting load kills a Spectre-style leak ...
+        safe = case_from_shape(
+            0, 0, GadgetShape("bounds_check", 2, "direct", "before_send")
+        )
+        verdict = dual_verdict(safe)
+        assert verdict.agrees and not verdict.tsg_leaks
+        # ... while one after it changes nothing.
+        leaky = case_from_shape(
+            0, 0, GadgetShape("bounds_check", 2, "direct", "after_send")
+        )
+        verdict = dual_verdict(leaky)
+        assert verdict.agrees and verdict.tsg_leaks
+
+    def test_injected_no_flush_splits_the_oracles(self):
+        case = case_from_shape(
+            0, 0, GadgetShape("bounds_check", 2, "aliased", "none")
+        )
+        clean = dual_verdict(case)
+        assert clean.agrees and clean.tsg_leaks
+        broken = dual_verdict(case, inject="no_flush")
+        assert broken.tsg_leaks and not broken.transmit_beats_squash
+        assert not broken.agrees
+
+    def test_unknown_injection_is_rejected(self):
+        case = make_case(0, 0)
+        with pytest.raises(ValueError, match="injection"):
+            dual_verdict(case, inject="bogus")
+
+
+class TestShrinker:
+    def _disagreeing_case(self):
+        return case_from_shape(
+            0, 0, GadgetShape("bounds_check", MAX_DELAY, "aliased", "after_send")
+        )
+
+    @staticmethod
+    def _still_disagrees(candidate):
+        return not dual_verdict(candidate, inject="no_flush").agrees
+
+    def test_minimal_case_still_disagrees_and_is_strictly_smaller(self):
+        case = self._disagreeing_case()
+        assert self._still_disagrees(case)  # the predicate holds going in
+        minimal = shrink_case(case, self._still_disagrees)
+        assert self._still_disagrees(minimal)
+        assert minimal.size < case.size
+        # The fully shrunk bounds-check disagreement: no delay chain, the
+        # narrow channel, no fence.
+        assert minimal.shape.delay == 0
+        assert minimal.shape.channel == "direct"
+        assert minimal.shape.fence == "none"
+
+    def test_shrinking_preserves_the_coordinates(self):
+        case = self._disagreeing_case()
+        minimal = shrink_case(case, self._still_disagrees)
+        assert (minimal.seed, minimal.index) == (case.seed, case.index)
+
+    def test_unshrinkable_case_comes_back_unchanged(self):
+        case = case_from_shape(
+            0, 0, GadgetShape("bounds_check", 0, "direct", "none")
+        )
+        minimal = shrink_case(case, self._still_disagrees)
+        assert minimal.shape == case.shape
+
+    def test_predicate_rejecting_everything_keeps_the_original(self):
+        case = self._disagreeing_case()
+        minimal = shrink_case(case, lambda candidate: False)
+        assert minimal.shape == case.shape
+
+    def test_every_accepted_step_shrank_monotonically(self):
+        """The shrinker only ever moves to strictly smaller programs --
+        checked by instrumenting the predicate with every size it saw."""
+        case = self._disagreeing_case()
+        sizes = []
+
+        def predicate(candidate):
+            ok = self._still_disagrees(candidate)
+            if ok:
+                sizes.append(candidate.size)
+            return ok
+
+        minimal = shrink_case(case, predicate)
+        assert sizes, "shrinker never advanced"
+        assert all(size < case.size for size in sizes)
+        assert minimal.size == min(sizes)

@@ -132,6 +132,99 @@ class TestTracer:
         assert context.parent_id is None
 
 
+class TestTracerSampling:
+    def test_rate_zero_drops_every_tree(self):
+        tracer = Tracer(sample_rate=0.0)
+        for _ in range(10):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        assert tracer.emitted == 0
+        assert tracer.drain() == []
+
+    def test_rate_one_keeps_every_tree(self):
+        tracer = Tracer(sample_rate=1.0)
+        for _ in range(5):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        assert tracer.emitted == 10
+
+    def test_trees_are_kept_or_dropped_atomically(self):
+        """Half-rate sampling keeps whole trees: every kept root arrives
+        with exactly its children, never a child without its root."""
+        tracer = Tracer(sample_rate=0.5, sample_seed=42)
+        trees = 200
+        for index in range(trees):
+            with tracer.span("root", index=index):
+                with tracer.span("child"):
+                    with tracer.span("grandchild"):
+                        pass
+        records = tracer.drain()
+        roots = [r for r in records if r["name"] == "root"]
+        children = [r for r in records if r["name"] == "child"]
+        grandchildren = [r for r in records if r["name"] == "grandchild"]
+        assert 0 < len(roots) < trees  # actually sampled
+        assert len(children) == len(grandchildren) == len(roots)
+        by_id = {r["span"]: r for r in records}
+        for child in children + grandchildren:
+            assert child["parent"] in by_id  # no orphans, ever
+
+    def test_sample_seed_makes_decisions_reproducible(self):
+        def kept(seed):
+            tracer = Tracer(sample_rate=0.5, sample_seed=seed)
+            decisions = []
+            for index in range(64):
+                with tracer.span("root", index=index):
+                    pass
+            return [r["attrs"]["index"] for r in tracer.drain()]
+
+        assert kept(7) == kept(7)
+        assert kept(7) != kept(8)
+
+    def test_dropped_tree_ships_no_cross_process_context(self):
+        """Inside a sampled-out tree the hop context is None: workers run
+        untraced rather than orphan half a tree."""
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.span("root"):
+            assert tracer.current_context() is None
+            detached = tracer.span("shard", detached=True)
+            assert detached.context() is None
+            tracer.finish(detached)
+        # Once the dropped tree closes, sampling decides afresh.
+        context = tracer.current_context()
+        assert context is not None and context.parent_id is None
+
+    def test_drop_depth_survives_out_of_order_finishes(self):
+        tracer = Tracer(sample_rate=0.0)
+        root = tracer.span("root")
+        child = tracer.span("child")
+        root.__exit__(None, None, None)
+        child.__exit__(None, None, None)
+        child.__exit__(None, None, None)  # double-finish is a no-op
+        with tracer.span("next"):  # still a cleanly dropped fresh tree
+            pass
+        assert tracer.emitted == 0
+
+    def test_invalid_rate_is_rejected(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError, match="sample_rate"):
+            Tracer(sample_rate=-0.1)
+
+    def test_explicitly_parented_spans_bypass_head_sampling(self):
+        """A span parented on a shipped context is never a tree root: the
+        worker side must honor the parent's keep decision, not re-draw."""
+        from repro.obs.trace import TraceContext
+
+        tracer = Tracer(sample_rate=0.0)
+        context = TraceContext("t1", "parent-span")
+        with tracer.span("worker.point", parent=context):
+            pass
+        (record,) = tracer.drain()
+        assert record["parent"] == "parent-span"
+
+
 # ---------------------------------------------------------------------------
 # Metrics registry + Prometheus rendering
 # ---------------------------------------------------------------------------
